@@ -1,0 +1,101 @@
+// Ablation: how does the choice of start synchronization change what
+// you measure? (Section 4.2.1: barriers "may be unreliable because
+// neither MPI nor OpenMP provides timing guarantees"; the paper proposes
+// the delay-window scheme instead.)
+//
+// Measures the same MPI_Reduce on the same simulated machine under
+// three protocols -- window sync, barrier sync, and free-running -- and
+// shows how the reported distribution shifts, including the measured
+// start skew of each scheme.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/plots.hpp"
+#include "sim/machine.hpp"
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace sci;
+
+namespace {
+
+enum class Sync { kWindow, kBarrier, kNone };
+
+struct AblationResult {
+  std::vector<double> reduce_us;    ///< per-iteration max across ranks
+  std::vector<double> start_skew_us;  ///< true spread of iteration starts
+};
+
+AblationResult run(Sync sync, int ranks, std::size_t iterations) {
+  simmpi::World world(sim::make_daint(), ranks, 77);
+  AblationResult out;
+  out.reduce_us.assign(iterations, 0.0);
+  out.start_skew_us.assign(iterations, 0.0);
+  std::vector<std::vector<double>> t_start(iterations,
+                                           std::vector<double>(ranks, 0.0));
+  std::vector<std::vector<double>> t_end(iterations, std::vector<double>(ranks, 0.0));
+
+  world.launch([&, sync](simmpi::Comm& c) -> sim::Task<void> {
+    for (std::size_t i = 0; i < out.reduce_us.size(); ++i) {
+      switch (sync) {
+        case Sync::kWindow: co_await simmpi::window_sync(c, 200e-6); break;
+        case Sync::kBarrier: co_await simmpi::barrier(c); break;
+        case Sync::kNone: break;
+      }
+      t_start[i][c.rank()] = c.world().engine().now();  // true time
+      (void)co_await simmpi::reduce(c, 1.0, 0);
+      t_end[i][c.rank()] = c.world().engine().now();
+    }
+  });
+  world.run();
+
+  for (std::size_t i = 0; i < out.reduce_us.size(); ++i) {
+    const auto [s_lo, s_hi] = std::minmax_element(t_start[i].begin(), t_start[i].end());
+    out.start_skew_us[i] = (*s_hi - *s_lo) * 1e6;
+    const double end = *std::max_element(t_end[i].begin(), t_end[i].end());
+    out.reduce_us[i] = (end - *s_lo) * 1e6;  // first start -> last finish
+  }
+  return out;
+}
+
+void report(const char* name, const AblationResult& r) {
+  const auto b = stats::box_stats(r.reduce_us);
+  std::printf("%-10s reduce: med %6.2f us  q1 %6.2f  q3 %6.2f  p99 %6.2f"
+              "   start skew: med %6.2f us  max %7.2f\n",
+              name, b.median, b.q1, b.q3, stats::quantile(r.reduce_us, 0.99),
+              stats::median(r.start_skew_us), stats::max_value(r.start_skew_us));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: start-synchronization scheme (Section 4.2.1) ===\n");
+  std::printf("1,000 MPI_Reduce measurements on 32 ranks of daint-sim per scheme\n\n");
+
+  const auto window = run(Sync::kWindow, 32, 1000);
+  const auto barrier = run(Sync::kBarrier, 32, 1000);
+  const auto none = run(Sync::kNone, 32, 1000);
+
+  report("window", window);
+  report("barrier", barrier);
+  report("none", none);
+
+  std::printf("\nobservations:\n");
+  std::printf(" - window sync compresses start skew to the clock-offset estimation\n");
+  std::printf("   error; measured times then reflect the collective itself;\n");
+  std::printf(" - a barrier leaves the skew of its own last-arrival wave in the\n");
+  std::printf("   measurement (no timing guarantee, exactly the paper's caveat);\n");
+  std::printf(" - free-running iterations pipeline into each other: the 'latency'\n");
+  std::printf("   becomes a throughput artifact. Rule 10: report which scheme you used.\n\n");
+
+  std::vector<core::NamedSeries> series = {{"window", window.reduce_us},
+                                           {"barrier", barrier.reduce_us},
+                                           {"none", none.reduce_us}};
+  core::PlotOptions opts;
+  opts.title = "reduce completion (first start -> last finish, us)";
+  opts.x_label = "us";
+  std::fputs(core::render_box(series, opts).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Adaptive level refinement (Section 4.2 / SKaMPI): sweep ping-pong
+// latency over message sizes, letting the refiner decide where to spend
+// the measurement budget. It discovers the eager->rendezvous protocol
+// step without being told where it is, inserting extra levels around
+// the discontinuity and extra samples where variance is highest.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/plots.hpp"
+#include "core/refinement.hpp"
+#include "sim/machine.hpp"
+#include "sim/task.hpp"
+#include "simmpi/comm.hpp"
+
+using namespace sci;
+
+int main() {
+  std::printf("=== Adaptive level refinement: latency vs message size ===\n");
+  const auto machine = sim::make_dora();
+  std::printf("machine: dora-sim, eager limit %zu B (the refiner does not know this)\n\n",
+              machine.loggp.eager_threshold_bytes);
+
+  // One persistent simulated world; each measurement is one ping-pong at
+  // the requested size.
+  simmpi::World world(machine, 2, 42);
+  // Server rank: echo forever-ish (generous upper bound on requests).
+  constexpr std::size_t kMaxRequests = 100000;
+  world.launch_on(1, [&](simmpi::Comm& c) -> sim::Task<void> {
+    for (std::size_t i = 0; i < kMaxRequests; ++i) {
+      simmpi::Message m = co_await c.recv(0, simmpi::kAnyTag);
+      if (m.tag == 0) co_return;  // shutdown
+      co_await c.send(0, m.tag, m.bytes);
+    }
+  });
+
+  // Client coroutine executes queued probes; measure_adaptive_levels
+  // drives it synchronously through the engine.
+  double pending_level = 0.0;
+  double last_result_us = 0.0;
+  auto probe = [&](double level) {
+    pending_level = level;
+    world.launch_on(0, [&](simmpi::Comm& c) -> sim::Task<void> {
+      const auto bytes = static_cast<std::size_t>(pending_level);
+      const double t0 = c.wtime();
+      co_await c.send(1, 1, bytes);
+      (void)co_await c.recv(1, 1);
+      last_result_us = (c.wtime() - t0) / 2.0 * 1e6;
+    });
+    world.step();  // tolerate the parked echo server between probes
+    return last_result_us;
+  };
+
+  core::RefinementOptions opts;
+  opts.initial_samples = 12;
+  opts.batch = 8;
+  opts.total_budget = 800;
+  opts.interpolation_tolerance = 0.08;
+  std::vector<double> sizes = {64, 1024, 4096, 16384, 65536, 262144};
+  const auto levels = core::measure_adaptive_levels(probe, sizes, opts);
+
+  // Shut the echo server down.
+  world.launch_on(0, [](simmpi::Comm& c) -> sim::Task<void> {
+    co_await c.send(1, 0, 8);
+  });
+  world.run();
+
+  std::printf("%10s %8s %10s %22s %9s\n", "bytes", "samples", "median", "95% CI (us)",
+              "origin");
+  core::XYSeries curve{"median latency", 'o', {}, {}};
+  for (const auto& lvl : levels) {
+    std::printf("%10.0f %8zu %9.2f  [%8.3f, %8.3f] %9s\n", lvl.level,
+                lvl.samples.size(), lvl.median, lvl.ci.lower, lvl.ci.upper,
+                lvl.inserted ? "inserted" : "initial");
+    curve.x.push_back(std::log2(lvl.level));
+    curve.y.push_back(lvl.median);
+  }
+
+  std::size_t inserted_near_limit = 0;
+  for (const auto& lvl : levels) {
+    if (lvl.inserted && lvl.level > 4096 && lvl.level < 262144) ++inserted_near_limit;
+  }
+  std::printf("\nlevels inserted around the (hidden) protocol switch: %zu\n",
+              inserted_near_limit);
+  std::printf("the refiner concentrates effort where the curve bends -- exactly the\n");
+  std::printf("SKaMPI idea the paper cites for measuring \"levels where the\n");
+  std::printf("uncertainty is highest\".\n\n");
+
+  core::PlotOptions popts;
+  popts.title = "median latency (us) vs log2(bytes)";
+  popts.x_label = "log2(message bytes)";
+  popts.height = 12;
+  std::fputs(core::render_xy(std::vector<core::XYSeries>{curve}, popts).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Collective algorithm crossover: recursive doubling (latency-optimal,
+// log2 p full-vector exchanges) vs ring reduce-scatter/allgather
+// (bandwidth-optimal, 2(p-1)/p of the vector total) as a function of
+// payload size -- the switch every production MPI hides behind a
+// tuning threshold. The methodology point: a paper reporting "allreduce
+// takes X us" without the payload and algorithm documents nothing
+// (Rule 9); the crossover moves with both the machine and p.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/plots.hpp"
+#include "sim/machine.hpp"
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace sci;
+
+namespace {
+
+double median_allreduce_us(const sim::Machine& machine, int ranks, std::size_t doubles,
+                           simmpi::AllreduceAlgo algo, std::uint64_t seed) {
+  constexpr std::size_t kIters = 30;
+  simmpi::World world(machine, ranks, seed);
+  std::vector<double> times;
+  world.launch([&](simmpi::Comm& c) -> sim::Task<void> {
+    for (std::size_t i = 0; i < kIters; ++i) {
+      co_await simmpi::window_sync(c, 200e-6);
+      const double t0 = c.world().engine().now();
+      std::vector<double> v(doubles, 1.0);
+      (void)co_await simmpi::allreduce_v(c, std::move(v), simmpi::ReduceOp::kSum, algo);
+      if (c.rank() == 0) times.push_back(c.world().engine().now() - t0);
+    }
+  });
+  world.run();
+  return stats::median(times) * 1e6;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Allreduce algorithm crossover (16 ranks, daint-sim) ===\n");
+  std::printf("median of 30 window-synced calls; rank-0 observed completion\n\n");
+  const auto machine = sim::make_daint();
+  constexpr int kRanks = 16;
+
+  std::printf("%12s %16s %12s %10s\n", "payload [B]", "rec-doubling[us]", "ring [us]",
+              "winner");
+  core::XYSeries rd{"doubling", 'd', {}, {}};
+  core::XYSeries ring{"ring", 'r', {}, {}};
+  double crossover_bytes = 0.0;
+  bool ring_won_before = false;
+  for (std::size_t doubles : {16u, 64u, 256u, 1024u, 4096u, 16384u, 65536u, 262144u}) {
+    const double t_rd = median_allreduce_us(machine, kRanks, doubles,
+                                            simmpi::AllreduceAlgo::kRecursiveDoubling,
+                                            100 + doubles);
+    const double t_ring = median_allreduce_us(machine, kRanks, doubles,
+                                              simmpi::AllreduceAlgo::kRing,
+                                              100 + doubles);
+    const bool ring_wins = t_ring < t_rd;
+    if (ring_wins && !ring_won_before) crossover_bytes = 8.0 * doubles;
+    ring_won_before = ring_won_before || ring_wins;
+    std::printf("%12zu %16.1f %12.1f %10s\n", 8 * doubles, t_rd, t_ring,
+                ring_wins ? "ring" : "doubling");
+    rd.x.push_back(std::log2(8.0 * doubles));
+    rd.y.push_back(t_rd);
+    ring.x.push_back(std::log2(8.0 * doubles));
+    ring.y.push_back(t_ring);
+  }
+  std::printf("\nfirst payload where the ring wins here: ~%.0f B (kAuto switches\n",
+              crossover_bytes);
+  std::printf("at 256 KiB). On the noiseless machine the crossover sits near\n");
+  std::printf("128 KiB; congestion hits the ring's 2(p-1) serialized steps harder\n");
+  std::printf("than doubling's log2(p), pushing it out -- thresholds tuned on a\n");
+  std::printf("quiet testbed mispredict production (Rules 9/11: document and model).\n\n");
+
+  core::PlotOptions opts;
+  opts.title = "median allreduce (us) vs log2(payload bytes), log y";
+  opts.x_label = "log2(bytes)";
+  opts.height = 12;
+  std::fputs(core::render_xy(std::vector<core::XYSeries>{rd, ring}, opts,
+                             /*log_y=*/true)
+                 .c_str(),
+             stdout);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Factorial experimental design in action (Section 4: "We recommend
+// factorial design to compare the influence of multiple factors").
+//
+// A 2^3 design over the simulated latency experiment:
+//   A  system        dora (low)    vs pilatus (high)
+//   B  message size  64 B (low)    vs 64 KiB (high, above the eager limit)
+//   C  allocation    packed (low)  vs scattered (high)
+// Response: median half-round-trip latency (us), r = 4 replicated
+// measurement series per cell. The analysis quantifies main effects,
+// interactions, and their statistical significance.
+#include <cstdio>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/task.hpp"
+#include "simmpi/comm.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/factorial.hpp"
+
+using namespace sci;
+
+namespace {
+
+double median_latency_us(const std::string& system, std::size_t bytes,
+                         sim::AllocationPolicy policy, std::uint64_t seed) {
+  const auto machine = sim::make_machine(system);
+  simmpi::World world(machine, 2, seed, policy);
+  std::vector<double> samples;
+  constexpr std::size_t kN = 300;
+  world.launch_on(0, [&](simmpi::Comm& c) -> sim::Task<void> {
+    for (std::size_t i = 0; i < kN + 16; ++i) {
+      const double t0 = c.wtime();
+      co_await c.send(1, 1, bytes);
+      (void)co_await c.recv(1, 2);
+      if (i >= 16) samples.push_back((c.wtime() - t0) / 2.0 * 1e6);
+    }
+  });
+  world.launch_on(1, [&, bytes](simmpi::Comm& c) -> sim::Task<void> {
+    for (std::size_t i = 0; i < kN + 16; ++i) {
+      (void)co_await c.recv(0, 1);
+      co_await c.send(0, 2, bytes);
+    }
+  });
+  world.run();
+  return stats::median(samples);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== 2^3 factorial design: what drives ping-pong latency? ===\n");
+  std::printf("factors: A=system (dora/pilatus), B=bytes (64/65536),\n");
+  std::printf("         C=allocation (packed/scattered); r=4 replicates\n\n");
+
+  std::vector<stats::FactorialRun> runs;
+  for (const auto& lv : stats::full_factorial_levels(3)) {
+    const std::string system = lv[0] ? "pilatus" : "dora";
+    const std::size_t bytes = lv[1] ? 65536 : 64;
+    const auto policy =
+        lv[2] ? sim::AllocationPolicy::kScattered : sim::AllocationPolicy::kPacked;
+    std::vector<double> responses;
+    for (std::uint64_t rep = 0; rep < 4; ++rep) {
+      responses.push_back(median_latency_us(system, bytes, policy, 1000 + rep));
+    }
+    runs.push_back({lv, responses});
+  }
+
+  const auto fit = stats::analyze_factorial({"system", "bytes", "allocation"}, runs);
+  std::fputs(fit.to_string().c_str(), stdout);
+
+  std::printf("\nreading the table: B (message size) dominates -- 64 KiB pays the\n");
+  std::printf("rendezvous handshake and the byte-transfer time; the AB interaction\n");
+  std::printf("captures the systems' different large-message bandwidth. Factorial\n");
+  std::printf("design quantifies all of this from %zu runs instead of a full sweep.\n",
+              runs.size() * 4);
+
+  std::printf("\nmodel check (predict vs measured, fresh seeds):\n");
+  for (const auto& lv : stats::full_factorial_levels(3)) {
+    const std::string system = lv[0] ? "pilatus" : "dora";
+    const std::size_t bytes = lv[1] ? 65536 : 64;
+    const auto policy =
+        lv[2] ? sim::AllocationPolicy::kScattered : sim::AllocationPolicy::kPacked;
+    const double measured = median_latency_us(system, bytes, policy, 9999);
+    std::printf("  %-8s %6zu B %-9s  predicted %7.2f us  measured %7.2f us\n",
+                system.c_str(), bytes, lv[2] ? "scattered" : "packed",
+                fit.predict(lv), measured);
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Figure 2: normalization of 1M ping-pong samples (64 B, on
+// the simulated Piz Dora). Four variants -- (a) original, (b) log-
+// normalized, (c) block means k=100, (d) block means k=1000 -- each with
+// its Shapiro-Wilk verdict and Q-Q straightness, plus Q-Q panels.
+#include <cstdio>
+#include <vector>
+
+#include "core/plots.hpp"
+#include "sim/machine.hpp"
+#include "simmpi/benchmarks.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/normality.hpp"
+#include "stats/normalization.hpp"
+
+using namespace sci;
+
+namespace {
+
+void report_variant(const char* name, const std::vector<double>& xs) {
+  // Shapiro-Wilk caps at 5000; thin evenly as the library recommends.
+  std::vector<double> test_data;
+  if (xs.size() > 5000) {
+    const std::size_t stride = xs.size() / 5000 + 1;
+    for (std::size_t i = 0; i < xs.size(); i += stride) test_data.push_back(xs[i]);
+  } else {
+    test_data = xs;
+  }
+  const auto sw = stats::shapiro_wilk(test_data);
+  const double rqq = stats::qq_correlation(test_data);
+  std::printf("%-18s n=%8zu  SW W=%.4f p=%.4f  %-12s r(QQ)=%.4f\n", name, xs.size(),
+              sw.statistic, sw.p_value, sw.reject(0.05) ? "NOT normal" : "normal-ish",
+              rqq);
+}
+
+}  // namespace
+
+int main() {
+  const auto machine = sim::make_dora();
+  std::printf("=== Figure 2: normalization of 1M ping-pong samples (dora-sim) ===\n");
+  const auto samples = simmpi::pingpong_latency(machine, 1'000'000, 64, 1234);
+
+  std::vector<double> us;
+  us.reserve(samples.size());
+  for (double s : samples) us.push_back(s * 1e6);
+
+  const auto logged = stats::log_transform(us);
+  const auto k100 = stats::block_means(us, 100);
+  const auto k1000 = stats::block_means(us, 1000);
+
+  std::printf("\n%-18s %10s  %-28s\n", "variant", "samples", "normality diagnostics");
+  report_variant("(a) original", us);
+  report_variant("(b) log", logged);
+  report_variant("(c) norm k=100", k100);
+  report_variant("(d) norm k=1000", k1000);
+
+  std::printf("\npaper's qualitative result: raw data is right-skewed/multi-modal;\n");
+  std::printf("log helps but block averaging (CLT) approaches normality as k grows.\n\n");
+
+  core::PlotOptions d;
+  d.title = "(a) original latency density";
+  d.x_label = "latency (us)";
+  std::fputs(core::render_density(us, d).c_str(), stdout);
+  std::printf("\n");
+
+  core::PlotOptions q;
+  q.height = 10;
+  q.title = "(a) Q-Q original";
+  std::fputs(core::render_qq(us, q).c_str(), stdout);
+  std::printf("\n");
+  q.title = "(c) Q-Q block means k=100";
+  std::fputs(core::render_qq(k100, q).c_str(), stdout);
+  std::printf("\n");
+  q.title = "(d) Q-Q block means k=1000";
+  std::fputs(core::render_qq(k1000, q).c_str(), stdout);
+
+  const std::vector<std::size_t> candidates = {10, 100, 1000};
+  const std::size_t k = stats::find_normalizing_block_size(us, candidates);
+  if (k > 0) {
+    std::printf("\nsmallest normalizing block size among {10,100,1000}: k=%zu\n", k);
+  } else {
+    std::printf("\nno candidate block size normalized the data; "
+                "use nonparametric statistics (the paper's recommendation)\n");
+  }
+  return 0;
+}

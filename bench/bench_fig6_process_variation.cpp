@@ -1,0 +1,57 @@
+// Reproduces Figure 6: variation across 64 processes in MPI_Reduce --
+// 1,000 runs on the simulated Piz Daint, per-rank box statistics with
+// 1.5 IQR whiskers, and the ANOVA across ranks the paper recommends
+// before choosing a summary (Rule 10).
+#include <cstdio>
+#include <vector>
+
+#include "core/plots.hpp"
+#include "sim/machine.hpp"
+#include "simmpi/benchmarks.hpp"
+#include "stats/compare.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace sci;
+
+int main() {
+  std::printf("=== Figure 6: variation across 64 processes in MPI_Reduce ===\n");
+  std::printf("1,000 window-synchronized reductions on daint-sim\n\n");
+  constexpr int kRanks = 64;
+  const auto bench = simmpi::reduce_bench(sim::make_daint(), kRanks, 1000, 66);
+
+  std::vector<std::vector<double>> groups;
+  groups.reserve(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    std::vector<double> us;
+    for (double v : bench.rank_series(r)) us.push_back(v * 1e6);
+    groups.push_back(std::move(us));
+  }
+
+  std::printf("per-rank completion time [us] (every 8th rank shown):\n");
+  std::printf("%5s %8s %8s %8s %8s %8s %9s\n", "rank", "whisk-", "q1", "median", "q3",
+              "whisk+", "outliers");
+  for (int r = 0; r < kRanks; r += 8) {
+    const auto b = stats::box_stats(groups[static_cast<std::size_t>(r)]);
+    std::printf("%5d %8.2f %8.2f %8.2f %8.2f %8.2f %6zu\n", r, b.whisker_low, b.q1,
+                b.median, b.q3, b.whisker_high, b.outliers_low + b.outliers_high);
+  }
+
+  const auto anova = stats::one_way_anova(groups);
+  std::printf("\nANOVA across ranks: F=%.1f (dof %0.f/%0.f), p=%.3g\n", anova.f_statistic,
+              anova.dof_between, anova.dof_within, anova.p_value);
+  std::printf("=> timings of different processes differ %s (paper: \"a significant\n",
+              anova.reject(0.05) ? "SIGNIFICANTLY" : "not significantly");
+  std::printf("   difference for some processes\"); a single cross-rank summary\n");
+  std::printf("   needs justification -- report max or per-rank data instead.\n\n");
+
+  // Box plot of a representative subset of ranks (terminal width).
+  std::vector<core::NamedSeries> series;
+  for (int r : {0, 1, 2, 4, 8, 16, 32, 63}) {
+    series.push_back({"rank " + std::to_string(r), groups[static_cast<std::size_t>(r)]});
+  }
+  core::PlotOptions opts;
+  opts.title = "per-rank reduce completion (us), whiskers = 1.5 IQR";
+  opts.x_label = "completion time (us)";
+  std::fputs(core::render_box(series, opts).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces the worked example of Section 3.1.1 (Rules 3 & 4): an HPL
+// benchmark needing 100 Gflop measured three times at (10, 100, 40) s,
+// with a 10 Gflop/s peak -- showing which summaries mislead and which
+// are correct.
+#include <cstdio>
+#include <vector>
+
+#include "stats/summarize.hpp"
+
+using namespace sci;
+
+int main() {
+  const std::vector<double> times = {10.0, 100.0, 40.0};
+  const double total_flop = 100.0;  // Gflop
+  const double peak = 10.0;         // Gflop/s
+
+  const auto s = stats::hpl_example_summary(times, total_flop, peak);
+
+  std::printf("=== Section 3.1.1 worked example: summarizing HPL runs ===\n");
+  std::printf("runs: 100 Gflop in (10, 100, 40) s, peak 10 Gflop/s\n\n");
+  std::printf("%-42s %8s   paper\n", "summary", "value");
+  std::printf("%-42s %7.1fs   50s\n", "arithmetic mean of times (correct, Rule 3)",
+              s.arithmetic_mean_time);
+  std::printf("%-42s %7.1f    2 Gflop/s\n", "rate from mean time (correct)",
+              s.rate_from_mean_time);
+  std::printf("%-42s %7.1f    4.5 Gflop/s\n", "arithmetic mean of rates (WRONG)",
+              s.arithmetic_mean_of_rates);
+  std::printf("%-42s %7.1f    2 Gflop/s\n", "harmonic mean of rates (correct, Rule 3)",
+              s.harmonic_mean_of_rates);
+  std::printf("%-42s %7.2f    0.29 (-> misleading 2.9 Gflop/s)\n",
+              "geometric mean of peak ratios (WRONG)", s.geometric_mean_of_ratios);
+
+  std::printf("\nRule-typed summaries:\n");
+  const auto cost = stats::summarize(stats::Cost{times, "s"});
+  std::printf("  Cost{times}  -> %s = %.1f s\n", cost.method, cost.value);
+  std::vector<double> rates;
+  for (double t : times) rates.push_back(total_flop / t);
+  const auto rate = stats::summarize(stats::Rate{rates, "Gflop/s"});
+  std::printf("  Rate{rates}  -> %s = %.1f Gflop/s\n", rate.method, rate.value);
+  std::vector<double> ratios;
+  for (double r : rates) ratios.push_back(r / peak);
+  const auto ratio = stats::summarize(stats::Ratio{ratios});
+  std::printf("  Ratio{rel}   -> %s = %.2f\n", ratio.method, ratio.value);
+  std::printf("  advisory: %s\n", ratio.advisory.c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Noise propagation at scale: replays a BSP stencil skeleton under the
+// machine's noise model and measures the slowdown relative to the
+// noiseless execution, as a function of process count. This reproduces
+// the qualitative result of Hoefler, Schneider & Lumsdaine (SC'10) --
+// cited by the paper as [26] for why "noise can cause significant
+// degradation of program execution": bulk-synchronous codes absorb the
+// *maximum* per-step perturbation across ranks, so identical per-node
+// noise hurts more at larger scale.
+#include <cstdio>
+#include <vector>
+
+#include "core/plots.hpp"
+#include "sim/machine.hpp"
+#include "simmpi/replay.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace sci;
+
+int main() {
+  std::printf("=== Noise propagation in a BSP stencil (paper ref [26]) ===\n");
+  constexpr int kSteps = 25;
+  constexpr double kWorkS = 1e-3;       // 1 ms compute per step
+  constexpr std::size_t kHalo = 4096;   // halo exchange size
+
+  std::printf("skeleton: %d steps of (1 ms compute; ring halo exchange %zu B;\n",
+              kSteps, kHalo);
+  std::printf("allreduce), replayed on daint-sim vs a noiseless clone\n\n");
+
+  std::printf("%6s %14s %16s %16s\n", "ranks", "noiseless [ms]", "daint slowdown",
+              "bgq slowdown");
+  core::XYSeries series{"daint", 'o', {}, {}};
+  core::XYSeries series_bgq{"bgq", 'q', {}, {}};
+  for (int ranks : {2, 4, 8, 16, 32, 64}) {
+    const auto schedule = simmpi::make_stencil_skeleton(ranks, kSteps, kWorkS, kHalo);
+    const double base =
+        simmpi::replay(schedule, sim::make_noiseless(64), 1).completion_s();
+    // Median over several noisy replays (fresh allocation + noise each).
+    auto slowdown = [&](const sim::Machine& m) {
+      std::vector<double> noisy;
+      for (std::uint64_t seed = 0; seed < 9; ++seed) {
+        noisy.push_back(simmpi::replay(schedule, m, seed).completion_s());
+      }
+      return stats::median(noisy) / base;
+    };
+    const double daint_slow = slowdown(sim::make_daint());
+    const double bgq_slow = slowdown(sim::make_bgq());
+    std::printf("%6d %14.2f %15.3fx %15.4fx\n", ranks, base * 1e3, daint_slow,
+                bgq_slow);
+    series.x.push_back(ranks);
+    series.y.push_back(daint_slow);
+    series_bgq.x.push_back(ranks);
+    series_bgq.y.push_back(bgq_slow);
+  }
+
+  std::printf("\nthe slowdown grows with scale even though per-node noise is\n");
+  std::printf("identical: each collective step absorbs the slowest rank's detours\n");
+  std::printf("(max over p draws grows with p). Reporting single-node noise\n");
+  std::printf("figures therefore systematically understates impact at scale.\n");
+  std::printf("bgq-sim quantifies the 'Blue Gene is noise-free' assumption the\n");
+  std::printf("paper warns about: quiet, but measurably not free.\n\n");
+
+  core::PlotOptions opts;
+  opts.title = "noisy/noiseless completion ratio vs ranks";
+  opts.x_label = "ranks";
+  opts.height = 10;
+  std::fputs(
+      core::render_xy(std::vector<core::XYSeries>{series, series_bgq}, opts).c_str(),
+      stdout);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// "Twelve ways to fool the masses" -- the paper's title answers Bailey's
+// classic 1991 list of misleading reporting patterns. This example
+// manufactures several of those patterns from honest simulated data and
+// shows, side by side, the number a fooler would print and what the
+// scibench rules force you to print instead.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "simmpi/benchmarks.hpp"
+#include "stats/compare.hpp"
+#include "stats/confidence.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/outliers.hpp"
+#include "stats/summarize.hpp"
+
+using namespace sci;
+
+int main() {
+  std::printf("=== How to fool the masses (and how the rules stop you) ===\n\n");
+
+  // The honest data: the same reduce benchmark on two configurations.
+  const auto machine = sim::make_daint();
+  const auto ours = simmpi::reduce_bench(machine, 32, 300, 1).max_across_ranks();
+  const auto theirs = simmpi::reduce_bench(machine, 32, 300, 2).max_across_ranks();
+  auto us = [](const std::vector<double>& v) {
+    std::vector<double> out;
+    for (double x : v) out.push_back(x * 1e6);
+    return out;
+  };
+  const auto ours_us = us(ours);
+  const auto theirs_us = us(theirs);
+
+  // --- Fool #1: quote your best run against their typical run ----------
+  const double fool1 =
+      stats::median(theirs_us) / stats::min_value(ours_us);
+  std::printf("fool #1 (best-vs-typical): \"we are %.2fx faster\"\n", fool1);
+  const auto ci_ours = stats::median_confidence_interval(ours_us, 0.95);
+  const auto ci_theirs = stats::median_confidence_interval(theirs_us, 0.95);
+  std::printf("  honest (Rule 5/7): medians %.2f vs %.2f us; 95%% CIs "
+              "[%.2f, %.2f] vs [%.2f, %.2f] %s\n\n",
+              stats::median(ours_us), stats::median(theirs_us), ci_ours.lower,
+              ci_ours.upper, ci_theirs.lower, ci_theirs.upper,
+              ci_ours.overlaps(ci_theirs) ? "OVERLAP: no claimable difference"
+                                          : "(distinct)");
+
+  // --- Fool #2: average the rates --------------------------------------
+  // Identical work per run; slow runs hide inside the arithmetic mean.
+  std::vector<double> rates;
+  for (double t : ours) rates.push_back(1000.0 / t);  // "ops/s"
+  std::printf("fool #2 (mean of rates): \"%.0f ops/s on average\"\n",
+              stats::arithmetic_mean(rates));
+  const auto rate = stats::summarize(stats::Rate{rates, "ops/s"});
+  std::printf("  honest (Rule 3): %s = %.0f ops/s\n\n", rate.method, rate.value);
+
+  // --- Fool #3: report speedup without the base case -------------------
+  const auto t1 = simmpi::pi_scaling_run(machine, 1, 200e-3, 0.05, 3, 3);
+  const auto t32 = simmpi::pi_scaling_run(machine, 32, 200e-3, 0.05, 3, 3);
+  const double speedup = stats::median(t1) / stats::median(t32);
+  std::printf("fool #3 (naked speedup): \"%.1fx speedup on 32 processes!\"\n", speedup);
+  std::printf("  honest (Rule 1): base case = parallel code on one process,\n");
+  std::printf("  %.0f ms absolute; Amdahl (b=0.05) caps speedup at %.1fx, so\n",
+              stats::median(t1) * 1e3, 1.0 / 0.05);
+  std::printf("  %.1fx is %.0f%% of the achievable maximum, not of 32.\n\n", speedup,
+              100.0 * speedup / (1.0 / (0.05 + 0.95 / 32.0)));
+
+  // --- Fool #4: drop the slow measurements ------------------------------
+  auto trimmed = ours_us;
+  std::sort(trimmed.begin(), trimmed.end());
+  trimmed.resize(trimmed.size() * 9 / 10);  // silently discard the top 10%
+  std::printf("fool #4 (silent trimming): mean %.2f us after dropping the "
+              "\"outliers\"\n", stats::arithmetic_mean(trimmed));
+  const auto removed = stats::remove_outliers_tukey(ours_us);
+  std::printf("  honest (Sec. 3.1.3): Tukey fences remove %zu of %zu points "
+              "(reported!), mean %.2f us; better: median %.2f us needs no "
+              "removal at all\n\n",
+              removed.removed(), ours_us.size(),
+              stats::arithmetic_mean(removed.kept), stats::median(ours_us));
+
+  // --- Fool #5: powers of two only -------------------------------------
+  const auto p32 = simmpi::reduce_bench(machine, 32, 200, 5).max_across_ranks();
+  const auto p33 = simmpi::reduce_bench(machine, 33, 200, 5).max_across_ranks();
+  std::printf("fool #5 (cherry-picked levels): \"reduce takes %.1f us at p=32\"\n",
+              stats::median(us(p32)));
+  std::printf("  honest (Rule 2/9): at p=33 it takes %.1f us (+%.0f%%); report\n",
+              stats::median(us(p33)),
+              100.0 * (stats::median(p33) / stats::median(p32) - 1.0));
+  std::printf("  non-power-of-two levels or state why only 2^k was measured.\n\n");
+
+  std::printf("every one of these is caught by a rule in the twelve-rule audit\n");
+  std::printf("(see examples/rules_audit and core/report.hpp).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// A strong-scaling study done right: measured medians with CIs at every
+// process count, Rule 1-conforming speedups, and the three bound models
+// of Section 5.1 to put the measurements into perspective.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/dataset.hpp"
+#include "core/plots.hpp"
+#include "core/report.hpp"
+#include "sim/machine.hpp"
+#include "simmpi/benchmarks.hpp"
+#include "stats/confidence.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace sci;
+
+int main() {
+  const double base_s = 50e-3;
+  const double serial_fraction = 0.02;
+  const auto machine = sim::make_daint();
+  const std::vector<int> counts = {1, 2, 4, 8, 16, 32, 64};
+  constexpr std::size_t kReps = 20;
+
+  core::Experiment e;
+  e.name = "scaling_study";
+  e.description = "strong scaling of a compute+reduce kernel on daint-sim";
+  e.set("machine", "simulated Cray XC30 (dragonfly, LogGP + noise models)")
+      .set("kernel", "embarrassingly parallel work + final binomial reduce")
+      .set("repetitions", std::to_string(kReps) + " per process count");
+  e.add_factor("processes", {"1", "2", "4", "8", "16", "32", "64"});
+  e.scaling = core::ScalingMode::kStrong;
+  e.synchronization_method = "job start (single launch per repetition)";
+  e.summary_across_processes = "max (completion of the slowest rank)";
+
+  const core::ScalingBounds bounds(base_s, serial_fraction,
+                                   core::daint_reduction_overhead);
+  core::Dataset ds(e, {"p", "median_s", "ci_lo", "ci_hi", "speedup", "amdahl_bound"});
+
+  core::SpeedupReport speedup;
+  speedup.base_case = core::BaseCase::kSingleParallelProcess;
+  speedup.base_unit = "s";
+
+  std::printf("%4s %12s %24s %9s %12s\n", "p", "median [ms]", "95% CI [ms]", "speedup",
+              "amdahl-max");
+  double base_measured = base_s;
+  core::XYSeries measured{"measured", 'o', {}, {}};
+  core::XYSeries amdahl{"amdahl bound", '-', {}, {}};
+  for (int p : counts) {
+    const auto times =
+        simmpi::pi_scaling_run(machine, p, base_s, serial_fraction, kReps, 900 + p);
+    const double med = stats::median(times);
+    const auto ci = stats::median_confidence_interval(times, 0.95);
+    if (p == 1) base_measured = med;
+    const double sp = base_measured / med;
+    std::printf("%4d %12.3f      [%8.3f, %8.3f] %9.2f %12.2f\n", p, med * 1e3,
+                ci.lower * 1e3, ci.upper * 1e3, sp, bounds.speedup_amdahl(p));
+    ds.add_row({static_cast<double>(p), med, ci.lower, ci.upper, sp,
+                bounds.speedup_amdahl(p)});
+    speedup.processes.push_back(p);
+    speedup.speedups.push_back(sp);
+    measured.x.push_back(p);
+    measured.y.push_back(sp);
+    amdahl.x.push_back(p);
+    amdahl.y.push_back(bounds.speedup_amdahl(p));
+  }
+  speedup.base_absolute = base_measured;
+
+  core::ReportBuilder report(e);
+  report.declare_units_convention();
+  report.add_speedup(speedup);
+  report.add_bound("speedup", "ideal linear", static_cast<double>(counts.back()));
+  report.add_bound("speedup", "Amdahl limit (1/b)", 1.0 / serial_fraction);
+  core::PlotOptions opts;
+  opts.title = "speedup vs processes";
+  opts.x_label = "processes";
+  opts.height = 12;
+  report.add_plot(
+      core::render_xy(std::vector<core::XYSeries>{measured, amdahl}, opts));
+  std::printf("\n%s", report.render().c_str());
+  std::fputs(core::ReportBuilder::render_audit(report.audit()).c_str(), stdout);
+
+  ds.save_csv("scaling_study.csv");
+  std::printf("\ndataset written to scaling_study.csv\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "core/adaptive.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/confidence.hpp"
+#include "stats/descriptive.hpp"
+
+namespace sci::core {
+namespace {
+
+bool mean_ci_converged(std::span<const double> xs, double relative_error,
+                       double confidence) {
+  if (xs.size() < 2) return false;
+  const auto ci = stats::mean_confidence_interval(xs, confidence);
+  const double mean = stats::arithmetic_mean(xs);
+  if (mean == 0.0) return ci.width() == 0.0;
+  return ci.lower >= mean - std::fabs(mean) * relative_error &&
+         ci.upper <= mean + std::fabs(mean) * relative_error;
+}
+
+}  // namespace
+
+AdaptiveResult measure_adaptive(const std::function<double()>& measure,
+                                const AdaptiveOptions& options) {
+  if (!measure) throw std::invalid_argument("measure_adaptive: null measurement function");
+  if (options.relative_error <= 0.0)
+    throw std::domain_error("measure_adaptive: relative_error > 0");
+  if (options.max_samples < options.min_samples)
+    throw std::invalid_argument("measure_adaptive: max_samples >= min_samples");
+
+  AdaptiveResult result;
+  result.warmup_discarded = options.warmup;
+  for (std::size_t i = 0; i < options.warmup; ++i) (void)measure();
+
+  result.samples.reserve(options.min_samples);
+  const std::size_t cadence = std::max<std::size_t>(options.check_every, 1);
+  while (result.samples.size() < options.max_samples) {
+    result.samples.push_back(measure());
+    const std::size_t n = result.samples.size();
+    if (n < options.min_samples || n % cadence != 0) continue;
+
+    const bool ok =
+        options.use_mean
+            ? mean_ci_converged(result.samples, options.relative_error, options.confidence)
+            : stats::quantile_ci_converged(result.samples, options.quantile,
+                                           options.relative_error, options.confidence);
+    if (ok) {
+      result.converged = true;
+      result.stop_reason = "converged";
+      return result;
+    }
+  }
+  result.stop_reason = "max_samples";
+  return result;
+}
+
+}  // namespace sci::core

@@ -1,0 +1,41 @@
+// Adaptive sampling (Section 4.2.2 "Number of Measurements"): keep
+// measuring until the confidence interval of the chosen statistic is
+// within a requested fraction of its center, bounded by a sample budget.
+// Implements both the parametric plan (recompute the required n from
+// the running mean/stddev) and the nonparametric sequential stop
+// (recompute the rank CI every `check_every` samples).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sci::core {
+
+struct AdaptiveOptions {
+  double confidence = 0.95;
+  double relative_error = 0.05;  ///< CI must lie within +-e of the center
+  std::size_t min_samples = 10;  ///< nonparametric CIs need n > 5
+  std::size_t max_samples = 10000;
+  std::size_t warmup = 1;        ///< discarded leading measurements (Sec. 4.1.2)
+  std::size_t check_every = 5;   ///< k: CI recomputation cadence
+  /// Target statistic: 0.5 = median (default, robust); any quantile in
+  /// (0,1) works. Set `use_mean` instead for mean-based stopping.
+  double quantile = 0.5;
+  bool use_mean = false;
+};
+
+struct AdaptiveResult {
+  std::vector<double> samples;   ///< post-warmup measurements
+  bool converged = false;        ///< CI criterion met within the budget
+  std::size_t warmup_discarded = 0;
+  std::string stop_reason;       ///< "converged" | "max_samples"
+};
+
+/// Repeatedly invokes `measure` (one measurement per call) until the CI
+/// criterion is met or `max_samples` is reached.
+[[nodiscard]] AdaptiveResult measure_adaptive(const std::function<double()>& measure,
+                                              const AdaptiveOptions& options = {});
+
+}  // namespace sci::core

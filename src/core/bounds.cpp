@@ -1,0 +1,100 @@
+#include "core/bounds.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sci::core {
+
+ScalingBounds::ScalingBounds(double base_seconds, double serial_fraction,
+                             std::function<double(int)> parallel_overhead)
+    : base_s_(base_seconds),
+      serial_fraction_(serial_fraction),
+      overhead_(std::move(parallel_overhead)) {
+  if (base_seconds <= 0.0) throw std::domain_error("ScalingBounds: base_seconds > 0");
+  if (serial_fraction < 0.0 || serial_fraction > 1.0)
+    throw std::domain_error("ScalingBounds: serial_fraction in [0,1]");
+}
+
+double ScalingBounds::time_ideal(int p) const {
+  if (p < 1) throw std::domain_error("ScalingBounds: p >= 1");
+  return base_s_ / static_cast<double>(p);
+}
+
+double ScalingBounds::time_amdahl(int p) const {
+  if (p < 1) throw std::domain_error("ScalingBounds: p >= 1");
+  return base_s_ * (serial_fraction_ + (1.0 - serial_fraction_) / static_cast<double>(p));
+}
+
+double ScalingBounds::time_with_overheads(int p) const {
+  return time_amdahl(p) + (overhead_ ? overhead_(p) : 0.0);
+}
+
+double ScalingBounds::speedup_ideal(int p) const { return base_s_ / time_ideal(p); }
+double ScalingBounds::speedup_amdahl(int p) const { return base_s_ / time_amdahl(p); }
+double ScalingBounds::speedup_with_overheads(int p) const {
+  return base_s_ / time_with_overheads(p);
+}
+
+double daint_reduction_overhead(int p) {
+  if (p < 1) throw std::domain_error("daint_reduction_overhead: p >= 1");
+  if (p <= 8) return 10e-9;
+  if (p <= 16) return 0.1e-3 * std::log2(static_cast<double>(p));
+  return 0.17e-3 * std::log2(static_cast<double>(p));
+}
+
+MachineModel::MachineModel(std::vector<Feature> features) : features_(std::move(features)) {
+  if (features_.empty()) throw std::invalid_argument("MachineModel: at least one feature");
+  for (const auto& f : features_) {
+    if (f.peak <= 0.0) throw std::domain_error("MachineModel: peaks must be positive");
+  }
+}
+
+std::vector<double> MachineModel::fraction_of_peak(
+    const std::vector<double>& achieved) const {
+  if (achieved.size() != features_.size())
+    throw std::invalid_argument("MachineModel: feature arity mismatch");
+  std::vector<double> out(achieved.size());
+  for (std::size_t i = 0; i < achieved.size(); ++i) out[i] = achieved[i] / features_[i].peak;
+  return out;
+}
+
+std::size_t MachineModel::bottleneck(const std::vector<double>& achieved) const {
+  const auto fractions = fraction_of_peak(achieved);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < fractions.size(); ++i) {
+    if (fractions[i] > fractions[best]) best = i;
+  }
+  return best;
+}
+
+bool MachineModel::near_peak(const std::vector<double>& achieved, double tolerance) const {
+  const auto fractions = fraction_of_peak(achieved);
+  return fractions[bottleneck(achieved)] >= 1.0 - tolerance;
+}
+
+double roofline_attainable(double peak_flops, double peak_bw, double intensity) {
+  if (peak_flops <= 0.0 || peak_bw <= 0.0 || intensity <= 0.0)
+    throw std::domain_error("roofline_attainable: positive arguments required");
+  return std::min(peak_flops, peak_bw * intensity);
+}
+
+const char* to_string(BaseCase b) noexcept {
+  switch (b) {
+    case BaseCase::kBestSerial: return "best serial implementation";
+    case BaseCase::kSingleParallelProcess: return "parallel code on one process";
+  }
+  return "unknown";
+}
+
+std::string SpeedupReport::to_string() const {
+  std::ostringstream os;
+  os << "speedup vs " << core::to_string(base_case) << " (base: " << base_absolute << ' '
+     << base_unit << ")\n";
+  for (std::size_t i = 0; i < processes.size() && i < speedups.size(); ++i) {
+    os << "  p=" << processes[i] << "  S=" << speedups[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sci::core

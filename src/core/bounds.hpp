@@ -1,0 +1,102 @@
+// Simple bounds modeling (Section 5.1, Rule 11): put measurements into
+// perspective against analytic upper bounds.
+//
+//  - Scaling bounds: ideal linear speedup, Amdahl (serial fraction),
+//    and parallel-overhead bounds with a user-supplied overhead f(p) --
+//    exactly the three lines of the paper's Figure 7.
+//  - Machine capability model Gamma = (p_1..p_k): dimensionless
+//    percent-of-peak vectors, bottleneck identification, and the
+//    roofline special case (k = 2: flops and memory bandwidth).
+//  - SpeedupReport enforcing Rule 1 (base case kind + absolute base
+//    performance must be stated).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sci::core {
+
+/// Upper bounds on speedup / lower bounds on time for p processes.
+class ScalingBounds {
+ public:
+  /// `base_seconds`: measured one-process execution time.
+  /// `serial_fraction`: Amdahl's b in [0, 1].
+  /// `parallel_overhead(p)`: extra seconds at p processes (e.g. the
+  /// piecewise log model of Figure 7); may be null for none.
+  ScalingBounds(double base_seconds, double serial_fraction,
+                std::function<double(int)> parallel_overhead = nullptr);
+
+  /// Lower bound on execution time at p processes, per model.
+  [[nodiscard]] double time_ideal(int p) const;
+  [[nodiscard]] double time_amdahl(int p) const;
+  [[nodiscard]] double time_with_overheads(int p) const;
+
+  /// Matching speedup upper bounds (base_seconds / time bound).
+  [[nodiscard]] double speedup_ideal(int p) const;
+  [[nodiscard]] double speedup_amdahl(int p) const;
+  [[nodiscard]] double speedup_with_overheads(int p) const;
+
+ private:
+  double base_s_;
+  double serial_fraction_;
+  std::function<double(int)> overhead_;
+};
+
+/// The paper's empirical reduction-overhead model for Piz Daint
+/// (Figure 7): f(p<=8) = 10 ns, f(8<p<=16) = 0.1 ms * log2 p,
+/// f(p>16) = 0.17 ms * log2 p.
+[[nodiscard]] double daint_reduction_overhead(int p);
+
+/// One machine feature: a named peak rate (Section 5.1's p_i).
+struct Feature {
+  std::string name;   ///< e.g. "flops", "membw"
+  double peak = 0.0;  ///< achievable upper bound in the feature's unit
+};
+
+/// Machine capability vector Gamma and application requirement vectors.
+class MachineModel {
+ public:
+  explicit MachineModel(std::vector<Feature> features);
+
+  /// Dimensionless performance vector P = (r_i / p_i); `achieved` must
+  /// match the feature count and order.
+  [[nodiscard]] std::vector<double> fraction_of_peak(
+      const std::vector<double>& achieved) const;
+
+  /// Index of the feature with the highest utilization -- the likely
+  /// bottleneck (Section 5.1).
+  [[nodiscard]] std::size_t bottleneck(const std::vector<double>& achieved) const;
+
+  /// Optimality argument support: true when the bottleneck feature runs
+  /// within `tolerance` of its peak (condition (1) of Section 5.1).
+  [[nodiscard]] bool near_peak(const std::vector<double>& achieved,
+                               double tolerance = 0.1) const;
+
+  [[nodiscard]] const std::vector<Feature>& features() const noexcept { return features_; }
+
+ private:
+  std::vector<Feature> features_;
+};
+
+/// Roofline model (k = 2 special case): attainable flop/s at a given
+/// arithmetic intensity (flop per byte).
+[[nodiscard]] double roofline_attainable(double peak_flops, double peak_bw,
+                                         double intensity);
+
+/// Rule 1: speedup may only be reported with its base case spelled out.
+enum class BaseCase { kBestSerial, kSingleParallelProcess };
+[[nodiscard]] const char* to_string(BaseCase b) noexcept;
+
+struct SpeedupReport {
+  BaseCase base_case;
+  double base_absolute;      ///< absolute base performance (required!)
+  std::string base_unit;     ///< e.g. "s" or "flop/s"
+  std::vector<int> processes;
+  std::vector<double> speedups;
+
+  /// Renders "speedup S at p processes vs <base case> (base: X unit)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace sci::core

@@ -1,0 +1,96 @@
+#include "core/dataset.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace sci::core {
+
+Dataset::Dataset(Experiment experiment, std::vector<std::string> columns)
+    : experiment_(std::move(experiment)), columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Dataset: at least one column");
+}
+
+void Dataset::add_row(const std::vector<double>& row) {
+  if (row.size() != columns_.size())
+    throw std::invalid_argument("Dataset::add_row: arity mismatch");
+  data_.push_back(row);
+}
+
+std::vector<double> Dataset::column(const std::string& name) const {
+  std::size_t idx = columns_.size();
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == columns_.size())
+    throw std::out_of_range("Dataset::column: no column '" + name + "'");
+  std::vector<double> out;
+  out.reserve(data_.size());
+  for (const auto& row : data_) out.push_back(row[idx]);
+  return out;
+}
+
+void Dataset::write_csv(std::ostream& os) const {
+  std::istringstream header(experiment_.to_header());
+  std::string line;
+  while (std::getline(header, line)) os << "# " << line << '\n';
+
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << columns_[i] << (i + 1 < columns_.size() ? "," : "\n");
+  }
+  os << std::setprecision(17);
+  for (const auto& row : data_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i] << (i + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+void Dataset::save_csv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("Dataset::save_csv: cannot open " + path);
+  write_csv(os);
+}
+
+Dataset Dataset::load_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("Dataset::load_csv: cannot open " + path);
+
+  Experiment exp;
+  std::string line;
+  std::vector<std::string> cols;
+  // Header comments are provenance for humans/R; keep the raw text in
+  // the description so round-trips do not silently drop it.
+  std::string header_text;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      header_text += line.substr(line.size() > 1 && line[1] == ' ' ? 2 : 1) + "\n";
+      continue;
+    }
+    // First non-comment line: column names.
+    std::istringstream ls(line);
+    std::string cell;
+    while (std::getline(ls, cell, ',')) cols.push_back(cell);
+    break;
+  }
+  exp.name = "loaded:" + path;
+  exp.description = header_text;
+
+  Dataset ds(std::move(exp), std::move(cols));
+  while (std::getline(is, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream ls(line);
+    std::string cell;
+    std::vector<double> row;
+    while (std::getline(ls, cell, ',')) row.push_back(std::stod(cell));
+    ds.add_row(row);
+  }
+  return ds;
+}
+
+}  // namespace sci::core

@@ -1,0 +1,47 @@
+// Tabular dataset with documented provenance.
+//
+// LibSciBench's "low-overhead data collection mechanism produces
+// datasets that can be read directly with established statistical tools
+// such as GNU R" -- this is that layer: append rows during measurement,
+// write an R/pandas-readable CSV whose '#' header embeds the full
+// Experiment description (Rule 9), so a data file never gets separated
+// from its setup documentation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace sci::core {
+
+class Dataset {
+ public:
+  Dataset(Experiment experiment, std::vector<std::string> columns);
+
+  /// Appends one observation; size must match the column count.
+  void add_row(const std::vector<double>& row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return data_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept { return columns_; }
+  [[nodiscard]] const Experiment& experiment() const noexcept { return experiment_; }
+  [[nodiscard]] const std::vector<double>& row(std::size_t i) const { return data_.at(i); }
+
+  /// One column as a series.
+  [[nodiscard]] std::vector<double> column(const std::string& name) const;
+
+  /// CSV with '#'-prefixed experiment header. R: read.csv(f, comment.char="#").
+  void write_csv(std::ostream& os) const;
+  void save_csv(const std::string& path) const;
+
+  /// Parses a CSV produced by write_csv (header comments are skipped).
+  [[nodiscard]] static Dataset load_csv(const std::string& path);
+
+ private:
+  Experiment experiment_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> data_;
+};
+
+}  // namespace sci::core

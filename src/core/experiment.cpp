@@ -1,0 +1,63 @@
+#include "core/experiment.hpp"
+
+#include <sstream>
+
+namespace sci::core {
+
+const char* to_string(ScalingMode m) noexcept {
+  switch (m) {
+    case ScalingMode::kNotApplicable: return "n/a";
+    case ScalingMode::kStrong: return "strong";
+    case ScalingMode::kWeak: return "weak";
+  }
+  return "unknown";
+}
+
+std::string Experiment::to_header() const {
+  std::ostringstream os;
+  os << "experiment: " << name << '\n';
+  if (!description.empty()) os << "description: " << description << '\n';
+  for (const auto& [key, value] : environment) os << "env." << key << ": " << value << '\n';
+  for (const auto& factor : factors) {
+    os << "factor." << factor.name << ":";
+    for (const auto& level : factor.levels) os << ' ' << level;
+    os << '\n';
+  }
+  if (scaling != ScalingMode::kNotApplicable) {
+    os << "scaling: " << to_string(scaling);
+    if (scaling == ScalingMode::kWeak && !weak_scaling_function.empty()) {
+      os << " (" << weak_scaling_function << ")";
+    }
+    os << '\n';
+  }
+  if (uses_subset) {
+    os << "subset: " << (subset_reason.empty() ? "(no reason given!)" : subset_reason) << '\n';
+  }
+  if (!synchronization_method.empty()) os << "sync: " << synchronization_method << '\n';
+  if (!summary_across_processes.empty())
+    os << "process-summary: " << summary_across_processes << '\n';
+  return os.str();
+}
+
+std::vector<std::string> Experiment::audit() const {
+  std::vector<std::string> issues;
+  if (name.empty()) issues.push_back("experiment has no name");
+  if (environment.empty()) {
+    issues.push_back(
+        "Rule 9: no environment documented (hardware, software, configuration)");
+  }
+  for (const auto& factor : factors) {
+    if (factor.levels.empty())
+      issues.push_back("Rule 9: factor '" + factor.name + "' lists no levels");
+  }
+  if (uses_subset && subset_reason.empty()) {
+    issues.push_back(
+        "Rule 2: experiment uses a subset of benchmarks/resources without a reason");
+  }
+  if (scaling == ScalingMode::kWeak && weak_scaling_function.empty()) {
+    issues.push_back("Section 4.2: weak scaling requires the scaling function");
+  }
+  return issues;
+}
+
+}  // namespace sci::core

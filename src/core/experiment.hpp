@@ -1,0 +1,73 @@
+// Experiment description (Rule 9: "Document all varying factors and
+// their levels as well as the complete experimental setup").
+//
+// An Experiment is the unit of documentation: it names the factors that
+// vary, the levels of each, and the fixed environment. Every dataset
+// and report carries its Experiment, and the CSV exporter writes it into
+// the file header so data files are interpretable on their own.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sci::core {
+
+/// A varying factor and the levels at which it is measured
+/// (Section 4.2: "researchers need to determine the levels of each
+/// factor", e.g. process counts for a scalability study).
+struct Factor {
+  std::string name;                 ///< e.g. "processes"
+  std::vector<std::string> levels;  ///< e.g. {"2", "4", "8", ...}
+};
+
+/// Scaling regime of the experiment; papers "should always indicate if
+/// experiments are using strong or weak scaling" (Section 4.2).
+enum class ScalingMode { kNotApplicable, kStrong, kWeak };
+[[nodiscard]] const char* to_string(ScalingMode m) noexcept;
+
+struct Experiment {
+  std::string name;
+  std::string description;
+
+  /// Fixed environment: hardware, software versions, compiler flags,
+  /// allocation policy... (the nine documentation classes of Table 1).
+  std::map<std::string, std::string> environment;
+
+  std::vector<Factor> factors;
+
+  ScalingMode scaling = ScalingMode::kNotApplicable;
+  /// For weak scaling: how the input grows with processes (Section 4.2).
+  std::string weak_scaling_function;
+
+  /// Rule 2: when only a subset of a benchmark/application/machine is
+  /// used, the reason must be stated; reports flag subsets without one.
+  std::string subset_reason;
+  bool uses_subset = false;
+
+  /// Rule 10 bookkeeping for parallel time measurements. The audit only
+  /// applies Rule 10 when `parallel_measurement` is set (setting either
+  /// method string implies it).
+  bool parallel_measurement = false;
+  std::string synchronization_method;  ///< e.g. "window", "barrier", "none"
+  std::string summary_across_processes;  ///< e.g. "max", "median"
+
+  Experiment& set(const std::string& key, const std::string& value) {
+    environment[key] = value;
+    return *this;
+  }
+  Experiment& add_factor(std::string factor_name, std::vector<std::string> levels) {
+    factors.push_back({std::move(factor_name), std::move(levels)});
+    return *this;
+  }
+
+  /// Multi-line human-readable header, used verbatim in reports and as
+  /// '#'-prefixed comments in CSV exports.
+  [[nodiscard]] std::string to_header() const;
+
+  /// Issues found by the documentation audit (missing factor levels,
+  /// undeclared subset reason, missing sync method, ...). Empty = clean.
+  [[nodiscard]] std::vector<std::string> audit() const;
+};
+
+}  // namespace sci::core

@@ -1,0 +1,91 @@
+#include "core/measurement.hpp"
+
+#include "stats/independence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sci::core {
+
+MeasurementSummary summarize_series(std::span<const double> xs,
+                                    const SummaryOptions& options) {
+  if (xs.empty()) throw std::invalid_argument("summarize_series: empty series");
+
+  MeasurementSummary s;
+  s.n = xs.size();
+  const auto sorted = stats::sorted_copy(xs);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = stats::arithmetic_mean(xs);
+  s.median = stats::quantile_sorted(sorted, 0.5);
+  s.q1 = stats::quantile_sorted(sorted, 0.25);
+  s.q3 = stats::quantile_sorted(sorted, 0.75);
+  s.p95 = stats::quantile_sorted(sorted, 0.95);
+  s.p99 = stats::quantile_sorted(sorted, 0.99);
+  s.stddev = stats::sample_stddev(xs);
+  s.cov = (s.mean != 0.0) ? s.stddev / s.mean : 0.0;
+
+  // Rule 5: report whether the measurement is deterministic.
+  const double tol = options.deterministic_rtol * std::fabs(s.median);
+  s.deterministic = (s.max - s.min) <= tol;
+  if (s.deterministic) {
+    s.representative = s.median;
+    s.representative_kind = "deterministic value";
+    return s;
+  }
+
+  // Rule 6: diagnostic normality check, never assumed. Shapiro-Wilk is
+  // capped at n = 5000; thin evenly beyond that (the paper notes the
+  // test itself misleads at large n).
+  if (s.n >= 3) {
+    std::vector<double> test_data;
+    if (s.n > 5000) {
+      test_data.reserve(5000);
+      const std::size_t stride = s.n / 5000 + 1;
+      for (std::size_t i = 0; i < s.n; i += stride) test_data.push_back(xs[i]);
+    } else {
+      test_data.assign(xs.begin(), xs.end());
+    }
+    // A constant subsample can slip through the deterministic check.
+    if (test_data.front() != test_data.back() ||
+        *std::max_element(test_data.begin(), test_data.end()) !=
+            *std::min_element(test_data.begin(), test_data.end())) {
+      s.normality = stats::shapiro_wilk(test_data);
+      s.normal_plausible = !s.normality->reject(options.normality_alpha);
+    }
+  }
+
+  // Independence diagnostic on the leading samples in measurement order
+  // (order matters for autocorrelation; do not sort or thin by stride).
+  if (s.n >= 30) {
+    const std::size_t m = std::min<std::size_t>(s.n, 5000);
+    s.iid_check = stats::ljung_box(xs.first(m), 10);
+    s.effective_n = stats::effective_sample_size(xs.first(m));
+    // Scale up proportionally when we only inspected a prefix.
+    s.effective_n *= static_cast<double>(s.n) / static_cast<double>(m);
+    s.iid_plausible = !s.iid_check->reject(options.normality_alpha);
+  } else {
+    s.effective_n = static_cast<double>(s.n);
+  }
+
+  if (s.normal_plausible && s.n >= 2) {
+    s.mean_ci = stats::mean_confidence_interval(xs, options.confidence);
+  }
+  if (s.n > 5) {
+    s.median_ci = stats::median_confidence_interval(xs, options.confidence);
+  }
+
+  // Right-skewed nondeterministic data: lead with the median (robust);
+  // plausibly normal data: the mean is meaningful and more familiar.
+  if (s.normal_plausible) {
+    s.representative = s.mean;
+    s.representative_kind = "mean";
+  } else {
+    s.representative = s.median;
+    s.representative_kind = "median";
+  }
+  return s;
+}
+
+}  // namespace sci::core

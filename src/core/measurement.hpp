@@ -1,0 +1,81 @@
+// Measurement series and their rule-conforming summaries.
+//
+// summarize_series() is the heart of the library's data analysis: it
+// applies Rules 5-6 mechanically --
+//   1. detect deterministic series (no variation -> algebraic summary);
+//   2. diagnostic normality check (Shapiro-Wilk on <= 5000 samples,
+//      never assumed from sample count alone);
+//   3. parametric CI of the mean only when normality is plausible;
+//      rank-based CI of the median always (distribution-free);
+//   4. everything needed for Rule 12 plots (quartiles, whiskers, KDE
+//      inputs are all derivable from the raw series, which is kept).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/normality.hpp"
+
+namespace sci::core {
+
+struct SummaryOptions {
+  double confidence = 0.95;
+  double normality_alpha = 0.05;
+  /// Equality tolerance for the deterministic check, relative to |median|.
+  double deterministic_rtol = 0.0;
+};
+
+struct MeasurementSummary {
+  std::size_t n = 0;
+  bool deterministic = false;
+
+  double mean = 0.0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+  double cov = 0.0;  ///< coefficient of variation (0 when mean == 0)
+  double q1 = 0.0;
+  double q3 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  /// Shapiro-Wilk on the (possibly thinned) series; absent when n < 3 or
+  /// the series is deterministic.
+  std::optional<stats::TestResult> normality;
+  bool normal_plausible = false;
+
+  /// Independence diagnostic (Ljung-Box on the first <= 5000 samples in
+  /// measurement order) and the resulting effective sample size; CIs are
+  /// overconfident when effective_n << n (Section 3.1: both CI flavors
+  /// require iid samples).
+  std::optional<stats::TestResult> iid_check;
+  double effective_n = 0.0;
+  bool iid_plausible = true;
+
+  /// t-based CI of the mean; only meaningful when normal_plausible.
+  std::optional<stats::Interval> mean_ci;
+  /// Rank-based CI of the median (needs n > 5); distribution-free.
+  std::optional<stats::Interval> median_ci;
+
+  /// The value a report should lead with, and why.
+  double representative = 0.0;
+  std::string representative_kind;  ///< "deterministic value"|"median"|"mean"
+};
+
+/// Applies the Rule 5/6 decision procedure described above.
+[[nodiscard]] MeasurementSummary summarize_series(std::span<const double> xs,
+                                                  const SummaryOptions& options = {});
+
+/// A named series with unit, the raw-data currency of the library.
+struct Series {
+  std::string name;
+  std::string unit;  ///< Rule "report units unambiguously": "s", "flop/s", "B"...
+  std::vector<double> values;
+};
+
+}  // namespace sci::core

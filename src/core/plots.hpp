@@ -1,0 +1,57 @@
+// Terminal plot renderers (Rule 12: "Plot as much information as needed
+// to interpret the experimental results"). These are the text-mode
+// equivalents of the paper's figures: density curves (Figs. 1-3), box
+// and violin plots (Figs. 6, 7c), Q-Q panels (Fig. 2), and annotated
+// line charts with bound curves (Figs. 5, 7a/b). Bench binaries print
+// them so results are interpretable straight from a terminal; the same
+// raw data is exported as CSV for journal-grade graphics.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace sci::core {
+
+struct PlotOptions {
+  std::size_t width = 72;   ///< interior columns
+  std::size_t height = 12;  ///< interior rows (where applicable)
+  std::string title;
+  std::string x_label;
+};
+
+/// Kernel-density curve of a sample, annotated with median/mean markers.
+[[nodiscard]] std::string render_density(std::span<const double> xs,
+                                         const PlotOptions& options = {});
+
+/// Horizontal box plot with 1.5 IQR whiskers; one row per named series.
+struct NamedSeries {
+  std::string name;
+  std::vector<double> values;
+};
+[[nodiscard]] std::string render_box(std::span<const NamedSeries> series,
+                                     const PlotOptions& options = {});
+
+/// Violin (mirrored density) plus inner quartile box, one per series.
+[[nodiscard]] std::string render_violin(std::span<const NamedSeries> series,
+                                        const PlotOptions& options = {});
+
+/// Normal Q-Q panel; a straight diagonal indicates normality.
+[[nodiscard]] std::string render_qq(std::span<const double> xs,
+                                    const PlotOptions& options = {});
+
+/// Multi-series scatter/line chart on shared axes; series are drawn in
+/// order with distinct glyphs. X positions need not be uniform.
+struct XYSeries {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+[[nodiscard]] std::string render_xy(std::span<const XYSeries> series,
+                                    const PlotOptions& options = {},
+                                    bool log_y = false);
+
+}  // namespace sci::core

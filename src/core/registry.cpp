@@ -1,0 +1,68 @@
+#include "core/registry.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "core/dataset.hpp"
+#include "core/report.hpp"
+
+namespace sci::core {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(RegisteredBenchmark benchmark) {
+  if (benchmark.name.empty()) throw std::invalid_argument("Registry: empty name");
+  if (!benchmark.measure) throw std::invalid_argument("Registry: null measurement");
+  for (const auto& b : benchmarks_) {
+    if (b.name == benchmark.name) {
+      throw std::invalid_argument("Registry: duplicate benchmark '" + benchmark.name +
+                                  "'");
+    }
+  }
+  if (benchmark.experiment.name.empty()) benchmark.experiment.name = benchmark.name;
+  benchmarks_.push_back(std::move(benchmark));
+}
+
+void Registry::add(std::string name, std::function<double()> measure) {
+  RegisteredBenchmark b;
+  b.name = std::move(name);
+  b.measure = std::move(measure);
+  add(std::move(b));
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(benchmarks_.size());
+  for (const auto& b : benchmarks_) out.push_back(b.name);
+  return out;
+}
+
+std::size_t Registry::run_all(std::ostream& os, const RunnerOptions& options) {
+  std::size_t executed = 0;
+  for (auto& b : benchmarks_) {
+    if (!options.filter.empty() && b.name.find(options.filter) == std::string::npos) {
+      continue;
+    }
+    const auto result = measure_adaptive(b.measure, b.sampling);
+
+    ReportBuilder report(b.experiment);
+    report.add_series({b.name, b.unit, result.samples});
+    os << report.render();
+    os << "sampling: " << result.samples.size() << " samples, " << result.stop_reason
+       << " (warmup " << result.warmup_discarded << ")\n";
+    os << ReportBuilder::render_audit(report.audit()) << '\n';
+
+    if (options.write_csv) {
+      Dataset ds(b.experiment, {b.name + "_" + b.unit});
+      for (double v : result.samples) ds.add_row({v});
+      ds.save_csv(options.csv_directory + "/" + b.name + ".csv");
+    }
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace sci::core

@@ -1,0 +1,81 @@
+// Benchmark registry and runner: the "building block for a new
+// benchmark suite" role of LibSciBench (Section 6). Applications
+// register named measurements (statically via the SCIBENCH macro or
+// dynamically); the runner executes each with warmup + adaptive
+// sampling, prints a rule-conforming report, and can export the raw
+// samples as documented CSV.
+//
+//   static sci::core::Registration reg_sort{"std_sort", [] {
+//     ... return elapsed_ns; }};
+//   // or: SCIBENCH(std_sort) { ... return elapsed_ns; }
+//
+//   int main() { return sci::core::Registry::instance().run_all(std::cout); }
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/experiment.hpp"
+
+namespace sci::core {
+
+struct RegisteredBenchmark {
+  std::string name;
+  std::function<double()> measure;  ///< one measurement per call, any unit
+  std::string unit = "ns";
+  Experiment experiment;            ///< optional extra documentation
+  AdaptiveOptions sampling;         ///< per-benchmark sampling policy
+};
+
+struct RunnerOptions {
+  std::string filter;        ///< substring filter on names; empty = all
+  bool write_csv = false;    ///< dump <name>.csv next to the binary
+  std::string csv_directory = ".";
+};
+
+class Registry {
+ public:
+  /// The process-wide registry used by static registrations.
+  static Registry& instance();
+
+  /// Registers a benchmark; names must be unique.
+  void add(RegisteredBenchmark benchmark);
+
+  /// Convenience: name + measurement with default options.
+  void add(std::string name, std::function<double()> measure);
+
+  [[nodiscard]] std::size_t size() const noexcept { return benchmarks_.size(); }
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Runs every (filtered) benchmark; renders one report per benchmark
+  /// to `os`. Returns the number executed.
+  std::size_t run_all(std::ostream& os, const RunnerOptions& options = {});
+
+  /// Removes all registrations (tests).
+  void clear() noexcept { benchmarks_.clear(); }
+
+ private:
+  std::vector<RegisteredBenchmark> benchmarks_;
+};
+
+/// Static registration helper.
+struct Registration {
+  Registration(std::string name, std::function<double()> measure) {
+    Registry::instance().add(std::move(name), std::move(measure));
+  }
+  Registration(RegisteredBenchmark benchmark) {
+    Registry::instance().add(std::move(benchmark));
+  }
+};
+
+/// SCIBENCH(name) { ...body returning double...  }
+#define SCIBENCH(name)                                              \
+  static double scibench_fn_##name();                               \
+  static ::sci::core::Registration scibench_reg_##name{#name,       \
+                                                       &scibench_fn_##name}; \
+  static double scibench_fn_##name()
+
+}  // namespace sci::core

@@ -1,0 +1,94 @@
+// Report generation and the twelve-rule audit.
+//
+// ReportBuilder assembles an interpretable experiment report: the
+// documented setup (Rule 9), per-series rule-conforming summaries with
+// CIs (Rules 5-8), speedup statements with their base case (Rule 1),
+// bound-model context (Rule 11), and plots (Rule 12). The audit()
+// method scores the report against the paper's twelve rules, giving
+// authors/reviewers the checklist the paper proposes program committees
+// adopt.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/experiment.hpp"
+#include "core/measurement.hpp"
+
+namespace sci::core {
+
+struct RuleCheck {
+  int rule = 0;             ///< 1..12
+  std::string name;
+  bool satisfied = false;
+  bool applicable = true;
+  std::string note;
+};
+
+class ReportBuilder {
+ public:
+  explicit ReportBuilder(Experiment experiment);
+
+  /// Adds a raw measurement series; it is summarized per Rules 5-6.
+  ReportBuilder& add_series(const Series& series);
+
+  /// Rule 1-conforming speedup statement.
+  ReportBuilder& add_speedup(const SpeedupReport& speedup);
+
+  /// Declares the units convention used (flop, flop/s, B, b; IEC
+  /// binary prefixes) -- the "report units unambiguously" practice.
+  ReportBuilder& declare_units_convention();
+
+  /// Rule 11: attach an upper-bound context line for a series.
+  ReportBuilder& add_bound(const std::string& series_name, const std::string& model,
+                           double bound_value);
+
+  /// Rule 12: attach a pre-rendered plot (from core/plots.hpp).
+  ReportBuilder& add_plot(std::string plot_text);
+
+  /// Rule 7: record a statistical comparison of two series by name
+  /// (computed by the caller with stats::compare tools).
+  ReportBuilder& add_comparison(const std::string& a, const std::string& b,
+                                const std::string& method, double p_value,
+                                double effect_size);
+
+  /// Full text report.
+  [[nodiscard]] std::string render() const;
+
+  /// The same report as GitHub-flavored Markdown (summary tables, rule
+  /// checklist as task list, plots in code fences) -- paste-ready for
+  /// READMEs, issues, and paper supplements.
+  [[nodiscard]] std::string render_markdown() const;
+
+  /// The twelve-rule checklist for this report.
+  [[nodiscard]] std::vector<RuleCheck> audit() const;
+
+  /// Render the checklist as text ([x] / [ ] / [-] not applicable).
+  [[nodiscard]] static std::string render_audit(const std::vector<RuleCheck>& checks);
+
+ private:
+  struct SummarizedSeries {
+    Series series;
+    MeasurementSummary summary;
+  };
+  struct Comparison {
+    std::string a, b, method;
+    double p_value, effect;
+  };
+  struct Bound {
+    std::string series_name, model;
+    double value;
+  };
+
+  Experiment experiment_;
+  std::vector<SummarizedSeries> series_;
+  std::vector<SpeedupReport> speedups_;
+  std::vector<Comparison> comparisons_;
+  std::vector<Bound> bounds_;
+  std::vector<std::string> plots_;
+  bool units_declared_ = false;
+};
+
+}  // namespace sci::core

@@ -1,0 +1,165 @@
+#include "hpl/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace sci::hpl {
+
+void fill_linear_system(Matrix& a, std::vector<double>& b, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  const std::size_t n = a.rows();
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    double* col = a.col(c);
+    for (std::size_t r = 0; r < n; ++r) col[r] = rng::uniform(gen, -0.5, 0.5);
+  }
+  b.resize(n);
+  for (std::size_t r = 0; r < n; ++r) b[r] = rng::uniform(gen, -0.5, 0.5);
+}
+
+namespace {
+
+// Unblocked LU on the panel A[k:n, k:k+nb) with partial pivoting over the
+// full remaining column height. Swaps are applied to the whole matrix.
+void panel_factorize(Matrix& a, std::size_t k, std::size_t nb,
+                     std::vector<std::size_t>& pivots, std::uint64_t& flops) {
+  const std::size_t n = a.rows();
+  const std::size_t end = std::min(k + nb, a.cols());
+  for (std::size_t j = k; j < end; ++j) {
+    // Pivot search in column j below row j.
+    std::size_t piv = j;
+    double best = std::fabs(a(j, j));
+    for (std::size_t r = j + 1; r < n; ++r) {
+      const double v = std::fabs(a(r, j));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < std::numeric_limits<double>::min()) {
+      throw std::runtime_error("lu_factorize: numerically singular pivot");
+    }
+    pivots[j] = piv;
+    if (piv != j) {
+      for (std::size_t c = 0; c < a.cols(); ++c) std::swap(a(j, c), a(piv, c));
+    }
+    // Scale multipliers and update the rest of the panel.
+    const double inv = 1.0 / a(j, j);
+    for (std::size_t r = j + 1; r < n; ++r) a(r, j) *= inv;
+    flops += (n - j - 1);
+    for (std::size_t c = j + 1; c < end; ++c) {
+      const double ajc = a(j, c);
+      double* col = a.col(c);
+      for (std::size_t r = j + 1; r < n; ++r) col[r] -= a(r, j) * ajc;
+    }
+    flops += 2 * (n - j - 1) * (end - j - 1);
+  }
+}
+
+// A[k:k+nb, end:n) <- L(panel)^-1 * A[k:k+nb, end:n)  (unit lower tri).
+void update_row_block(Matrix& a, std::size_t k, std::size_t nb, std::uint64_t& flops) {
+  const std::size_t end = std::min(k + nb, a.cols());
+  for (std::size_t c = end; c < a.cols(); ++c) {
+    double* col = a.col(c);
+    for (std::size_t j = k; j < end; ++j) {
+      const double v = col[j];
+      for (std::size_t r = j + 1; r < end; ++r) col[r] -= a(r, j) * v;
+    }
+  }
+  if (a.cols() > end) flops += (end - k) * (end - k - 1) * (a.cols() - end);
+}
+
+// Trailing update A[end:n, end:n) -= A[end:n, k:end) * A[k:end, end:n).
+void trailing_update(Matrix& a, std::size_t k, std::size_t nb, std::uint64_t& flops) {
+  const std::size_t n = a.rows();
+  const std::size_t end = std::min(k + nb, a.cols());
+  if (end >= a.cols() || end >= n) return;
+  // jik loop order: column-major friendly rank-nb update.
+  for (std::size_t c = end; c < a.cols(); ++c) {
+    double* dst = a.col(c);
+    for (std::size_t j = k; j < end; ++j) {
+      const double v = a(j, c);
+      if (v == 0.0) continue;
+      const double* lcol = a.col(j);
+      for (std::size_t r = end; r < n; ++r) dst[r] -= lcol[r] * v;
+    }
+  }
+  flops += 2 * (n - end) * (end - k) * (a.cols() - end);
+}
+
+}  // namespace
+
+LuResult lu_factorize(Matrix& a, std::size_t block) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("lu_factorize: square matrix required");
+  if (block == 0) throw std::invalid_argument("lu_factorize: block >= 1");
+  const std::size_t n = a.rows();
+  LuResult result;
+  result.pivots.resize(n);
+  for (std::size_t k = 0; k < n; k += block) {
+    panel_factorize(a, k, block, result.pivots, result.flops);
+    update_row_block(a, k, block, result.flops);
+    trailing_update(a, k, block, result.flops);
+  }
+  return result;
+}
+
+std::vector<double> lu_solve(const Matrix& lu, const std::vector<std::size_t>& pivots,
+                             std::vector<double> b) {
+  const std::size_t n = lu.rows();
+  if (b.size() != n || pivots.size() != n) throw std::invalid_argument("lu_solve: size mismatch");
+  // Apply row swaps in factorization order.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivots[k] != k) std::swap(b[k], b[pivots[k]]);
+  }
+  // Forward substitution with unit lower triangle.
+  for (std::size_t c = 0; c < n; ++c) {
+    const double v = b[c];
+    if (v == 0.0) continue;
+    const double* col = lu.col(c);
+    for (std::size_t r = c + 1; r < n; ++r) b[r] -= col[r] * v;
+  }
+  // Backward substitution with upper triangle.
+  for (std::size_t c = n; c-- > 0;) {
+    b[c] /= lu(c, c);
+    const double v = b[c];
+    const double* col = lu.col(c);
+    for (std::size_t r = 0; r < c; ++r) b[r] -= col[r] * v;
+  }
+  return b;
+}
+
+double scaled_residual(const Matrix& a, const std::vector<double>& x,
+                       const std::vector<double>& b) {
+  const std::size_t n = a.rows();
+  // r = b - A x; accumulate per row.
+  std::vector<double> r = b;
+  for (std::size_t c = 0; c < n; ++c) {
+    const double v = x[c];
+    const double* col = a.col(c);
+    for (std::size_t row = 0; row < n; ++row) r[row] -= col[row] * v;
+  }
+  double r_inf = 0.0;
+  for (double v : r) r_inf = std::max(r_inf, std::fabs(v));
+  double a_1 = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    double colsum = 0.0;
+    const double* col = a.col(c);
+    for (std::size_t row = 0; row < n; ++row) colsum += std::fabs(col[row]);
+    a_1 = std::max(a_1, colsum);
+  }
+  double x_1 = 0.0;
+  for (double v : x) x_1 += std::fabs(v);
+  const double eps = std::numeric_limits<double>::epsilon();
+  return r_inf / (eps * a_1 * x_1 * static_cast<double>(n));
+}
+
+double lu_flop_count(std::size_t n) noexcept {
+  const auto nd = static_cast<double>(n);
+  return 2.0 / 3.0 * nd * nd * nd - nd * nd / 2.0 - nd / 6.0;
+}
+
+}  // namespace sci::hpl

@@ -1,0 +1,67 @@
+// A real, runnable Linpack-style kernel: blocked right-looking LU
+// factorization with partial pivoting, triangular solves, and the HPL
+// residual check. This is the local (single-node) half of the HPL
+// substrate; the distributed half is the cost-model simulation in
+// sim_hpl.hpp. Examples and benches use this kernel to produce genuine
+// nondeterministic timings on the host machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sci::hpl {
+
+/// Dense column-major matrix with owned storage.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[c * rows_ + r];
+  }
+  [[nodiscard]] const double& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[c * rows_ + r];
+  }
+  [[nodiscard]] double* col(std::size_t c) noexcept { return data_.data() + c * rows_; }
+  [[nodiscard]] const double* col(std::size_t c) const noexcept {
+    return data_.data() + c * rows_;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Fills `a` with the standard HPL random matrix (uniform in [-0.5, 0.5],
+/// diagonally safe for pivoting at these sizes) and `b` with a matching
+/// right-hand side; deterministic in `seed`.
+void fill_linear_system(Matrix& a, std::vector<double>& b, std::uint64_t seed);
+
+struct LuResult {
+  std::vector<std::size_t> pivots;  ///< row swapped with k at step k
+  std::uint64_t flops = 0;          ///< exact flop count of the factorization
+};
+
+/// In-place blocked LU with partial pivoting (right-looking, block size
+/// `block`). Throws on a numerically singular pivot.
+[[nodiscard]] LuResult lu_factorize(Matrix& a, std::size_t block = 64);
+
+/// Solves A x = b using a factorization produced by lu_factorize
+/// (applies the recorded row swaps, then forward/backward substitution).
+[[nodiscard]] std::vector<double> lu_solve(const Matrix& lu,
+                                           const std::vector<std::size_t>& pivots,
+                                           std::vector<double> b);
+
+/// HPL-style scaled residual ||Ax-b||_inf / (eps * ||A||_1 * ||x||_1 * n);
+/// values below ~16 certify the solution.
+[[nodiscard]] double scaled_residual(const Matrix& a, const std::vector<double>& x,
+                                     const std::vector<double>& b);
+
+/// Exact LU flop count 2/3 n^3 - n^2/2 - n/6 (+ solve 2 n^2).
+[[nodiscard]] double lu_flop_count(std::size_t n) noexcept;
+
+}  // namespace sci::hpl

@@ -1,0 +1,67 @@
+// Simulated distributed High-Performance Linpack.
+//
+// Stand-in for the paper's Figure 1 experiment (50 HPL runs on 64 nodes
+// of Piz Daint, N = 314k, different batch allocation per run). The
+// simulation walks the panel loop of right-looking LU on a P x Q process
+// grid and charges, per panel:
+//     panel factorization  (one process column, max over its nodes)
+//     panel broadcast      (binomial over process columns, LogGP wire)
+//     row swaps            (pairwise exchanges, LogGP wire)
+//     trailing update      (all nodes, max over perturbed node times)
+// Nondeterminism enters through (a) the machine's compute/network noise
+// models, (b) a per-run, per-node efficiency draw (daemons/thermals:
+// slow nodes drag the whole run -- HPL is bulk-synchronous), and (c) a
+// fresh batch allocation per run affecting broadcast hop counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace sci::hpl {
+
+struct SimHplConfig {
+  std::size_t n = 314'000;       ///< matrix dimension
+  std::size_t block = 1024;      ///< panel width NB
+  std::size_t nodes = 64;        ///< allocation size
+  std::size_t grid_p = 8;        ///< process grid rows (grid_p*grid_q == nodes)
+  std::size_t grid_q = 8;        ///< process grid cols
+  /// Spread of the per-run per-node efficiency degradation |N(0, sigma)|.
+  double node_slowdown_sigma = 0.010;
+  /// Probability that a node is disturbed this run (noisy neighbour,
+  /// daemon storm) and the mean of its exponential extra degradation.
+  /// HPL is bulk-synchronous, so the run paces on max over nodes: an
+  /// exponential per-node draw yields a Gumbel-distributed run slowdown,
+  /// the right-skewed shape of the paper's Figure 1.
+  double disturbed_prob = 0.30;
+  double disturbed_mean = 0.045;
+};
+
+struct SimHplRun {
+  double completion_s = 0.0;
+  double gflops = 0.0;          ///< achieved rate for this run
+  double compute_s = 0.0;       ///< time in factorization/update phases
+  double comm_s = 0.0;          ///< time in broadcast/swap phases
+  double energy_j = 0.0;        ///< job energy under the machine's power model
+  /// The paper's canonical rate example (Section 3.1.1): flop per watt.
+  [[nodiscard]] double gflops_per_watt() const {
+    return (energy_j > 0.0) ? hpl_flops_for_rate_ / energy_j / 1e9 : 0.0;
+  }
+  double hpl_flops_for_rate_ = 0.0;  ///< set by the simulator
+};
+
+/// One HPL execution on a fresh allocation; deterministic in `seed`.
+[[nodiscard]] SimHplRun simulate_hpl_run(const sim::Machine& machine,
+                                         const SimHplConfig& config, std::uint64_t seed);
+
+/// `runs` executions with distinct allocations (seed + run index).
+[[nodiscard]] std::vector<SimHplRun> simulate_hpl_series(const sim::Machine& machine,
+                                                         const SimHplConfig& config,
+                                                         std::size_t runs,
+                                                         std::uint64_t seed);
+
+/// Total flop of one factorization + solve, the number HPL reports.
+[[nodiscard]] double hpl_flops(std::size_t n) noexcept;
+
+}  // namespace sci::hpl

@@ -1,0 +1,95 @@
+#include "rng/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace sci::rng {
+
+double uniform(Xoshiro256& gen, double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01(gen);
+}
+
+std::uint64_t uniform_below(Xoshiro256& gen, std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire 2019: unbiased bounded integers without division in the hot path.
+  std::uint64_t x = gen();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = gen();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double normal(Xoshiro256& gen) noexcept {
+  // Box-Muller. u1 is nudged away from 0 so log() stays finite.
+  const double u1 = uniform01(gen);
+  const double u2 = uniform01(gen);
+  const double r = std::sqrt(-2.0 * std::log(u1 + 0x1.0p-54));
+  return r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double normal(Xoshiro256& gen, double mean, double stddev) noexcept {
+  return mean + stddev * normal(gen);
+}
+
+double lognormal(Xoshiro256& gen, double mu, double sigma) noexcept {
+  return std::exp(normal(gen, mu, sigma));
+}
+
+double exponential(Xoshiro256& gen, double lambda) noexcept {
+  return -std::log1p(-uniform01(gen)) / lambda;
+}
+
+double pareto(Xoshiro256& gen, double scale, double shape) noexcept {
+  return scale / std::pow(1.0 - uniform01(gen), 1.0 / shape);
+}
+
+bool bernoulli(Xoshiro256& gen, double p) noexcept {
+  return uniform01(gen) < p;
+}
+
+double gamma(Xoshiro256& gen, double shape, double scale) noexcept {
+  // Marsaglia & Tsang (2000). For shape < 1 use the boost trick
+  // G(a) = G(a+1) * U^(1/a).
+  if (shape < 1.0) {
+    const double u = uniform01(gen);
+    return gamma(gen, shape + 1.0, scale) * std::pow(u + 0x1.0p-54, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = normal(gen);
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = uniform01(gen);
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (std::log(u + 0x1.0p-54) < 0.5 * x * x + d * (1.0 - v + std::log(v))) return d * v * scale;
+  }
+}
+
+std::size_t discrete(Xoshiro256& gen, std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double r = uniform01(gen) * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+void shuffle(Xoshiro256& gen, std::span<std::size_t> values) noexcept {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = uniform_below(gen, i);
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace sci::rng

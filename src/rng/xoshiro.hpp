@@ -1,0 +1,74 @@
+// xoshiro256++ pseudo-random number generator.
+//
+// scibench needs bit-reproducible random streams so that simulated
+// experiments are *deterministic measurements* in the sense of the paper:
+// re-running a bench binary regenerates exactly the published series.
+// std::mt19937 + std:: distributions are not bit-stable across standard
+// library implementations, so we carry our own generator and samplers.
+//
+// Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+// generators", ACM TOMS 2021. Public-domain reference implementation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sci::rng {
+
+/// splitmix64: used to expand a single 64-bit seed into a full xoshiro
+/// state. Also a fine standalone mixing function for hashing seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ 1.0. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via splitmix64.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x185706b82c2e03f8ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Equivalent to 2^128 calls of operator(); used to derive independent
+  /// per-rank / per-node streams from a single experiment seed.
+  void jump() noexcept;
+
+  /// Returns a generator 2^128 steps ahead and advances *this past it.
+  [[nodiscard]] Xoshiro256 split() noexcept {
+    Xoshiro256 child = *this;
+    jump();
+    return child;
+  }
+
+  [[nodiscard]] constexpr bool operator==(const Xoshiro256&) const noexcept = default;
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace sci::rng

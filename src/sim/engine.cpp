@@ -1,0 +1,41 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sci::sim {
+
+void Engine::schedule_at(double time, Callback fn) {
+  if (time < now_) throw std::logic_error("Engine::schedule_at: time in the past");
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+std::size_t Engine::run() {
+  stopped_ = false;
+  std::size_t processed = 0;
+  while (!queue_.empty() && !stopped_) {
+    // Move the callback out before popping: it may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t Engine::run_until(double deadline) {
+  stopped_ = false;
+  std::size_t processed = 0;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++processed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return processed;
+}
+
+}  // namespace sci::sim

@@ -1,0 +1,64 @@
+// Discrete-event simulation engine.
+//
+// This is the substrate standing in for the paper's physical testbeds
+// (Piz Daint / Piz Dora / Pilatus, cf. DESIGN.md): rank programs run as
+// C++20 coroutines whose awaits translate into timestamped events. Time
+// is simulated seconds; execution is single-threaded and deterministic
+// for a fixed seed, which makes every "measurement" taken inside the
+// simulator exactly reproducible -- the property the paper wishes real
+// machines had.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sci::sim {
+
+/// Event-driven scheduler. Events at equal times fire in insertion order
+/// (a strict tiebreaker keeps runs deterministic).
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute simulated time `time` (>= now()).
+  void schedule_at(double time, Callback fn);
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  void schedule_after(double delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Runs until the event queue drains or stop() is called.
+  /// Returns the number of events processed.
+  std::size_t run();
+
+  /// Runs until simulated time exceeds `deadline` (events beyond it stay
+  /// queued), the queue drains, or stop() is called.
+  std::size_t run_until(double deadline);
+
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace sci::sim

@@ -1,0 +1,17 @@
+#include "sim/network.hpp"
+
+namespace sci::sim {
+
+double Network::ideal_transfer_time(std::size_t src, std::size_t dst,
+                                    std::size_t bytes) const {
+  const unsigned h = topology_->hops(src, dst);
+  const double payload = (bytes > 0) ? static_cast<double>(bytes - 1) : 0.0;
+  return params_.latency_s + params_.hop_latency_s * h + params_.gap_per_byte_s * payload;
+}
+
+double Network::transfer_time(std::size_t src, std::size_t dst, std::size_t bytes,
+                              rng::Xoshiro256& gen) const {
+  return noise_.perturb(ideal_transfer_time(src, dst, bytes), gen);
+}
+
+}  // namespace sci::sim

@@ -1,0 +1,56 @@
+// LogGP network cost model (Culler et al. / Alexandrov et al.) with
+// per-hop latency and stochastic noise. One instance models the
+// interconnect of a simulated machine.
+//
+//   transfer(src, dst, k bytes) =
+//       L + hop_latency * hops(src, dst) + G * (k - 1)       [+ noise]
+//   sender/receiver overhead o is charged to the endpoints by simmpi.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "rng/xoshiro.hpp"
+#include "sim/noise.hpp"
+#include "sim/topology.hpp"
+
+namespace sci::sim {
+
+struct LogGPParams {
+  double latency_s = 1e-6;        ///< L: base wire latency
+  double overhead_s = 300e-9;     ///< o: CPU send/recv overhead
+  double gap_per_msg_s = 100e-9;  ///< g: minimum inter-message gap
+  double gap_per_byte_s = 0.1e-9; ///< G: inverse bandwidth (s/B)
+  double hop_latency_s = 30e-9;   ///< per switch hop
+  /// Messages above this size use the rendezvous protocol: a
+  /// ready-to-send handshake costs one extra small-message round trip
+  /// before the payload moves (the step real MPIs exhibit around the
+  /// eager limit).
+  std::size_t eager_threshold_bytes = 16384;
+};
+
+class Network {
+ public:
+  Network(std::shared_ptr<const Topology> topology, LogGPParams params,
+          NetworkNoise noise)
+      : topology_(std::move(topology)), params_(params), noise_(noise) {}
+
+  /// Wire time for `bytes` from node `src` to node `dst` (excludes the
+  /// endpoint overheads; includes noise from this network's model).
+  [[nodiscard]] double transfer_time(std::size_t src, std::size_t dst, std::size_t bytes,
+                                     rng::Xoshiro256& gen) const;
+
+  /// Noise-free transfer time (for bounds models, Rule 11).
+  [[nodiscard]] double ideal_transfer_time(std::size_t src, std::size_t dst,
+                                           std::size_t bytes) const;
+
+  [[nodiscard]] const LogGPParams& params() const noexcept { return params_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return *topology_; }
+
+ private:
+  std::shared_ptr<const Topology> topology_;
+  LogGPParams params_;
+  NetworkNoise noise_;
+};
+
+}  // namespace sci::sim

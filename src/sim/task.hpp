@@ -1,0 +1,186 @@
+// C++20 coroutine task types for simulated rank programs.
+//
+// A rank program is written as straight-line code:
+//
+//   sim::Task<void> pingpong(simmpi::Comm& comm) {
+//     co_await comm.send(1, /*tag=*/0, /*bytes=*/64);
+//     co_await comm.recv(1, 0);
+//   }
+//
+// Awaiting suspends the coroutine and hands control back to the event
+// engine; the engine resumes it when the simulated operation completes.
+// Task<T> supports nesting (collectives are themselves coroutines) via
+// symmetric transfer in final_suspend.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace sci::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;  // resumed when this task finishes
+
+  struct FinalAwaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) const noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  [[nodiscard]] std::suspend_always initial_suspend() const noexcept { return {}; }
+  [[nodiscard]] FinalAwaiter final_suspend() const noexcept { return {}; }
+  [[noreturn]] void unhandled_exception() const { std::terminate(); }
+};
+
+}  // namespace detail
+
+/// Lazily started coroutine task. Owns its frame; safe to destroy once
+/// finished (the awaiting parent destroys it when the Task goes out of
+/// scope after co_await completes).
+template <typename T = void>
+class Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool done() const noexcept { return !handle_ || handle_.done(); }
+
+  /// Starts the task detached (no awaiting parent); the engine drives it.
+  /// The caller keeps ownership of the Task object until done.
+  void start() const {
+    if (handle_ && !handle_.done()) handle_.resume();
+  }
+
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      [[nodiscard]] bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) const noexcept {
+        child.promise().continuation = parent;
+        return child;  // symmetric transfer: run the child now
+      }
+      T await_resume() const { return std::move(*child.promise().value); }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() const noexcept {}
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool done() const noexcept { return !handle_ || handle_.done(); }
+
+  void start() const {
+    if (handle_ && !handle_.done()) handle_.resume();
+  }
+
+  auto operator co_await() noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> child;
+      [[nodiscard]] bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) const noexcept {
+        child.promise().continuation = parent;
+        return child;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : handle_(h) {}
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Awaitable that parks the coroutine for `delay` simulated seconds.
+struct Delay {
+  Engine& engine;
+  double delay;
+
+  [[nodiscard]] bool await_ready() const noexcept { return delay <= 0.0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    engine.schedule_after(delay, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+/// Awaitable that parks the coroutine until absolute simulated time `when`.
+struct Until {
+  Engine& engine;
+  double when;
+
+  [[nodiscard]] bool await_ready() const noexcept { return when <= engine.now(); }
+  void await_suspend(std::coroutine_handle<> h) const {
+    engine.schedule_at(when, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace sci::sim

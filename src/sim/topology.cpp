@@ -1,0 +1,96 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace sci::sim {
+
+Dragonfly::Dragonfly(std::size_t groups, std::size_t routers_per_group,
+                     std::size_t nodes_per_router)
+    : groups_(groups),
+      routers_per_group_(routers_per_group),
+      nodes_per_router_(nodes_per_router),
+      nodes_(groups * routers_per_group * nodes_per_router) {
+  if (nodes_ == 0) throw std::invalid_argument("Dragonfly: empty topology");
+}
+
+unsigned Dragonfly::hops(std::size_t a, std::size_t b) const {
+  if (a >= nodes_ || b >= nodes_) throw std::out_of_range("Dragonfly::hops");
+  if (a == b) return 0;
+  const std::size_t router_a = a / nodes_per_router_;
+  const std::size_t router_b = b / nodes_per_router_;
+  if (router_a == router_b) return 1;
+  const std::size_t group_a = router_a / routers_per_group_;
+  const std::size_t group_b = router_b / routers_per_group_;
+  if (group_a == group_b) return 2;
+  return 3;  // minimal routing: local -> optical -> local
+}
+
+FatTree::FatTree(std::size_t radix, std::size_t levels) : radix_(radix), levels_(levels) {
+  if (radix == 0 || levels == 0) throw std::invalid_argument("FatTree: radix, levels >= 1");
+  nodes_ = 1;
+  for (std::size_t i = 0; i < levels; ++i) {
+    if (nodes_ > 1'000'000'000 / radix) throw std::invalid_argument("FatTree: too large");
+    nodes_ *= radix;
+  }
+}
+
+unsigned FatTree::hops(std::size_t a, std::size_t b) const {
+  if (a >= nodes_ || b >= nodes_) throw std::out_of_range("FatTree::hops");
+  if (a == b) return 0;
+  // Climb until both land under the same switch subtree.
+  unsigned level = 0;
+  while (a != b) {
+    a /= radix_;
+    b /= radix_;
+    ++level;
+  }
+  return 2 * level;  // up and down
+}
+
+Torus3D::Torus3D(std::size_t dim_x, std::size_t dim_y, std::size_t dim_z)
+    : dx_(dim_x), dy_(dim_y), dz_(dim_z), nodes_(dim_x * dim_y * dim_z) {
+  if (nodes_ == 0) throw std::invalid_argument("Torus3D: empty topology");
+}
+
+unsigned Torus3D::hops(std::size_t a, std::size_t b) const {
+  if (a >= nodes_ || b >= nodes_) throw std::out_of_range("Torus3D::hops");
+  auto ring_distance = [](std::size_t p, std::size_t q, std::size_t dim) {
+    const std::size_t d = (p > q) ? p - q : q - p;
+    return static_cast<unsigned>(std::min(d, dim - d));
+  };
+  const unsigned hx = ring_distance(a % dx_, b % dx_, dx_);
+  const unsigned hy = ring_distance((a / dx_) % dy_, (b / dx_) % dy_, dy_);
+  const unsigned hz = ring_distance(a / (dx_ * dy_), b / (dx_ * dy_), dz_);
+  return hx + hy + hz;
+}
+
+std::vector<std::size_t> allocate_nodes(const Topology& topo, std::size_t count,
+                                        AllocationPolicy policy, rng::Xoshiro256& gen) {
+  const std::size_t total = topo.node_count();
+  if (count == 0 || count > total)
+    throw std::invalid_argument("allocate_nodes: 1 <= count <= node_count required");
+
+  std::vector<std::size_t> nodes;
+  nodes.reserve(count);
+  switch (policy) {
+    case AllocationPolicy::kPacked: {
+      const auto base = static_cast<std::size_t>(rng::uniform_below(gen, total - count + 1));
+      for (std::size_t i = 0; i < count; ++i) nodes.push_back(base + i);
+      break;
+    }
+    case AllocationPolicy::kScattered: {
+      std::vector<std::size_t> all(total);
+      std::iota(all.begin(), all.end(), std::size_t{0});
+      rng::shuffle(gen, all);
+      nodes.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(count));
+      break;
+    }
+  }
+  return nodes;
+}
+
+}  // namespace sci::sim

@@ -1,0 +1,83 @@
+// Network topologies: Cray Aries dragonfly (Piz Daint / Piz Dora) and
+// InfiniBand fat tree (Pilatus), reduced to the property the LogGP layer
+// needs -- the hop count between two nodes -- plus the batch-system view:
+// which nodes an allocation receives (Section 4.1.2 notes allocation
+// policies "can play an important role for performance").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rng/xoshiro.hpp"
+
+namespace sci::sim {
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+  [[nodiscard]] virtual std::size_t node_count() const noexcept = 0;
+  /// Switch hops between two nodes (0 for the same node).
+  [[nodiscard]] virtual unsigned hops(std::size_t a, std::size_t b) const = 0;
+};
+
+/// Dragonfly: nodes -> routers -> groups, all-to-all between groups.
+/// Hop model: same router 1, same group 2, different group 3-4 (one
+/// optical hop, possibly one intermediate for non-minimal routing -- we
+/// use minimal routing: 3).
+class Dragonfly final : public Topology {
+ public:
+  Dragonfly(std::size_t groups, std::size_t routers_per_group, std::size_t nodes_per_router);
+  [[nodiscard]] std::size_t node_count() const noexcept override { return nodes_; }
+  [[nodiscard]] unsigned hops(std::size_t a, std::size_t b) const override;
+
+ private:
+  std::size_t groups_;
+  std::size_t routers_per_group_;
+  std::size_t nodes_per_router_;
+  std::size_t nodes_;
+};
+
+/// k-ary fat tree with `levels` switch levels; hops = 2 * (levels needed
+/// to reach the common ancestor).
+class FatTree final : public Topology {
+ public:
+  FatTree(std::size_t radix, std::size_t levels);
+  [[nodiscard]] std::size_t node_count() const noexcept override { return nodes_; }
+  [[nodiscard]] unsigned hops(std::size_t a, std::size_t b) const override;
+
+ private:
+  std::size_t radix_;
+  std::size_t levels_;
+  std::size_t nodes_;
+};
+
+/// 3-D torus (the Blue Gene / Cray XT-era topology): nodes indexed
+/// x + dim_x * (y + dim_y * z); hops = sum of per-dimension wrap-around
+/// distances (dimension-ordered routing).
+class Torus3D final : public Topology {
+ public:
+  Torus3D(std::size_t dim_x, std::size_t dim_y, std::size_t dim_z);
+  [[nodiscard]] std::size_t node_count() const noexcept override { return nodes_; }
+  [[nodiscard]] unsigned hops(std::size_t a, std::size_t b) const override;
+
+ private:
+  std::size_t dx_;
+  std::size_t dy_;
+  std::size_t dz_;
+  std::size_t nodes_;
+};
+
+/// Batch-system allocation policy (Section 4.1.2: "packed or scattered
+/// node layout").
+enum class AllocationPolicy {
+  kPacked,     ///< contiguous node ids starting at a random base
+  kScattered,  ///< uniform random distinct nodes across the machine
+};
+
+/// Chooses `count` distinct nodes from `topo` under `policy`.
+[[nodiscard]] std::vector<std::size_t> allocate_nodes(const Topology& topo,
+                                                      std::size_t count,
+                                                      AllocationPolicy policy,
+                                                      rng::Xoshiro256& gen);
+
+}  // namespace sci::sim

@@ -1,0 +1,139 @@
+#include "simmpi/benchmarks.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/task.hpp"
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+
+namespace sci::simmpi {
+namespace {
+
+constexpr int kTagPing = 1;
+constexpr int kTagPong = 2;
+
+}  // namespace
+
+std::vector<double> pingpong_latency(const sim::Machine& machine, std::size_t samples,
+                                     std::size_t message_bytes, std::uint64_t seed,
+                                     std::size_t warmup) {
+  World world(machine, 2, seed);
+  std::vector<double> out;
+  out.reserve(samples);
+
+  const std::size_t total = samples + warmup;
+  world.launch_on(0, [&](Comm& comm) -> sim::Task<void> {
+    for (std::size_t i = 0; i < total; ++i) {
+      const double t0 = comm.wtime();
+      co_await comm.send(1, kTagPing, message_bytes);
+      (void)co_await comm.recv(1, kTagPong);
+      const double t1 = comm.wtime();
+      if (i >= warmup) out.push_back((t1 - t0) / 2.0);
+    }
+  });
+  world.launch_on(1, [&, total](Comm& comm) -> sim::Task<void> {
+    for (std::size_t i = 0; i < total; ++i) {
+      (void)co_await comm.recv(0, kTagPing);
+      co_await comm.send(0, kTagPong, message_bytes);
+    }
+  });
+  world.run();
+  return out;
+}
+
+ReduceBenchResult ReduceBenchResult_make(std::size_t iterations, int ranks) {
+  ReduceBenchResult r;
+  r.times.assign(iterations, std::vector<double>(static_cast<std::size_t>(ranks), 0.0));
+  return r;
+}
+
+std::vector<double> ReduceBenchResult::max_across_ranks() const {
+  std::vector<double> out;
+  out.reserve(times.size());
+  for (const auto& row : times) out.push_back(*std::max_element(row.begin(), row.end()));
+  return out;
+}
+
+std::vector<double> ReduceBenchResult::rank_series(int rank) const {
+  std::vector<double> out;
+  out.reserve(times.size());
+  for (const auto& row : times) out.push_back(row.at(static_cast<std::size_t>(rank)));
+  return out;
+}
+
+ReduceBenchResult reduce_bench(const sim::Machine& machine, int ranks,
+                               std::size_t iterations, std::uint64_t seed,
+                               double sync_window_s) {
+  if (ranks < 1) throw std::invalid_argument("reduce_bench: ranks >= 1");
+  World world(machine, ranks, seed);
+  ReduceBenchResult result = ReduceBenchResult_make(iterations, ranks);
+
+  world.launch([&](Comm& comm) -> sim::Task<void> {
+    for (std::size_t i = 0; i < iterations; ++i) {
+      co_await window_sync(comm, sync_window_s);
+      const double t0 = comm.wtime();
+      (void)co_await reduce(comm, static_cast<double>(comm.rank()), /*root=*/0);
+      const double t1 = comm.wtime();
+      result.times[i][static_cast<std::size_t>(comm.rank())] = t1 - t0;
+    }
+  });
+  world.run();
+  return result;
+}
+
+std::vector<double> pi_scaling_run(const sim::Machine& machine, int ranks,
+                                   double base_seconds, double serial_fraction,
+                                   std::size_t repetitions, std::uint64_t seed) {
+  std::vector<double> completion(repetitions, 0.0);
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    World world(machine, ranks, seed + rep);
+    std::vector<double> finish(static_cast<std::size_t>(ranks), 0.0);
+
+    world.launch([&](Comm& comm) -> sim::Task<void> {
+      // Serial initialization on rank 0 (the Amdahl fraction), then
+      // embarrassingly parallel work, then one reduction.
+      if (comm.rank() == 0) {
+        co_await comm.compute(base_seconds * serial_fraction);
+        // Release the other ranks (models broadcasting the work).
+        (void)co_await bcast(comm, 0.0, 0);
+      } else {
+        (void)co_await bcast(comm, 0.0, 0);
+      }
+      const double parallel_work =
+          base_seconds * (1.0 - serial_fraction) / static_cast<double>(comm.size());
+      co_await comm.compute(parallel_work);
+      (void)co_await reduce(comm, 3.14159 / static_cast<double>(comm.size()), 0);
+      finish[static_cast<std::size_t>(comm.rank())] = comm.world().engine().now();
+    });
+    world.run();
+    completion[rep] = *std::max_element(finish.begin(), finish.end());
+  }
+  return completion;
+}
+
+std::vector<double> window_sync_skew(const sim::Machine& machine, int ranks,
+                                     std::size_t trials, std::uint64_t seed) {
+  World world(machine, ranks, seed);
+  std::vector<std::vector<double>> leave_time(
+      trials, std::vector<double>(static_cast<std::size_t>(ranks), 0.0));
+
+  world.launch([&](Comm& comm) -> sim::Task<void> {
+    for (std::size_t t = 0; t < trials; ++t) {
+      co_await window_sync(comm, 200e-6);
+      // True (global) time at which this rank resumed after the sync.
+      leave_time[t][static_cast<std::size_t>(comm.rank())] = comm.world().engine().now();
+    }
+  });
+  world.run();
+
+  std::vector<double> skew;
+  skew.reserve(trials);
+  for (const auto& row : leave_time) {
+    const auto [lo, hi] = std::minmax_element(row.begin(), row.end());
+    skew.push_back(*hi - *lo);
+  }
+  return skew;
+}
+
+}  // namespace sci::simmpi

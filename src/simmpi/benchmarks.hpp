@@ -1,0 +1,59 @@
+// Canned measurement drivers used by the paper-reproduction benches and
+// the examples. Each runs a complete simulated experiment and returns
+// the raw per-event samples -- never pre-summarized, so downstream code
+// can apply the statistics the paper calls for (Rule 5: report spread).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace sci::simmpi {
+
+/// Ping-pong between two ranks on different nodes. Returns `samples`
+/// half-round-trip latencies in seconds, measured on rank 0 with its
+/// local clock, first `warmup` iterations discarded (Section 4.1.2
+/// "Warmup").
+[[nodiscard]] std::vector<double> pingpong_latency(const sim::Machine& machine,
+                                                   std::size_t samples,
+                                                   std::size_t message_bytes,
+                                                   std::uint64_t seed,
+                                                   std::size_t warmup = 16);
+
+/// Reduce benchmark: `iterations` timed MPI_Reduce calls on `ranks`
+/// processes. Timing protocol (Rule 10): every iteration starts with a
+/// window synchronization; each rank then records the local time until
+/// *it* completes its part of the reduction.
+struct ReduceBenchResult {
+  /// times[i][r]: completion time of iteration i on rank r (seconds).
+  std::vector<std::vector<double>> times;
+  /// Per-iteration maximum across ranks (the usual "reduce latency").
+  [[nodiscard]] std::vector<double> max_across_ranks() const;
+  /// All iterations of one rank.
+  [[nodiscard]] std::vector<double> rank_series(int rank) const;
+};
+
+[[nodiscard]] ReduceBenchResult reduce_bench(const sim::Machine& machine, int ranks,
+                                             std::size_t iterations, std::uint64_t seed,
+                                             double sync_window_s = 200e-6);
+
+/// Computing digits of Pi (the paper's Figure 7 example): perfectly
+/// parallel work of `base_seconds` total, a serial fraction
+/// `serial_fraction` executed on rank 0, and one final reduction.
+/// Returns the completion time (max across ranks, true time) of each of
+/// the `repetitions` runs.
+[[nodiscard]] std::vector<double> pi_scaling_run(const sim::Machine& machine, int ranks,
+                                                 double base_seconds,
+                                                 double serial_fraction,
+                                                 std::size_t repetitions,
+                                                 std::uint64_t seed);
+
+/// Measured offset-estimation error of window_sync: runs `trials`
+/// synchronizations on `ranks` processes and returns, per trial, the
+/// spread (max - min) of the *true* times at which ranks left the sync.
+[[nodiscard]] std::vector<double> window_sync_skew(const sim::Machine& machine, int ranks,
+                                                   std::size_t trials, std::uint64_t seed);
+
+}  // namespace sci::simmpi

@@ -1,0 +1,2 @@
+// LocalClock is header-only; this TU anchors the target.
+#include "simmpi/clock.hpp"

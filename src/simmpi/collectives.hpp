@@ -1,0 +1,104 @@
+// Collective operations built from point-to-point, mirroring the
+// algorithms production MPIs use:
+//
+//   barrier    dissemination (Hensgen et al.): ceil(log2 p) rounds
+//   bcast      binomial tree from the root
+//   reduce     power-of-two fold + binomial tree -- non-power-of-two
+//              process counts pay an extra fold step, which is exactly
+//              the effect the paper's Figure 5 demonstrates
+//   allreduce  recursive doubling with power-of-two fold
+//   window_sync  the delay-window time synchronization of Section 4.2.1
+//                (master estimates per-rank clock offsets via ping-pong
+//                and broadcasts a common start time)
+//
+// All are coroutines: co_await them from a rank program. Every rank of
+// the communicator must call the same collective in the same order.
+#pragma once
+
+#include <vector>
+
+#include "sim/task.hpp"
+#include "simmpi/comm.hpp"
+
+namespace sci::simmpi {
+
+/// Reserved tag range for collectives (user tags should stay below).
+inline constexpr int kTagBarrier = 1'000'000;
+inline constexpr int kTagReduce = 1'100'000;
+inline constexpr int kTagBcast = 1'200'000;
+inline constexpr int kTagAllreduce = 1'300'000;
+inline constexpr int kTagSync = 1'400'000;
+inline constexpr int kTagGather = 1'500'000;
+inline constexpr int kTagScatter = 1'600'000;
+inline constexpr int kTagAllgather = 1'700'000;
+inline constexpr int kTagAlltoall = 1'800'000;
+inline constexpr int kTagScan = 1'900'000;
+
+/// Dissemination barrier.
+[[nodiscard]] sim::Task<void> barrier(Comm& comm);
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+/// Reduce `value` to `root`; the returned value is meaningful on the
+/// root only (other ranks receive their partial result).
+[[nodiscard]] sim::Task<double> reduce(Comm& comm, double value, int root = 0,
+                                       ReduceOp op = ReduceOp::kSum);
+
+/// Broadcast `value` from `root`; returns the root's value on all ranks.
+[[nodiscard]] sim::Task<double> bcast(Comm& comm, double value, int root = 0);
+
+/// Allreduce: every rank returns the reduction over all ranks.
+[[nodiscard]] sim::Task<double> allreduce(Comm& comm, double value,
+                                          ReduceOp op = ReduceOp::kSum);
+
+/// Gather: rank r's value lands at index r of the vector returned on
+/// `root` (binomial tree; other ranks return an empty vector).
+[[nodiscard]] sim::Task<std::vector<double>> gather(Comm& comm, double value,
+                                                    int root = 0);
+
+/// Scatter: `values` (significant on root, size = comm.size()) is
+/// distributed; rank r returns values[r]. Binomial tree.
+[[nodiscard]] sim::Task<double> scatter(Comm& comm, std::vector<double> values,
+                                        int root = 0);
+
+/// Allgather: every rank returns the full vector of per-rank values
+/// (ring algorithm: p-1 neighbor exchanges).
+[[nodiscard]] sim::Task<std::vector<double>> allgather(Comm& comm, double value);
+
+/// Personalized all-to-all: `to_each[r]` is sent to rank r; the returned
+/// vector holds what every rank sent to this one (pairwise exchange).
+[[nodiscard]] sim::Task<std::vector<double>> alltoall(Comm& comm,
+                                                      std::vector<double> to_each);
+
+/// Inclusive prefix reduction (Hillis-Steele, ceil(log2 p) rounds):
+/// rank r returns op(value_0, ..., value_r).
+[[nodiscard]] sim::Task<double> scan(Comm& comm, double value,
+                                     ReduceOp op = ReduceOp::kSum);
+
+/// Vector allreduce algorithm selection. Real MPIs switch algorithms at
+/// a payload threshold: recursive doubling moves the whole vector
+/// log2(p) times (latency-optimal); the ring (reduce-scatter +
+/// allgather) moves 2(p-1)/p of the vector total (bandwidth-optimal).
+enum class AllreduceAlgo { kAuto, kRecursiveDoubling, kRing };
+
+/// Element-wise allreduce of `values` (same length on every rank);
+/// every rank returns the fully reduced vector. kAuto picks recursive
+/// doubling below `auto_threshold_bytes` of payload and the ring above.
+[[nodiscard]] sim::Task<std::vector<double>> allreduce_v(
+    Comm& comm, std::vector<double> values, ReduceOp op = ReduceOp::kSum,
+    AllreduceAlgo algo = AllreduceAlgo::kAuto,
+    std::size_t auto_threshold_bytes = 262144);
+
+/// Window-based synchronization (Hoefler, Schneider & Lumsdaine, IPDPS'08
+/// scheme, simplified): rank `master` ping-pongs `rounds` times with each
+/// rank, estimates clock offsets from the minimum-RTT round, then sends
+/// each rank the *local* time at which to start, `window_s` in the
+/// future. Returns after this rank has waited until its start time.
+/// All ranks then proceed within the offset-estimation error -- which is
+/// itself a measurable quantity (see tests).
+[[nodiscard]] sim::Task<void> window_sync(Comm& comm, double window_s, int master = 0,
+                                          int rounds = 5);
+
+[[nodiscard]] double apply(ReduceOp op, double a, double b) noexcept;
+
+}  // namespace sci::simmpi

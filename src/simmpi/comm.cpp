@@ -1,0 +1,313 @@
+#include "simmpi/comm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+
+namespace sci::simmpi {
+
+int Comm::size() const noexcept { return world_->size(); }
+
+double Comm::wtime() const noexcept { return clock_.to_local(world_->engine_.now()); }
+
+Comm::SendAwaitable Comm::send(int dst, int tag, std::size_t bytes,
+                               std::vector<double> payload) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("Comm::send: bad destination");
+  return SendAwaitable{this, dst, tag, bytes, std::move(payload)};
+}
+
+Comm::RecvAwaitable Comm::recv(int src, int tag) {
+  if (src != kAnySource && (src < 0 || src >= size()))
+    throw std::out_of_range("Comm::recv: bad source");
+  return RecvAwaitable{this, src, tag, {}};
+}
+
+Comm::ComputeAwaitable Comm::compute(double pure_seconds) {
+  if (pure_seconds < 0.0) throw std::domain_error("Comm::compute: negative duration");
+  return ComputeAwaitable{this, pure_seconds};
+}
+
+Comm::WaitLocalAwaitable Comm::wait_until_local(double local_time) {
+  return WaitLocalAwaitable{this, local_time};
+}
+
+Request::WaitAwaitable Request::wait() { return WaitAwaitable{state_}; }
+
+sim::Task<void> wait_all(std::span<Request> requests) {
+  for (auto& r : requests) (void)co_await r.wait();
+}
+
+Request Comm::isend(int dst, int tag, std::size_t bytes, std::vector<double> payload) {
+  if (dst < 0 || dst >= size()) throw std::out_of_range("Comm::isend: bad destination");
+  ++stats_.sends;
+  stats_.bytes_sent += bytes;
+  World& w = *world_;
+  const double o = w.machine_.loggp.overhead_s;
+
+  const std::size_t src_node = node_;
+  const std::size_t dst_node = w.nodes_[static_cast<std::size_t>(dst)];
+  const double wire = w.network_.transfer_time(src_node, dst_node, bytes, gen_);
+  double handshake = 0.0;
+  if (bytes > w.machine_.loggp.eager_threshold_bytes) {
+    handshake = 2.0 * (o + w.network_.transfer_time(src_node, dst_node, 8, gen_));
+  }
+
+  Message msg;
+  msg.src = rank_;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.bytes = bytes;
+  msg.payload = std::move(payload);
+
+  double arrival = w.engine_.now() + o + handshake + wire;
+  double& last =
+      w.fifo_clock_[static_cast<std::size_t>(rank_)][static_cast<std::size_t>(dst)];
+  arrival = std::max(arrival, last);
+  last = arrival;
+  w.engine_.schedule_at(arrival,
+                        [&w, m = std::move(msg)]() mutable { w.deliver(std::move(m)); });
+
+  Request req;
+  req.state_ = std::make_shared<Request::State>();
+  req.state_->world = &w;
+  // Sender-side completion: overhead (+ handshake under rendezvous).
+  w.engine_.schedule_after(o + handshake, [state = req.state_] {
+    state->complete = true;
+    if (state->waiter) {
+      const auto h = state->waiter;
+      state->waiter = nullptr;
+      h.resume();
+    }
+  });
+  return req;
+}
+
+Request Comm::irecv(int src, int tag) {
+  if (src != kAnySource && (src < 0 || src >= size()))
+    throw std::out_of_range("Comm::irecv: bad source");
+  World& w = *world_;
+  auto& box = w.mailboxes_[static_cast<std::size_t>(rank_)];
+
+  Request req;
+  req.state_ = std::make_shared<Request::State>();
+  req.state_->world = &w;
+
+  auto it = std::find_if(box.unexpected.begin(), box.unexpected.end(),
+                         [&](const Message& m) { return World::matches(src, tag, m); });
+  if (it != box.unexpected.end()) {
+    Message msg = std::move(*it);
+    box.unexpected.erase(it);
+    w.complete_request(req.state_, std::move(msg));
+  } else {
+    box.posted_nb.push_back(World::PostedIrecv{src, tag, req.state_});
+  }
+  return req;
+}
+
+void World::complete_request(const std::shared_ptr<Request::State>& state, Message msg) {
+  const double o = machine_.loggp.overhead_s;
+  engine_.schedule_after(o, [state, m = std::move(msg)]() mutable {
+    state->msg = std::move(m);
+    state->complete = true;
+    if (state->waiter) {
+      const auto h = state->waiter;
+      state->waiter = nullptr;
+      h.resume();
+    }
+  });
+}
+
+void Comm::SendAwaitable::await_suspend(std::coroutine_handle<> h) {
+  ++comm->stats_.sends;
+  comm->stats_.bytes_sent += bytes;
+  World& w = *comm->world_;
+  const double o = w.machine_.loggp.overhead_s;
+  const double gap = w.machine_.loggp.gap_per_msg_s;
+
+  // Wire time including this network's noise; drawn from the *sender's*
+  // stream so runs stay deterministic.
+  const std::size_t src_node = comm->node_;
+  const std::size_t dst_node = w.nodes_[static_cast<std::size_t>(dst)];
+  const double wire = w.network_.transfer_time(src_node, dst_node, bytes, comm->gen_);
+
+  // Rendezvous: payloads above the eager limit pay a ready-to-send
+  // handshake (one small-message round trip) before the data moves, and
+  // the sender stays blocked through the handshake.
+  double handshake = 0.0;
+  if (bytes > w.machine_.loggp.eager_threshold_bytes) {
+    handshake = 2.0 * (o + w.network_.transfer_time(src_node, dst_node, 8, comm->gen_));
+  }
+
+  Message msg;
+  msg.src = comm->rank_;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.bytes = bytes;
+  msg.payload = std::move(payload);
+
+  // FIFO non-overtaking per (src, dst): a message may not arrive before
+  // one sent earlier on the same channel.
+  double arrival = w.engine_.now() + o + handshake + wire;
+  double& last = w.fifo_clock_[static_cast<std::size_t>(comm->rank_)]
+                             [static_cast<std::size_t>(dst)];
+  arrival = std::max(arrival, last);
+  last = arrival;
+
+  w.engine_.schedule_at(arrival, [&w, m = std::move(msg)]() mutable { w.deliver(std::move(m)); });
+
+  // The sender is blocked for its CPU overhead plus the inter-message
+  // gap (eager), plus the handshake when rendezvous applies.
+  w.engine_.schedule_after(o + gap + handshake, [h] { h.resume(); });
+}
+
+void Comm::RecvAwaitable::await_suspend(std::coroutine_handle<> h) {
+  World& w = *comm->world_;
+  auto& box = w.mailboxes_[static_cast<std::size_t>(comm->rank_)];
+  const double o = w.machine_.loggp.overhead_s;
+
+  auto it = std::find_if(box.unexpected.begin(), box.unexpected.end(),
+                         [&](const Message& m) { return World::matches(src, tag, m); });
+  if (it != box.unexpected.end()) {
+    result = std::move(*it);
+    box.unexpected.erase(it);
+    w.engine_.schedule_after(o, [h] { h.resume(); });
+    return;
+  }
+  box.posted.push_back(World::PostedRecv{src, tag, h, &result});
+}
+
+void Comm::ComputeAwaitable::await_suspend(std::coroutine_handle<> h) {
+  World& w = *comm->world_;
+  const double duration = w.machine_.compute_noise.perturb(pure_seconds, comm->gen_);
+  comm->busy_s_ += duration;
+  w.engine_.schedule_after(duration, [h] { h.resume(); });
+}
+
+bool Comm::WaitLocalAwaitable::await_ready() const noexcept {
+  return comm->clock_.to_global(local_time) <= comm->world_->engine_.now();
+}
+
+void Comm::WaitLocalAwaitable::await_suspend(std::coroutine_handle<> h) {
+  comm->world_->engine_.schedule_at(comm->clock_.to_global(local_time), [h] { h.resume(); });
+}
+
+World::World(sim::Machine machine, int ranks, std::uint64_t seed,
+             sim::AllocationPolicy policy)
+    : machine_(std::move(machine)), network_(machine_.make_network()) {
+  if (ranks < 1) throw std::invalid_argument("World: ranks >= 1");
+
+  rng::Xoshiro256 seeder(seed);
+  // Batch system: pick the node allocation (one node per rank if the
+  // machine is large enough; otherwise round-robin over the allocation).
+  const std::size_t node_count = machine_.topology->node_count();
+  const auto want = static_cast<std::size_t>(ranks);
+  const std::size_t alloc_size = std::min(want, node_count);
+  auto allocation = sim::allocate_nodes(*machine_.topology, alloc_size, policy, seeder);
+
+  nodes_.resize(want);
+  for (std::size_t r = 0; r < want; ++r) nodes_[r] = allocation[r % allocation.size()];
+
+  comms_.reserve(want);
+  mailboxes_.resize(want);
+  fifo_clock_.assign(want, std::vector<double>(want, 0.0));
+  for (int r = 0; r < ranks; ++r) {
+    auto comm = std::make_unique<Comm>();
+    comm->world_ = this;
+    comm->rank_ = r;
+    comm->node_ = nodes_[static_cast<std::size_t>(r)];
+    const double offset = rng::normal(seeder, 0.0, machine_.clock_offset_sigma_s);
+    const double drift = rng::normal(seeder, 0.0, machine_.clock_drift_ppm_sigma);
+    comm->clock_ = LocalClock(offset, drift);
+    comm->gen_ = seeder.split();
+    comms_.push_back(std::move(comm));
+  }
+}
+
+namespace {
+
+// Trampoline: holds the program closure by value in its own coroutine
+// frame. Rank programs are usually capturing lambdas; without this, the
+// closure (and its captures) would be destroyed before the suspended
+// coroutine first resumes inside Engine::run().
+sim::Task<void> run_program(std::function<sim::Task<void>(Comm&)> program, Comm& comm) {
+  co_await program(comm);
+}
+
+}  // namespace
+
+void World::launch(const std::function<sim::Task<void>(Comm&)>& program) {
+  for (int r = 0; r < size(); ++r) launch_on(r, program);
+}
+
+void World::launch_on(int rank, const std::function<sim::Task<void>(Comm&)>& program) {
+  programs_.push_back(run_program(program, comm(rank)));
+  const sim::Task<void>& task = programs_.back();
+  engine_.schedule_at(engine_.now(), [&task] { task.start(); });
+}
+
+double World::energy_joules() const noexcept {
+  const auto& power = machine_.power;
+  // Distinct nodes in the allocation (round-robin may reuse nodes).
+  std::vector<std::size_t> distinct = nodes_;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+
+  double joules =
+      power.idle_w * engine_.now() * static_cast<double>(distinct.size());
+  for (const auto& comm : comms_) {
+    joules += power.compute_w * comm->busy_seconds();
+    joules += power.net_j_per_msg * static_cast<double>(comm->stats().sends);
+    joules += power.net_j_per_byte * static_cast<double>(comm->stats().bytes_sent);
+  }
+  return joules;
+}
+
+std::size_t World::step() { return engine_.run(); }
+
+std::size_t World::run() {
+  const std::size_t processed = engine_.run();
+  for (const auto& box : mailboxes_) {
+    if (!box.posted.empty()) {
+      throw std::runtime_error(
+          "World::run: deadlock -- a rank is blocked in recv with no matching "
+          "message in flight");
+    }
+  }
+  for (const auto& t : programs_) {
+    if (!t.done()) {
+      throw std::runtime_error("World::run: a rank program did not finish");
+    }
+  }
+  programs_.clear();
+  return processed;
+}
+
+void World::deliver(Message msg) {
+  ++delivered_;
+  auto& receiver = *comms_[static_cast<std::size_t>(msg.dst)];
+  ++receiver.stats_.receives;
+  receiver.stats_.bytes_received += msg.bytes;
+  auto& box = mailboxes_[static_cast<std::size_t>(msg.dst)];
+  const double o = machine_.loggp.overhead_s;
+  auto it = std::find_if(box.posted.begin(), box.posted.end(),
+                         [&](const PostedRecv& p) { return matches(p.src, p.tag, msg); });
+  if (it != box.posted.end()) {
+    PostedRecv posted = *it;
+    box.posted.erase(it);
+    *posted.out = std::move(msg);
+    engine_.schedule_after(o, [h = posted.waiter] { h.resume(); });
+    return;
+  }
+  auto nb = std::find_if(box.posted_nb.begin(), box.posted_nb.end(),
+                         [&](const PostedIrecv& p) { return matches(p.src, p.tag, msg); });
+  if (nb != box.posted_nb.end()) {
+    auto state = nb->state;
+    box.posted_nb.erase(nb);
+    complete_request(state, std::move(msg));
+    return;
+  }
+  box.unexpected.push_back(std::move(msg));
+}
+
+}  // namespace sci::simmpi

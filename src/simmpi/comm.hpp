@@ -1,0 +1,277 @@
+// Message-passing interface over the discrete-event engine.
+//
+// World owns the machine model, one Comm per rank, mailboxes, and the
+// rank programs (coroutines). Semantics mirror a small MPI subset:
+// blocking eager send/recv with (source, tag) matching incl. wildcards,
+// FIFO non-overtaking per (src, dst) pair, and collectives built from
+// point-to-point (see collectives.hpp).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "rng/xoshiro.hpp"
+#include "sim/engine.hpp"
+#include "sim/machine.hpp"
+#include "sim/task.hpp"
+#include "simmpi/clock.hpp"
+
+namespace sci::simmpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int src = 0;
+  int dst = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+  std::vector<double> payload;  ///< optional data for correctness checks
+};
+
+class World;
+
+/// Completion handle for nonblocking operations. Copyable; all copies
+/// observe the same completion.
+class Request {
+ public:
+  Request() = default;
+
+  /// True once the operation completed (message delivered / send done).
+  [[nodiscard]] bool test() const noexcept { return state_ && state_->complete; }
+
+  /// Awaitable: suspends until completion; returns the Message (empty
+  /// payload/metadata for sends).
+  struct WaitAwaitable;
+  [[nodiscard]] WaitAwaitable wait();
+
+ private:
+  friend class Comm;
+  friend class World;
+  struct State {
+    bool complete = false;
+    Message msg;
+    std::coroutine_handle<> waiter;
+    World* world = nullptr;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Per-rank traffic counters (the software-counter face of Section 6's
+/// PAPI support: message and byte counts are exact in the simulator).
+struct CommStats {
+  std::uint64_t sends = 0;
+  std::uint64_t receives = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Per-rank communication endpoint, passed to rank programs.
+class Comm {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+
+  /// Local (skewed, drifting) clock reading in seconds -- the simulated
+  /// MPI_Wtime. Measurement code must use this, not Engine::now().
+  [[nodiscard]] double wtime() const noexcept;
+
+  /// Awaitable: blocking eager send of `bytes` to `dst`.
+  struct SendAwaitable;
+  [[nodiscard]] SendAwaitable send(int dst, int tag, std::size_t bytes,
+                                   std::vector<double> payload = {});
+
+  /// Awaitable: blocking receive matching (src, tag); wildcards allowed.
+  struct RecvAwaitable;
+  [[nodiscard]] RecvAwaitable recv(int src, int tag);
+
+  /// Nonblocking send: returns immediately; the Request completes once
+  /// the sender-side resources are free (after overhead + any rendezvous
+  /// handshake). The CPU overhead is charged to the wire path, not the
+  /// caller -- await the Request before reusing the "buffer".
+  [[nodiscard]] Request isend(int dst, int tag, std::size_t bytes,
+                              std::vector<double> payload = {});
+
+  /// Nonblocking receive: posts the match immediately, completes when a
+  /// matching message is delivered.
+  [[nodiscard]] Request irecv(int src, int tag);
+
+  /// Awaitable: local computation of `pure_seconds`, perturbed by the
+  /// machine's compute-noise model.
+  struct ComputeAwaitable;
+  [[nodiscard]] ComputeAwaitable compute(double pure_seconds);
+
+  /// Awaitable: sleep until the *local* clock shows `local_time`.
+  struct WaitLocalAwaitable;
+  [[nodiscard]] WaitLocalAwaitable wait_until_local(double local_time);
+
+  /// This rank's deterministic random stream (derived from world seed).
+  [[nodiscard]] rng::Xoshiro256& rng() noexcept { return gen_; }
+
+  /// Exact traffic counters for this rank.
+  [[nodiscard]] const CommStats& stats() const noexcept { return stats_; }
+
+  /// Total (perturbed) compute time this rank has spent so far.
+  [[nodiscard]] double busy_seconds() const noexcept { return busy_s_; }
+
+  [[nodiscard]] World& world() noexcept { return *world_; }
+  [[nodiscard]] const LocalClock& clock() const noexcept { return clock_; }
+  /// Physical node this rank is mapped to.
+  [[nodiscard]] std::size_t node() const noexcept { return node_; }
+
+ private:
+  friend class World;
+  World* world_ = nullptr;
+  int rank_ = 0;
+  std::size_t node_ = 0;
+  LocalClock clock_;
+  rng::Xoshiro256 gen_;
+  CommStats stats_;
+  double busy_s_ = 0.0;
+};
+
+/// A simulated job: machine + ranks + programs.
+class World {
+ public:
+  /// Creates `ranks` processes on an allocation of `machine` nodes chosen
+  /// by the batch policy. One rank per node if enough nodes exist,
+  /// otherwise round-robin (packed allocations fill nodes first).
+  World(sim::Machine machine, int ranks, std::uint64_t seed,
+        sim::AllocationPolicy policy = sim::AllocationPolicy::kScattered);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Launches `program(comm)` on every rank at time 0.
+  void launch(const std::function<sim::Task<void>(Comm&)>& program);
+
+  /// Launches a program on one specific rank.
+  void launch_on(int rank, const std::function<sim::Task<void>(Comm&)>& program);
+
+  /// Runs the engine to completion. Throws if any rank is still blocked
+  /// when the event queue drains (deadlock).
+  std::size_t run();
+
+  /// Runs until the event queue drains, tolerating ranks parked in recv.
+  /// For request/response-style programs driven incrementally (launch a
+  /// client, step, launch the next); finish with run() so completion and
+  /// deadlock checks still execute once.
+  std::size_t step();
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] Comm& comm(int rank) { return *comms_.at(static_cast<std::size_t>(rank)); }
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(comms_.size()); }
+  [[nodiscard]] const sim::Machine& machine() const noexcept { return machine_; }
+  [[nodiscard]] const sim::Network& network() const noexcept { return network_; }
+  [[nodiscard]] const std::vector<std::size_t>& allocation() const noexcept { return nodes_; }
+
+  /// Total messages delivered so far (observability / tests).
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept { return delivered_; }
+
+  /// Job energy so far under the machine's power model (Joules): every
+  /// allocated node idles for the whole makespan, compute adds its
+  /// differential draw, and each message pays NIC + per-byte energy.
+  [[nodiscard]] double energy_joules() const noexcept;
+
+ private:
+  friend class Comm;
+  friend struct Comm::SendAwaitable;
+  friend struct Comm::RecvAwaitable;
+
+  struct PostedRecv {
+    int src;
+    int tag;
+    std::coroutine_handle<> waiter;
+    Message* out;
+  };
+  struct PostedIrecv {
+    int src;
+    int tag;
+    std::shared_ptr<Request::State> state;
+  };
+  struct Mailbox {
+    std::vector<Message> unexpected;
+    std::vector<PostedRecv> posted;
+    std::vector<PostedIrecv> posted_nb;
+  };
+
+  void complete_request(const std::shared_ptr<Request::State>& state, Message msg);
+
+  void deliver(Message msg);  // runs at arrival time
+  [[nodiscard]] static bool matches(int want_src, int want_tag, const Message& m) noexcept {
+    return (want_src == kAnySource || want_src == m.src) &&
+           (want_tag == kAnyTag || want_tag == m.tag);
+  }
+
+  sim::Machine machine_;
+  sim::Network network_;
+  sim::Engine engine_;
+  std::vector<std::size_t> nodes_;  // rank -> node id
+  std::vector<std::unique_ptr<Comm>> comms_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<std::vector<double>> fifo_clock_;  // last arrival per (src, dst)
+  std::deque<sim::Task<void>> programs_;  // deque: stable addresses for the start lambdas
+  std::uint64_t delivered_ = 0;
+};
+
+struct Comm::SendAwaitable {
+  Comm* comm;
+  int dst;
+  int tag;
+  std::size_t bytes;
+  std::vector<double> payload;
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+};
+
+struct Comm::RecvAwaitable {
+  Comm* comm;
+  int src;
+  int tag;
+  Message result;
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  [[nodiscard]] Message await_resume() noexcept { return std::move(result); }
+};
+
+struct Comm::ComputeAwaitable {
+  Comm* comm;
+  double pure_seconds;
+
+  [[nodiscard]] bool await_ready() const noexcept { return pure_seconds <= 0.0; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+};
+
+struct Request::WaitAwaitable {
+  std::shared_ptr<State> state;
+
+  [[nodiscard]] bool await_ready() const noexcept { return !state || state->complete; }
+  void await_suspend(std::coroutine_handle<> h) noexcept { state->waiter = h; }
+  [[nodiscard]] Message await_resume() noexcept {
+    return state ? std::move(state->msg) : Message{};
+  }
+};
+
+/// Awaits every request in order (the simulated MPI_Waitall).
+[[nodiscard]] sim::Task<void> wait_all(std::span<Request> requests);
+
+struct Comm::WaitLocalAwaitable {
+  Comm* comm;
+  double local_time;
+
+  [[nodiscard]] bool await_ready() const noexcept;
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+};
+
+}  // namespace sci::simmpi

@@ -1,0 +1,76 @@
+// Application-skeleton replay: a tiny Goal-like schedule language
+// executed on the simulated cluster. This is the methodology of
+// Hoefler, Schneider & Lumsdaine (SC'10), which the paper cites for
+// "characterizing the influence of system noise on large-scale
+// applications by simulation": strip an application to its
+// compute/communication skeleton, then replay it under controlled noise
+// models to see how perturbations propagate.
+//
+// Schedule text, one op per line ('#' comments allowed):
+//
+//   rank 0              # following ops belong to rank 0
+//   calc 1e-3           # compute for 1 ms (perturbed by the noise model)
+//   send 1 64 7         # send 64 bytes to rank 1 with tag 7
+//   recv 1 7            # blocking receive from rank 1, tag 7
+//   rank 1
+//   recv 0 7
+//   send 0 64 7
+//
+//   all                 # following ops run on EVERY rank
+//   barrier             # dissemination barrier
+//   reduce 0            # binomial reduce to root 0
+//   allreduce           # recursive-doubling allreduce
+//
+// Wildcards: `recv any <tag>` matches any source.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace sci::simmpi {
+
+enum class OpKind { kCalc, kSend, kRecv, kBarrier, kReduce, kAllreduce };
+
+struct Op {
+  OpKind kind = OpKind::kCalc;
+  double seconds = 0.0;   ///< kCalc
+  int peer = 0;           ///< kSend dst / kRecv src (kAnySource for 'any') / kReduce root
+  std::size_t bytes = 0;  ///< kSend
+  int tag = 0;            ///< kSend / kRecv
+};
+
+struct Schedule {
+  int ranks = 0;
+  std::vector<std::vector<Op>> per_rank;  ///< ops in program order
+  /// Number of parsed operations across all ranks.
+  [[nodiscard]] std::size_t total_ops() const;
+};
+
+/// Parses the schedule language; throws std::invalid_argument with a
+/// line-numbered message on malformed input. `ranks` fixes the job size
+/// (ops for ranks >= ranks are an error).
+[[nodiscard]] Schedule parse_schedule(const std::string& text, int ranks);
+
+struct ReplayResult {
+  /// True (global) completion time of each rank.
+  std::vector<double> rank_finish_s;
+  /// max over ranks -- the job completion time.
+  [[nodiscard]] double completion_s() const;
+  std::uint64_t messages = 0;
+};
+
+/// Executes the schedule on `machine`; deterministic in `seed`.
+[[nodiscard]] ReplayResult replay(const Schedule& schedule, const sim::Machine& machine,
+                                  std::uint64_t seed);
+
+/// Builds a BSP stencil skeleton: `steps` iterations of
+/// (compute `work_s`; exchange `halo_bytes` with both ring neighbors;
+/// allreduce) on `ranks` processes -- the canonical noise-amplification
+/// workload.
+[[nodiscard]] Schedule make_stencil_skeleton(int ranks, int steps, double work_s,
+                                             std::size_t halo_bytes);
+
+}  // namespace sci::simmpi

@@ -1,0 +1,87 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special_functions.hpp"
+
+namespace sci::stats {
+
+std::vector<double> bootstrap_distribution(std::span<const double> xs,
+                                           const Statistic& statistic,
+                                           std::size_t replicates, std::uint64_t seed) {
+  if (xs.size() < 2) throw std::invalid_argument("bootstrap: need n >= 2");
+  if (replicates == 0) throw std::invalid_argument("bootstrap: replicates >= 1");
+  rng::Xoshiro256 gen(seed);
+  const std::size_t n = xs.size();
+  std::vector<double> resample(n);
+  std::vector<double> stats;
+  stats.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      resample[i] = xs[static_cast<std::size_t>(rng::uniform_below(gen, n))];
+    }
+    stats.push_back(statistic(resample));
+  }
+  return stats;
+}
+
+Interval bootstrap_percentile_ci(std::span<const double> xs, const Statistic& statistic,
+                                 std::size_t replicates, double confidence,
+                                 std::uint64_t seed) {
+  const auto dist = bootstrap_distribution(xs, statistic, replicates, seed);
+  const double alpha = 1.0 - confidence;
+  return {quantile(dist, alpha / 2.0), quantile(dist, 1.0 - alpha / 2.0), confidence};
+}
+
+Interval bootstrap_bca_ci(std::span<const double> xs, const Statistic& statistic,
+                          std::size_t replicates, double confidence, std::uint64_t seed) {
+  const auto dist_unsorted = bootstrap_distribution(xs, statistic, replicates, seed);
+  const auto dist = sorted_copy(dist_unsorted);
+  const double theta_hat = statistic(xs);
+
+  // Bias correction z0: fraction of bootstrap stats below the point estimate.
+  std::size_t below = 0;
+  for (double v : dist) {
+    if (v < theta_hat) ++below;
+  }
+  double frac = static_cast<double>(below) / static_cast<double>(dist.size());
+  frac = std::clamp(frac, 1e-10, 1.0 - 1e-10);
+  const double z0 = inverse_normal_cdf(frac);
+
+  // Acceleration from jackknife influence values.
+  const std::size_t n = xs.size();
+  std::vector<double> jack(n);
+  std::vector<double> loo;
+  loo.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    loo.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) loo.push_back(xs[j]);
+    }
+    jack[i] = statistic(loo);
+  }
+  const double jack_mean = arithmetic_mean(jack);
+  double num = 0.0, den = 0.0;
+  for (double v : jack) {
+    const double d = jack_mean - v;
+    num += d * d * d;
+    den += d * d;
+  }
+  const double a = (den > 0.0) ? num / (6.0 * std::pow(den, 1.5)) : 0.0;
+
+  const double alpha = 1.0 - confidence;
+  auto adjusted = [&](double level) {
+    const double z = inverse_normal_cdf(level);
+    const double adj = normal_cdf(z0 + (z0 + z) / (1.0 - a * (z0 + z)));
+    return std::clamp(adj, 0.0, 1.0);
+  };
+  return {quantile_sorted(dist, adjusted(alpha / 2.0)),
+          quantile_sorted(dist, adjusted(1.0 - alpha / 2.0)), confidence};
+}
+
+}  // namespace sci::stats

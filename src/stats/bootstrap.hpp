@@ -1,0 +1,43 @@
+// Bootstrap resampling (Efron & Tibshirani). The paper lists bootstrap
+// as a "more advanced" technique beyond its scope; we include it as the
+// natural extension for CIs of statistics with no analytic error theory
+// (trimmed means, CoV, quantile-regression coefficients, ...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/confidence.hpp"  // Interval
+
+namespace sci::stats {
+
+/// A statistic computed on a resampled series.
+using Statistic = std::function<double(std::span<const double>)>;
+
+/// Bootstrap distribution of `statistic` over `replicates` resamples
+/// with replacement. Deterministic for a fixed seed.
+[[nodiscard]] std::vector<double> bootstrap_distribution(std::span<const double> xs,
+                                                         const Statistic& statistic,
+                                                         std::size_t replicates,
+                                                         std::uint64_t seed = 0xb00f);
+
+/// Percentile-method CI: quantiles of the bootstrap distribution.
+[[nodiscard]] Interval bootstrap_percentile_ci(std::span<const double> xs,
+                                               const Statistic& statistic,
+                                               std::size_t replicates = 1000,
+                                               double confidence = 0.95,
+                                               std::uint64_t seed = 0xb00f);
+
+/// BCa (bias-corrected and accelerated) CI; second-order accurate.
+/// Acceleration from jackknife influence values -- O(n^2) in statistic
+/// evaluations, so intended for small/medium n.
+[[nodiscard]] Interval bootstrap_bca_ci(std::span<const double> xs,
+                                        const Statistic& statistic,
+                                        std::size_t replicates = 1000,
+                                        double confidence = 0.95,
+                                        std::uint64_t seed = 0xb00f);
+
+}  // namespace sci::stats

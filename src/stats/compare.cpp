@@ -1,0 +1,147 @@
+#include "stats/compare.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+
+namespace sci::stats {
+
+TestResult t_test(std::span<const double> a, std::span<const double> b, bool pooled) {
+  if (a.size() < 2 || b.size() < 2) throw std::invalid_argument("t_test: need n >= 2 per group");
+  const double ma = arithmetic_mean(a);
+  const double mb = arithmetic_mean(b);
+  const double va = sample_variance(a);
+  const double vb = sample_variance(b);
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+
+  double t_stat, dof;
+  if (pooled) {
+    const double sp2 = ((na - 1.0) * va + (nb - 1.0) * vb) / (na + nb - 2.0);
+    t_stat = (ma - mb) / std::sqrt(sp2 * (1.0 / na + 1.0 / nb));
+    dof = na + nb - 2.0;
+  } else {
+    const double se2 = va / na + vb / nb;
+    t_stat = (ma - mb) / std::sqrt(se2);
+    // Welch-Satterthwaite degrees of freedom.
+    dof = se2 * se2 /
+          (va * va / (na * na * (na - 1.0)) + vb * vb / (nb * nb * (nb - 1.0)));
+  }
+  const StudentT t{dof};
+  const double p = 2.0 * (1.0 - t.cdf(std::fabs(t_stat)));
+  return {t_stat, p};
+}
+
+AnovaResult one_way_anova(Groups groups) {
+  const std::size_t k = groups.size();
+  if (k < 2) throw std::invalid_argument("one_way_anova: need k >= 2 groups");
+  std::size_t total_n = 0;
+  double grand_sum = 0.0;
+  for (const auto& g : groups) {
+    if (g.size() < 2) throw std::invalid_argument("one_way_anova: need n >= 2 per group");
+    total_n += g.size();
+    for (double v : g) grand_sum += v;
+  }
+  const double grand_mean = grand_sum / static_cast<double>(total_n);
+
+  double ss_between = 0.0, ss_within = 0.0;
+  for (const auto& g : groups) {
+    const double gm = arithmetic_mean(g);
+    ss_between += static_cast<double>(g.size()) * (gm - grand_mean) * (gm - grand_mean);
+    for (double v : g) ss_within += (v - gm) * (v - gm);
+  }
+
+  AnovaResult r;
+  r.dof_between = static_cast<double>(k - 1);
+  r.dof_within = static_cast<double>(total_n - k);
+  r.inter_group_variability = ss_between / r.dof_between;
+  r.intra_group_variability = ss_within / r.dof_within;
+  if (r.intra_group_variability == 0.0) {
+    // All groups internally constant: means either all equal (F=0) or
+    // trivially different (F=inf -> p=0).
+    r.f_statistic = (ss_between == 0.0) ? 0.0 : std::numeric_limits<double>::infinity();
+    r.p_value = (ss_between == 0.0) ? 1.0 : 0.0;
+    return r;
+  }
+  r.f_statistic = r.inter_group_variability / r.intra_group_variability;
+  const FisherF f{r.dof_between, r.dof_within};
+  r.p_value = 1.0 - f.cdf(r.f_statistic);
+  return r;
+}
+
+TestResult kruskal_wallis(Groups groups) {
+  const std::size_t k = groups.size();
+  if (k < 2) throw std::invalid_argument("kruskal_wallis: need k >= 2 groups");
+  std::size_t total_n = 0;
+  for (const auto& g : groups) {
+    if (g.empty()) throw std::invalid_argument("kruskal_wallis: empty group");
+    total_n += g.size();
+  }
+  // Pool all observations, rank with midranks for ties.
+  std::vector<double> pooled;
+  pooled.reserve(total_n);
+  for (const auto& g : groups)
+    pooled.insert(pooled.end(), g.begin(), g.end());
+  const auto ranks = midranks(pooled);
+
+  const auto n = static_cast<double>(total_n);
+  double h = 0.0;
+  std::size_t offset = 0;
+  for (const auto& g : groups) {
+    double rank_sum = 0.0;
+    for (std::size_t i = 0; i < g.size(); ++i) rank_sum += ranks[offset + i];
+    h += rank_sum * rank_sum / static_cast<double>(g.size());
+    offset += g.size();
+  }
+  h = 12.0 / (n * (n + 1.0)) * h - 3.0 * (n + 1.0);
+
+  // Tie correction: divide by 1 - sum(t^3 - t)/(n^3 - n).
+  auto sorted = sorted_copy(pooled);
+  double tie_term = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const auto t = static_cast<double>(j - i + 1);
+    if (t > 1.0) tie_term += t * t * t - t;
+    i = j + 1;
+  }
+  const double correction = 1.0 - tie_term / (n * n * n - n);
+  if (correction > 0.0) h /= correction;
+
+  const ChiSquared chi2{static_cast<double>(k - 1)};
+  return {h, 1.0 - chi2.cdf(h)};
+}
+
+double effect_size_cohens_d(std::span<const double> a, std::span<const double> b) {
+  if (a.size() < 2 || b.size() < 2)
+    throw std::invalid_argument("effect_size_cohens_d: need n >= 2 per group");
+  const auto na = static_cast<double>(a.size());
+  const auto nb = static_cast<double>(b.size());
+  const double sp2 =
+      ((na - 1.0) * sample_variance(a) + (nb - 1.0) * sample_variance(b)) / (na + nb - 2.0);
+  if (sp2 == 0.0) throw std::domain_error("effect_size_cohens_d: zero pooled variance");
+  return (arithmetic_mean(a) - arithmetic_mean(b)) / std::sqrt(sp2);
+}
+
+EffectMagnitude classify_effect(double cohens_d) noexcept {
+  const double d = std::fabs(cohens_d);
+  if (d < 0.2) return EffectMagnitude::kNegligible;
+  if (d < 0.5) return EffectMagnitude::kSmall;
+  if (d < 0.8) return EffectMagnitude::kMedium;
+  return EffectMagnitude::kLarge;
+}
+
+const char* to_string(EffectMagnitude m) noexcept {
+  switch (m) {
+    case EffectMagnitude::kNegligible: return "negligible";
+    case EffectMagnitude::kSmall: return "small";
+    case EffectMagnitude::kMedium: return "medium";
+    case EffectMagnitude::kLarge: return "large";
+  }
+  return "unknown";
+}
+
+}  // namespace sci::stats

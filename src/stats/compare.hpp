@@ -1,0 +1,51 @@
+// Statistically sound comparison of measurement groups (Section 3.2,
+// Rule 7): t-tests, one-way ANOVA, Kruskal-Wallis, and effect size.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/normality.hpp"  // TestResult
+
+namespace sci::stats {
+
+/// A set of measurement groups (e.g. one group per system or per rank).
+using Groups = std::span<const std::vector<double>>;
+
+/// Two-sample t-test. Welch's variant (default) does not assume equal
+/// variances; `pooled = true` gives the classic Student test.
+[[nodiscard]] TestResult t_test(std::span<const double> a, std::span<const double> b,
+                                bool pooled = false);
+
+struct AnovaResult {
+  double f_statistic = 0.0;
+  double p_value = 0.0;
+  double dof_between = 0.0;
+  double dof_within = 0.0;
+  double inter_group_variability = 0.0;  ///< egv: mean square between
+  double intra_group_variability = 0.0;  ///< igv: mean square within
+  [[nodiscard]] bool reject(double alpha = 0.05) const noexcept { return p_value < alpha; }
+};
+
+/// One-factor analysis of variance over k groups (unequal sizes
+/// supported). Null hypothesis: all group means are equal. Requires
+/// approximately normal groups with similar variances.
+[[nodiscard]] AnovaResult one_way_anova(Groups groups);
+
+/// Kruskal-Wallis rank one-way ANOVA with tie correction. Null
+/// hypothesis: all group medians are equal. Nonparametric; this is the
+/// paper's recommended test for the typical right-skewed timings.
+[[nodiscard]] TestResult kruskal_wallis(Groups groups);
+
+/// Effect size (Cohen's d with pooled standard deviation):
+/// E = (mean_a - mean_b) / s_pooled. The paper recommends reporting this
+/// alongside (or instead of) p-values for small effects.
+[[nodiscard]] double effect_size_cohens_d(std::span<const double> a,
+                                          std::span<const double> b);
+
+/// Conventional qualitative banding of |d| (Cohen 1988).
+enum class EffectMagnitude { kNegligible, kSmall, kMedium, kLarge };
+[[nodiscard]] EffectMagnitude classify_effect(double cohens_d) noexcept;
+[[nodiscard]] const char* to_string(EffectMagnitude m) noexcept;
+
+}  // namespace sci::stats

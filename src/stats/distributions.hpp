@@ -1,0 +1,43 @@
+// Probability distributions needed by the paper's analyses:
+//   Student t  -> CIs of the mean (Section 3.1.2)
+//   Normal     -> rank-based CIs of the median (Section 3.1.3, Le Boudec)
+//   Chi^2      -> Kruskal-Wallis significance (Section 3.2.2)
+//   Fisher F   -> one-way ANOVA significance (Section 3.2.1)
+#pragma once
+
+namespace sci::stats {
+
+struct Normal {
+  double mean = 0.0;
+  double stddev = 1.0;
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+};
+
+struct StudentT {
+  double dof;
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  /// Quantile via inverse incomplete beta; matches t tables, e.g.
+  /// t(0.975, dof=inf) = 1.96.
+  [[nodiscard]] double quantile(double p) const;
+  /// Two-sided critical value t(dof, alpha/2), the paper's t(n-1, a/2).
+  [[nodiscard]] double critical_two_sided(double alpha) const;
+};
+
+struct ChiSquared {
+  double dof;
+  [[nodiscard]] double pdf(double x) const;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+};
+
+struct FisherF {
+  double dof1;
+  double dof2;
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double quantile(double p) const;
+};
+
+}  // namespace sci::stats

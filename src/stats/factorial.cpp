@@ -1,0 +1,178 @@
+#include "stats/factorial.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+
+namespace sci::stats {
+
+std::vector<std::vector<bool>> full_factorial_levels(std::size_t k) {
+  if (k == 0 || k > 16) throw std::invalid_argument("full_factorial_levels: 1 <= k <= 16");
+  const std::size_t n = std::size_t{1} << k;
+  std::vector<std::vector<bool>> out(n, std::vector<bool>(k));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < k; ++f) out[i][f] = (i >> f) & 1;
+  }
+  return out;
+}
+
+namespace {
+
+std::size_t cell_index(const std::vector<bool>& levels) {
+  std::size_t idx = 0;
+  for (std::size_t f = 0; f < levels.size(); ++f) {
+    if (levels[f]) idx |= std::size_t{1} << f;
+  }
+  return idx;
+}
+
+std::string effect_name(std::size_t mask, std::size_t k) {
+  std::string name;
+  for (std::size_t f = 0; f < k; ++f) {
+    if (mask & (std::size_t{1} << f)) name += static_cast<char>('A' + f);
+  }
+  return name;
+}
+
+}  // namespace
+
+FactorialAnalysis analyze_factorial(std::vector<std::string> factor_names,
+                                    std::span<const FactorialRun> runs,
+                                    double confidence) {
+  const std::size_t k = factor_names.size();
+  if (k == 0 || k > 16) throw std::invalid_argument("analyze_factorial: 1 <= k <= 16");
+  const std::size_t cells = std::size_t{1} << k;
+  if (runs.size() != cells)
+    throw std::invalid_argument("analyze_factorial: need exactly 2^k runs");
+
+  // Index cells; verify completeness and uniform replication.
+  std::vector<const FactorialRun*> cell(cells, nullptr);
+  std::size_t r = 0;
+  for (const auto& run : runs) {
+    if (run.levels.size() != k)
+      throw std::invalid_argument("analyze_factorial: level arity mismatch");
+    if (run.responses.empty())
+      throw std::invalid_argument("analyze_factorial: empty responses");
+    const std::size_t idx = cell_index(run.levels);
+    if (cell[idx] != nullptr)
+      throw std::invalid_argument("analyze_factorial: duplicate configuration");
+    cell[idx] = &run;
+    if (r == 0) {
+      r = run.responses.size();
+    } else if (run.responses.size() != r) {
+      throw std::invalid_argument("analyze_factorial: unequal replication");
+    }
+  }
+
+  // Cell means and the replication (error) sum of squares.
+  std::vector<double> means(cells);
+  double error_ss = 0.0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    means[i] = arithmetic_mean(cell[i]->responses);
+    for (double y : cell[i]->responses) error_ss += (y - means[i]) * (y - means[i]);
+  }
+
+  FactorialAnalysis out;
+  out.factor_names = std::move(factor_names);
+  out.replicates = r;
+  out.experimental_error_ss = error_ss;
+
+  // Effects via the sign table: contrast(mask) = sum over cells of
+  // (+-1)^(parity of cell & mask) * mean(cell); estimate = contrast/2^k.
+  // (The conventional "effect" is contrast / 2^(k-1); we report the
+  // regression coefficient q_i = contrast / 2^k as in Jain, whose
+  // variation decomposition is SS_i = 2^k * r * q_i^2.)
+  const auto nd = static_cast<double>(cells);
+  double total_ss = 0.0;
+  const double grand = arithmetic_mean(means);
+  out.grand_mean = grand;
+
+  // Standard error of a coefficient from the replication error:
+  // se^2 = s_e^2 / (2^k * r), s_e^2 = error_ss / (2^k (r - 1)).
+  double se = 0.0;
+  double t_crit = 0.0;
+  if (r >= 2) {
+    const double dof = nd * static_cast<double>(r - 1);
+    const double s_e2 = error_ss / dof;
+    se = std::sqrt(s_e2 / (nd * static_cast<double>(r)));
+    t_crit = StudentT{dof}.critical_two_sided(1.0 - confidence);
+  }
+
+  std::vector<double> coefficients(cells, 0.0);
+  for (std::size_t mask = 1; mask < cells; ++mask) {
+    double contrast = 0.0;
+    for (std::size_t i = 0; i < cells; ++i) {
+      // Sign = product over participating factors of (+1 high / -1 low)
+      // = (-1)^(popcount(mask) - popcount(i & mask)).
+      const bool positive =
+          (std::popcount(i & mask) % 2) == (std::popcount(mask) % 2);
+      contrast += positive ? means[i] : -means[i];
+    }
+    coefficients[mask] = contrast / nd;
+    total_ss += nd * static_cast<double>(r) * coefficients[mask] * coefficients[mask];
+  }
+  total_ss += error_ss;
+
+  for (std::size_t mask = 1; mask < cells; ++mask) {
+    Effect e;
+    e.name = effect_name(mask, k);
+    for (std::size_t f = 0; f < k; ++f) {
+      if (mask & (std::size_t{1} << f)) e.factors.push_back(f);
+    }
+    e.estimate = coefficients[mask];
+    const double ss = nd * static_cast<double>(r) * e.estimate * e.estimate;
+    e.variation_explained = (total_ss > 0.0) ? ss / total_ss : 0.0;
+    if (r >= 2 && se > 0.0) {
+      e.ci = Interval{e.estimate - t_crit * se, e.estimate + t_crit * se, confidence};
+    }
+    out.effects.push_back(std::move(e));
+  }
+  // Order: main effects first, then by interaction order, then by name.
+  std::sort(out.effects.begin(), out.effects.end(), [](const Effect& a, const Effect& b) {
+    if (a.factors.size() != b.factors.size()) return a.factors.size() < b.factors.size();
+    return a.name < b.name;
+  });
+  out.error_fraction = (total_ss > 0.0) ? error_ss / total_ss : 0.0;
+  return out;
+}
+
+double FactorialAnalysis::predict(const std::vector<bool>& levels) const {
+  double y = grand_mean;
+  for (const auto& effect : effects) {
+    int sign = 1;
+    for (std::size_t f : effect.factors) sign *= levels.at(f) ? 1 : -1;
+    y += sign * effect.estimate;
+  }
+  return y;
+}
+
+std::string FactorialAnalysis::to_string() const {
+  std::ostringstream os;
+  os << "2^" << factor_names.size() << " factorial design, r=" << replicates
+     << " replicates, grand mean " << std::setprecision(5) << grand_mean << "\n";
+  for (std::size_t f = 0; f < factor_names.size(); ++f) {
+    os << "  " << static_cast<char>('A' + f) << " = " << factor_names[f] << "\n";
+  }
+  os << std::setw(8) << "effect" << std::setw(12) << "estimate" << std::setw(12)
+     << "var.expl" << "  significance\n";
+  for (const auto& e : effects) {
+    os << std::setw(8) << e.name << std::setw(12) << std::setprecision(4) << e.estimate
+       << std::setw(11) << std::setprecision(3) << e.variation_explained * 100.0 << "%";
+    if (e.ci) {
+      os << "  CI [" << e.ci->lower << ", " << e.ci->upper << "] "
+         << (e.significant() ? "SIGNIFICANT" : "not significant");
+    }
+    os << "\n";
+  }
+  os << "  experimental error: " << std::setprecision(3) << error_fraction * 100.0
+     << "% of variation\n";
+  return os.str();
+}
+
+}  // namespace sci::stats

@@ -1,0 +1,72 @@
+// Factorial experimental design (Section 4: "We recommend factorial
+// design to compare the influence of multiple factors, each at various
+// different levels, on the measured performance. This allows
+// experimenters to study the effect of each factor as well as
+// interactions between factors.")
+//
+// Implements the classic 2^k full-factorial machinery (Box, Hunter &
+// Hunter; Jain ch. 17): sign-table construction, main effects,
+// interaction effects of every order, and allocation of variation.
+// With replicated runs it also yields standard errors and t-based CIs
+// for each effect, so "is this factor's influence statistically
+// significant?" gets a sound answer (Rule 7).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "stats/confidence.hpp"
+
+namespace sci::stats {
+
+/// One measured cell of a 2^k design.
+struct FactorialRun {
+  /// Level of each factor: false = low (-1), true = high (+1).
+  std::vector<bool> levels;
+  /// Replicated responses measured at this configuration (>= 1).
+  std::vector<double> responses;
+};
+
+/// An estimated effect: which factors participate (main effect = one
+/// index; two-way interaction = two indices; ...).
+struct Effect {
+  std::vector<std::size_t> factors;  ///< indices into the factor-name list
+  std::string name;                  ///< e.g. "A", "AB", "ABC"
+  double estimate = 0.0;             ///< half the average high-low response change
+  double variation_explained = 0.0;  ///< fraction of total sum of squares
+  /// CI of the estimate; only available with replication (r >= 2).
+  std::optional<Interval> ci;
+  [[nodiscard]] bool significant() const noexcept {
+    return ci.has_value() && !ci->contains(0.0);
+  }
+};
+
+struct FactorialAnalysis {
+  std::vector<std::string> factor_names;
+  double grand_mean = 0.0;
+  std::vector<Effect> effects;       ///< all 2^k - 1 effects, main first
+  double experimental_error_ss = 0.0;  ///< replication sum of squares
+  double error_fraction = 0.0;       ///< fraction of variation due to error
+  std::size_t replicates = 0;
+
+  /// Predicted response at a configuration using the full model.
+  [[nodiscard]] double predict(const std::vector<bool>& levels) const;
+
+  /// Human-readable effects table.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Analyzes a full 2^k design: `runs` must contain every one of the 2^k
+/// level combinations exactly once, each with the same number r >= 1 of
+/// replicated responses. `confidence` controls the effect CIs (r >= 2).
+[[nodiscard]] FactorialAnalysis analyze_factorial(
+    std::vector<std::string> factor_names, std::span<const FactorialRun> runs,
+    double confidence = 0.95);
+
+/// Generates the 2^k level combinations in standard (Yates) order:
+/// factor 0 toggles fastest.
+[[nodiscard]] std::vector<std::vector<bool>> full_factorial_levels(std::size_t k);
+
+}  // namespace sci::stats

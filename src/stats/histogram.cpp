@@ -1,0 +1,97 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace sci::stats {
+
+Histogram make_histogram(std::span<const double> xs, std::size_t bins) {
+  if (xs.empty()) throw std::invalid_argument("make_histogram: empty input");
+  const auto sorted = sorted_copy(xs);
+  const double lo = sorted.front();
+  const double hi = sorted.back();
+  const auto n = static_cast<double>(xs.size());
+
+  if (bins == 0) {
+    const double iqr = quantile_sorted(sorted, 0.75) - quantile_sorted(sorted, 0.25);
+    if (iqr > 0.0 && hi > lo) {
+      const double width = 2.0 * iqr / std::cbrt(n);  // Freedman-Diaconis
+      bins = static_cast<std::size_t>(std::ceil((hi - lo) / width));
+    } else {
+      bins = static_cast<std::size_t>(std::ceil(std::log2(n))) + 1;  // Sturges
+    }
+    bins = std::clamp<std::size_t>(bins, 1, 512);
+  }
+
+  Histogram h;
+  h.edges.resize(bins + 1);
+  h.counts.assign(bins, 0);
+  const double span_width = (hi > lo) ? (hi - lo) : 1.0;
+  for (std::size_t i = 0; i <= bins; ++i) {
+    h.edges[i] = lo + span_width * static_cast<double>(i) / static_cast<double>(bins);
+  }
+  for (double x : xs) {
+    auto idx = static_cast<std::size_t>((x - lo) / span_width * static_cast<double>(bins));
+    if (idx >= bins) idx = bins - 1;  // right edge inclusive
+    ++h.counts[idx];
+  }
+  h.density.resize(bins);
+  const double bin_width = span_width / static_cast<double>(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    h.density[i] = static_cast<double>(h.counts[i]) / (n * bin_width);
+  }
+  return h;
+}
+
+DensityCurve kernel_density(std::span<const double> xs, std::size_t points,
+                            double bandwidth) {
+  if (xs.empty()) throw std::invalid_argument("kernel_density: empty input");
+  if (points < 2) throw std::invalid_argument("kernel_density: points >= 2");
+
+  // Thin very long series: KDE is a plot aid, O(points*n) matters at 1M.
+  std::vector<double> thinned;
+  std::span<const double> data = xs;
+  constexpr std::size_t kMaxSamples = 100'000;
+  if (xs.size() > kMaxSamples) {
+    thinned.reserve(kMaxSamples);
+    const std::size_t stride = xs.size() / kMaxSamples;
+    for (std::size_t i = 0; i < xs.size(); i += stride) thinned.push_back(xs[i]);
+    data = thinned;
+  }
+
+  const auto n = static_cast<double>(data.size());
+  if (bandwidth <= 0.0) {
+    const double s = sample_stddev(data);
+    const auto sorted = sorted_copy(data);
+    const double iqr = quantile_sorted(sorted, 0.75) - quantile_sorted(sorted, 0.25);
+    double sigma = (iqr > 0.0) ? std::min(s, iqr / 1.349) : s;
+    if (sigma <= 0.0) sigma = 1.0;
+    bandwidth = 0.9 * sigma * std::pow(n, -0.2);  // Silverman
+  }
+
+  const double lo = *std::min_element(data.begin(), data.end()) - 3.0 * bandwidth;
+  const double hi = *std::max_element(data.begin(), data.end()) + 3.0 * bandwidth;
+
+  DensityCurve curve;
+  curve.bandwidth = bandwidth;
+  curve.x.resize(points);
+  curve.density.assign(points, 0.0);
+  const double inv_h = 1.0 / bandwidth;
+  const double norm = 1.0 / (n * bandwidth * std::sqrt(2.0 * M_PI));
+  for (std::size_t p = 0; p < points; ++p) {
+    const double xp = lo + (hi - lo) * static_cast<double>(p) / static_cast<double>(points - 1);
+    curve.x[p] = xp;
+    double acc = 0.0;
+    for (double v : data) {
+      const double u = (xp - v) * inv_h;
+      if (u * u < 40.0) acc += std::exp(-0.5 * u * u);  // exp underflows beyond
+    }
+    curve.density[p] = acc * norm;
+  }
+  return curve;
+}
+
+}  // namespace sci::stats

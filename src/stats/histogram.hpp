@@ -1,0 +1,36 @@
+// Histogram and kernel density estimation: the data behind the paper's
+// density plots (Figures 1-3) and violin plots (Figure 7c, Rule 12).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sci::stats {
+
+struct Histogram {
+  std::vector<double> edges;   ///< size bins+1, ascending
+  std::vector<std::size_t> counts;
+  std::vector<double> density; ///< counts normalized so the area is 1
+  [[nodiscard]] std::size_t bins() const noexcept { return counts.size(); }
+};
+
+/// Equal-width histogram. `bins == 0` selects the Freedman-Diaconis rule
+/// (falling back to Sturges when the IQR vanishes).
+[[nodiscard]] Histogram make_histogram(std::span<const double> xs, std::size_t bins = 0);
+
+struct DensityCurve {
+  std::vector<double> x;
+  std::vector<double> density;
+  double bandwidth = 0.0;
+};
+
+/// Gaussian KDE evaluated on `points` equally spaced positions spanning
+/// the data range widened by 3 bandwidths. `bandwidth == 0` selects
+/// Silverman's rule of thumb. Evaluation cost is O(points * n); for very
+/// long series the input is thinned to <= 100k samples first.
+[[nodiscard]] DensityCurve kernel_density(std::span<const double> xs,
+                                          std::size_t points = 128,
+                                          double bandwidth = 0.0);
+
+}  // namespace sci::stats

@@ -1,0 +1,86 @@
+#include "stats/independence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "stats/special_functions.hpp"
+
+namespace sci::stats {
+
+double autocorrelation(std::span<const double> xs, std::size_t lag) {
+  const std::size_t n = xs.size();
+  if (n < 2) throw std::invalid_argument("autocorrelation: need n >= 2");
+  if (lag >= n) throw std::invalid_argument("autocorrelation: lag < n required");
+  if (lag == 0) return 1.0;
+  const double mean = arithmetic_mean(xs);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    den += (xs[i] - mean) * (xs[i] - mean);
+    if (i + lag < n) num += (xs[i] - mean) * (xs[i + lag] - mean);
+  }
+  if (den == 0.0) return 0.0;  // constant series: no signal either way
+  return num / den;
+}
+
+TestResult ljung_box(std::span<const double> xs, std::size_t max_lag) {
+  const std::size_t n = xs.size();
+  if (max_lag == 0) throw std::invalid_argument("ljung_box: max_lag >= 1");
+  if (n < max_lag + 2) throw std::invalid_argument("ljung_box: series too short");
+  const auto nd = static_cast<double>(n);
+  double q = 0.0;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    const double rho = autocorrelation(xs, k);
+    q += rho * rho / (nd - static_cast<double>(k));
+  }
+  q *= nd * (nd + 2.0);
+  const ChiSquared chi2{static_cast<double>(max_lag)};
+  return {q, 1.0 - chi2.cdf(q)};
+}
+
+TestResult runs_test(std::span<const double> xs) {
+  if (xs.size() < 10) throw std::invalid_argument("runs_test: need n >= 10");
+  const double med = median(xs);
+  std::vector<int> signs;
+  signs.reserve(xs.size());
+  for (double x : xs) {
+    if (x > med) signs.push_back(1);
+    if (x < med) signs.push_back(-1);  // ties dropped
+  }
+  const std::size_t m = signs.size();
+  if (m < 10) throw std::invalid_argument("runs_test: too many values equal the median");
+
+  std::size_t runs = 1, n_pos = (signs[0] > 0), n_neg = (signs[0] < 0);
+  for (std::size_t i = 1; i < m; ++i) {
+    if (signs[i] != signs[i - 1]) ++runs;
+    (signs[i] > 0 ? n_pos : n_neg) += 1;
+  }
+  const auto n1 = static_cast<double>(n_pos);
+  const auto n2 = static_cast<double>(n_neg);
+  if (n1 == 0.0 || n2 == 0.0) return {static_cast<double>(runs), 1.0};
+  const double mu = 2.0 * n1 * n2 / (n1 + n2) + 1.0;
+  const double var = 2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2) /
+                     ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1.0));
+  if (var <= 0.0) return {static_cast<double>(runs), 1.0};
+  const double z = (static_cast<double>(runs) - mu) / std::sqrt(var);
+  const double p = 2.0 * (1.0 - normal_cdf(std::fabs(z)));
+  return {static_cast<double>(runs), std::clamp(p, 0.0, 1.0)};
+}
+
+double effective_sample_size(std::span<const double> xs, std::size_t max_lag) {
+  const std::size_t n = xs.size();
+  if (n < 4) throw std::invalid_argument("effective_sample_size: need n >= 4");
+  double tau = 1.0;  // integrated autocorrelation time
+  const std::size_t limit = std::min(max_lag, n - 1);
+  for (std::size_t k = 1; k <= limit; ++k) {
+    const double rho = autocorrelation(xs, k);
+    if (rho <= 0.0) break;  // initial positive sequence truncation
+    tau += 2.0 * rho;
+  }
+  return std::clamp(static_cast<double>(n) / tau, 1.0, static_cast<double>(n));
+}
+
+}  // namespace sci::stats

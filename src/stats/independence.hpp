@@ -1,0 +1,39 @@
+// Independence diagnostics. Both the parametric and the rank-based CIs
+// of Section 3.1 "require independent and identically distributed (iid)
+// measurements" -- an assumption benchmark loops violate easily (cache
+// warm-up trends, interference bursts, throttling). These checks make
+// the assumption testable instead of silent:
+//
+//   autocorrelation     sample ACF at a given lag
+//   Ljung-Box           portmanteau test: any correlation up to lag L?
+//   Wald-Wolfowitz runs distribution-free randomness test around the median
+//   effective sample size  n_eff <= n under AR-like correlation; CIs
+//                       computed from n when n_eff << n are overconfident
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "stats/normality.hpp"  // TestResult
+
+namespace sci::stats {
+
+/// Sample autocorrelation at `lag` (biased estimator, as in Box-Jenkins).
+[[nodiscard]] double autocorrelation(std::span<const double> xs, std::size_t lag);
+
+/// Ljung-Box portmanteau test over lags 1..max_lag; null hypothesis:
+/// the series is uncorrelated (consistent with iid). chi^2(max_lag).
+[[nodiscard]] TestResult ljung_box(std::span<const double> xs, std::size_t max_lag = 10);
+
+/// Wald-Wolfowitz runs test around the median; null: random order.
+/// Two-sided normal approximation. Values equal to the median are
+/// dropped (standard treatment).
+[[nodiscard]] TestResult runs_test(std::span<const double> xs);
+
+/// Effective sample size n / (1 + 2 sum_{k=1..K} rho_k) with the sum
+/// truncated at the first non-positive autocorrelation (Geyer's initial
+/// positive sequence, simplified). Bounded to [1, n].
+[[nodiscard]] double effective_sample_size(std::span<const double> xs,
+                                           std::size_t max_lag = 100);
+
+}  // namespace sci::stats

@@ -1,0 +1,54 @@
+#include "stats/normalization.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/normality.hpp"
+
+namespace sci::stats {
+
+std::vector<double> log_transform(std::span<const double> xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    if (x <= 0.0) throw std::domain_error("log_transform: requires positive values");
+    out.push_back(std::log(x));
+  }
+  return out;
+}
+
+std::vector<double> block_means(std::span<const double> xs, std::size_t k) {
+  if (k == 0) throw std::domain_error("block_means: k >= 1");
+  const std::size_t blocks = xs.size() / k;
+  std::vector<double> out;
+  out.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    out.push_back(arithmetic_mean(xs.subspan(b * k, k)));
+  }
+  return out;
+}
+
+double log_average(std::span<const double> xs) { return geometric_mean(xs); }
+
+std::size_t find_normalizing_block_size(std::span<const double> xs,
+                                        std::span<const std::size_t> candidates,
+                                        double alpha) {
+  for (std::size_t k : candidates) {
+    auto means = block_means(xs, k);
+    if (means.size() < 8) continue;  // too few blocks to judge
+    // Shapiro-Wilk caps at n=5000; thin evenly if needed.
+    std::vector<double> test_data;
+    if (means.size() > 5000) {
+      test_data.reserve(5000);
+      const std::size_t stride = means.size() / 5000 + 1;
+      for (std::size_t i = 0; i < means.size(); i += stride) test_data.push_back(means[i]);
+    } else {
+      test_data = std::move(means);
+    }
+    if (!shapiro_wilk(test_data).reject(alpha)) return k;
+  }
+  return 0;
+}
+
+}  // namespace sci::stats

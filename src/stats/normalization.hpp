@@ -1,0 +1,35 @@
+// Normalization strategies for non-normal measurement data (Section
+// 3.1.2, demonstrated by the paper's Figure 2 on 1M ping-pong samples):
+//
+//  - log-normalization: right-skewed, always-positive timings often
+//    follow a log-normal law; ln(x) then behaves normally and the
+//    log-average equals the geometric mean;
+//  - block normalization: averaging blocks of k observations approaches
+//    normality by the CLT at the cost of per-observation resolution.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sci::stats {
+
+/// Element-wise natural log. Throws on non-positive input.
+[[nodiscard]] std::vector<double> log_transform(std::span<const double> xs);
+
+/// Means of consecutive disjoint blocks of length k; a trailing partial
+/// block is discarded (it would have different variance).
+[[nodiscard]] std::vector<double> block_means(std::span<const double> xs, std::size_t k);
+
+/// Log-average = exp(mean(ln x)) = geometric mean (Section 3.1.2).
+[[nodiscard]] double log_average(std::span<const double> xs);
+
+/// Searches the smallest block size from `candidates` whose block means
+/// pass Shapiro-Wilk at `alpha` (subsampled to <= 5000 for the test).
+/// Returns 0 if none passes -- the caller should fall back to
+/// nonparametric statistics, as the paper recommends.
+[[nodiscard]] std::size_t find_normalizing_block_size(std::span<const double> xs,
+                                                      std::span<const std::size_t> candidates,
+                                                      double alpha = 0.05);
+
+}  // namespace sci::stats

@@ -1,0 +1,35 @@
+#include "stats/outliers.hpp"
+
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace sci::stats {
+
+TukeyFences tukey_fences(std::span<const double> xs, double constant) {
+  if (xs.empty()) throw std::invalid_argument("tukey_fences: empty input");
+  if (constant <= 0.0) throw std::domain_error("tukey_fences: constant > 0");
+  const auto sorted = sorted_copy(xs);
+  const double q1 = quantile_sorted(sorted, 0.25);
+  const double q3 = quantile_sorted(sorted, 0.75);
+  const double iqr = q3 - q1;
+  return {q1 - constant * iqr, q3 + constant * iqr};
+}
+
+OutlierFilterResult remove_outliers_tukey(std::span<const double> xs, double constant) {
+  OutlierFilterResult result;
+  result.fences = tukey_fences(xs, constant);
+  result.kept.reserve(xs.size());
+  for (double x : xs) {
+    if (x < result.fences.lower) {
+      ++result.removed_low;
+    } else if (x > result.fences.upper) {
+      ++result.removed_high;
+    } else {
+      result.kept.push_back(x);
+    }
+  }
+  return result;
+}
+
+}  // namespace sci::stats

@@ -1,0 +1,36 @@
+// Outlier handling ("On Removing Outliers", Section 3.1.3).
+//
+// The paper's position: avoid removal, prefer robust rank statistics.
+// When the mean is required, use Tukey's fences and *always report the
+// number of removed observations* -- the API returns that count so
+// callers cannot silently drop it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sci::stats {
+
+struct TukeyFences {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Tukey fences [q1 - c*IQR, q3 + c*IQR]; the conventional constant is
+/// c = 1.5, larger values are more conservative.
+[[nodiscard]] TukeyFences tukey_fences(std::span<const double> xs, double constant = 1.5);
+
+struct OutlierFilterResult {
+  std::vector<double> kept;
+  std::size_t removed_low = 0;
+  std::size_t removed_high = 0;
+  TukeyFences fences;
+  [[nodiscard]] std::size_t removed() const noexcept { return removed_low + removed_high; }
+};
+
+/// Filters observations outside the Tukey fences.
+[[nodiscard]] OutlierFilterResult remove_outliers_tukey(std::span<const double> xs,
+                                                        double constant = 1.5);
+
+}  // namespace sci::stats

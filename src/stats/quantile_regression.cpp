@@ -1,0 +1,111 @@
+#include "stats/quantile_regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "lp/simplex.hpp"
+#include "rng/distributions.hpp"
+#include "stats/descriptive.hpp"
+
+namespace sci::stats {
+namespace {
+
+// LP formulation: variables [b+ (k+1), b- (k+1), u+ (n), u- (n)], all >= 0.
+//   minimize  tau * sum u+  +  (1 - tau) * sum u-
+//   s.t.      X (b+ - b-) + u+ - u- = y          (n equality rows)
+QuantRegResult solve_one(std::span<const double> y,
+                         std::span<const std::vector<double>> design, double tau) {
+  const std::size_t n = y.size();
+  if (n == 0) throw std::invalid_argument("quantile_regression: empty response");
+  if (tau <= 0.0 || tau >= 1.0) throw std::domain_error("quantile_regression: tau in (0,1)");
+  const std::size_t k = design.empty() ? 0 : design.front().size();
+  for (const auto& row : design) {
+    if (row.size() != k) throw std::invalid_argument("quantile_regression: ragged design");
+  }
+  if (!design.empty() && design.size() != n)
+    throw std::invalid_argument("quantile_regression: design/response size mismatch");
+
+  const std::size_t p = k + 1;  // + intercept
+  const std::size_t cols = 2 * p + 2 * n;
+  lp::Problem prob(n, cols);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    prob.set_coefficient(i, 0, 1.0);       // intercept b0+
+    prob.set_coefficient(i, p, -1.0);      // intercept b0-
+    for (std::size_t j = 0; j < k; ++j) {
+      prob.set_coefficient(i, 1 + j, design[i][j]);
+      prob.set_coefficient(i, p + 1 + j, -design[i][j]);
+    }
+    prob.set_coefficient(i, 2 * p + i, 1.0);       // u+
+    prob.set_coefficient(i, 2 * p + n + i, -1.0);  // u-
+    prob.set_rhs(i, y[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    prob.set_objective(2 * p + i, tau);
+    prob.set_objective(2 * p + n + i, 1.0 - tau);
+  }
+
+  const lp::Solution sol = prob.solve();
+  QuantRegResult out;
+  out.tau = tau;
+  out.converged = (sol.status == lp::Status::kOptimal);
+  if (!out.converged) return out;
+  out.objective = sol.objective;
+  out.coefficients.resize(p);
+  for (std::size_t j = 0; j < p; ++j) out.coefficients[j] = sol.x[j] - sol.x[p + j];
+  return out;
+}
+
+}  // namespace
+
+QuantRegResult quantile_regression(std::span<const double> y,
+                                   std::span<const std::vector<double>> design,
+                                   double tau) {
+  return solve_one(y, design, tau);
+}
+
+std::vector<QuantRegResult> quantile_regression_sweep(
+    std::span<const double> y, std::span<const std::vector<double>> design,
+    std::span<const double> taus) {
+  std::vector<QuantRegResult> out;
+  out.reserve(taus.size());
+  for (double tau : taus) out.push_back(solve_one(y, design, tau));
+  return out;
+}
+
+QuantRegCI quantile_regression_bootstrap_ci(std::span<const double> y,
+                                            std::span<const std::vector<double>> design,
+                                            double tau, std::size_t replicates,
+                                            double confidence, std::uint64_t seed) {
+  const std::size_t n = y.size();
+  const std::size_t p = (design.empty() ? 0 : design.front().size()) + 1;
+  std::vector<std::vector<double>> coef_samples(p);
+  rng::Xoshiro256 gen(seed);
+
+  std::vector<double> yb(n);
+  std::vector<std::vector<double>> xb(design.empty() ? 0 : n);
+  for (std::size_t rep = 0; rep < replicates; ++rep) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(rng::uniform_below(gen, n));
+      yb[i] = y[idx];
+      if (!design.empty()) xb[i] = design[idx];
+    }
+    const auto fit = solve_one(yb, xb, tau);
+    if (!fit.converged) continue;
+    for (std::size_t j = 0; j < p; ++j) coef_samples[j].push_back(fit.coefficients[j]);
+  }
+
+  QuantRegCI ci;
+  ci.lower.resize(p);
+  ci.upper.resize(p);
+  const double alpha = 1.0 - confidence;
+  for (std::size_t j = 0; j < p; ++j) {
+    if (coef_samples[j].size() < 10)
+      throw std::runtime_error("quantile_regression_bootstrap_ci: too few converged refits");
+    ci.lower[j] = quantile(coef_samples[j], alpha / 2.0);
+    ci.upper[j] = quantile(coef_samples[j], 1.0 - alpha / 2.0);
+  }
+  return ci;
+}
+
+}  // namespace sci::stats

@@ -1,0 +1,48 @@
+// Quantile regression (Section 3.2.3): models the effect of factors on
+// arbitrary quantiles. Solved exactly as a linear program (Koenker &
+// Bassett 1978) on the sci_lp simplex substrate.
+//
+// The paper's Figure 4 use case -- latency ~ system indicator -- is a
+// one-regressor design; the general interface accepts any design matrix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sci::stats {
+
+struct QuantRegResult {
+  bool converged = false;
+  double tau = 0.5;                   ///< fitted quantile
+  std::vector<double> coefficients;   ///< [intercept, beta_1, ...]
+  double objective = 0.0;             ///< sum of check-function losses
+};
+
+/// Fits  Q_tau(y | x) = b0 + b1 x1 + ... + bk xk  by minimizing the
+/// check loss  sum_i rho_tau(y_i - x_i' b)  via LP.
+/// `design` holds the regressor rows *without* the intercept column
+/// (it is added internally); pass an empty design for a pure intercept
+/// model, whose solution is the tau-quantile of y.
+[[nodiscard]] QuantRegResult quantile_regression(std::span<const double> y,
+                                                 std::span<const std::vector<double>> design,
+                                                 double tau);
+
+/// Sweep of taus for QR plots (paper Figure 4: quantiles on the x-axis).
+[[nodiscard]] std::vector<QuantRegResult> quantile_regression_sweep(
+    std::span<const double> y, std::span<const std::vector<double>> design,
+    std::span<const double> taus);
+
+/// Bootstrap percentile CI half-widths for each coefficient (xy-pair
+/// bootstrap, `replicates` refits on resampled data, deterministic seed).
+struct QuantRegCI {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+[[nodiscard]] QuantRegCI quantile_regression_bootstrap_ci(
+    std::span<const double> y, std::span<const std::vector<double>> design, double tau,
+    std::size_t replicates = 200, double confidence = 0.95,
+    std::uint64_t seed = 0x5eedc0ffee);
+
+}  // namespace sci::stats

@@ -1,0 +1,131 @@
+#include "stats/ranktests.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "stats/special_functions.hpp"
+
+namespace sci::stats {
+namespace {
+
+/// Sum of (t^3 - t) over tie groups of a sorted series.
+double tie_term(std::vector<double> sorted) {
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
+    const auto t = static_cast<double>(j - i + 1);
+    if (t > 1.0) total += t * t * t - t;
+    i = j + 1;
+  }
+  return total;
+}
+
+}  // namespace
+
+MannWhitneyResult mann_whitney_u(std::span<const double> a, std::span<const double> b) {
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+  if (na < 2 || nb < 2) throw std::invalid_argument("mann_whitney_u: n >= 2 per group");
+
+  std::vector<double> pooled;
+  pooled.reserve(na + nb);
+  pooled.insert(pooled.end(), a.begin(), a.end());
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  const auto ranks = midranks(pooled);
+
+  double rank_sum_a = 0.0;
+  for (std::size_t i = 0; i < na; ++i) rank_sum_a += ranks[i];
+  const auto nad = static_cast<double>(na);
+  const auto nbd = static_cast<double>(nb);
+  const double u_a = rank_sum_a - nad * (nad + 1.0) / 2.0;
+
+  MannWhitneyResult out;
+  out.u_statistic = std::min(u_a, nad * nbd - u_a);
+  out.prob_superiority = u_a / (nad * nbd);
+
+  const double n = nad + nbd;
+  const double mu = nad * nbd / 2.0;
+  const double tie = tie_term(pooled);
+  const double sigma2 =
+      nad * nbd / 12.0 * ((n + 1.0) - tie / (n * (n - 1.0)));
+  if (sigma2 <= 0.0) {
+    out.p_value = 1.0;  // all observations tied
+    return out;
+  }
+  // Continuity-corrected z.
+  const double z = (std::fabs(u_a - mu) - 0.5) / std::sqrt(sigma2);
+  out.p_value = 2.0 * (1.0 - normal_cdf(std::max(z, 0.0)));
+  out.p_value = std::clamp(out.p_value, 0.0, 1.0);
+  return out;
+}
+
+TestResult wilcoxon_signed_rank(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("wilcoxon_signed_rank: size mismatch");
+  std::vector<double> abs_diff;
+  std::vector<int> signs;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d != 0.0) {
+      abs_diff.push_back(std::fabs(d));
+      signs.push_back(d > 0.0 ? 1 : -1);
+    }
+  }
+  const std::size_t n = abs_diff.size();
+  if (n < 6) throw std::invalid_argument("wilcoxon_signed_rank: need >= 6 nonzero diffs");
+
+  const auto ranks = midranks(abs_diff);
+  double w_plus = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (signs[i] > 0) w_plus += ranks[i];
+  }
+  const auto nd = static_cast<double>(n);
+  const double mu = nd * (nd + 1.0) / 4.0;
+  const double tie = tie_term(abs_diff);
+  const double sigma2 = nd * (nd + 1.0) * (2.0 * nd + 1.0) / 24.0 - tie / 48.0;
+  const double z = (std::fabs(w_plus - mu) - 0.5) / std::sqrt(sigma2);
+  const double p = std::clamp(2.0 * (1.0 - normal_cdf(std::max(z, 0.0))), 0.0, 1.0);
+  return {w_plus, p};
+}
+
+TestResult spearman(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("spearman: size mismatch");
+  const std::size_t n = x.size();
+  if (n < 4) throw std::invalid_argument("spearman: need n >= 4");
+
+  const auto rx = midranks(x);
+  const auto ry = midranks(y);
+  // Pearson correlation of the ranks (handles ties correctly).
+  const double mx = arithmetic_mean(rx);
+  const double my = arithmetic_mean(ry);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxy += (rx[i] - mx) * (ry[i] - my);
+    sxx += (rx[i] - mx) * (rx[i] - mx);
+    syy += (ry[i] - my) * (ry[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return {0.0, 1.0};
+  const double rho = sxy / std::sqrt(sxx * syy);
+
+  // t-transform significance.
+  const auto nd = static_cast<double>(n);
+  const double denom = 1.0 - rho * rho;
+  double p = 0.0;
+  if (denom <= 0.0) {
+    p = 0.0;  // |rho| == 1: perfectly monotone
+  } else {
+    const double t = rho * std::sqrt((nd - 2.0) / denom);
+    const StudentT dist{nd - 2.0};
+    p = 2.0 * (1.0 - dist.cdf(std::fabs(t)));
+  }
+  return {rho, std::clamp(p, 0.0, 1.0)};
+}
+
+}  // namespace sci::stats

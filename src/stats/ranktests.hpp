@@ -1,0 +1,43 @@
+// Additional nonparametric tests complementing Kruskal-Wallis
+// (Section 3.2.2). These are the two-sample / paired / correlation
+// counterparts a practitioner needs once the measured distributions are
+// -- as the paper shows they usually are -- far from normal:
+//
+//   Mann-Whitney U      two independent samples (k = 2 rank test with a
+//                       direct effect-size interpretation: P[X > Y])
+//   Wilcoxon signed rank  paired samples (e.g. per-benchmark before/after
+//                       an optimization on the same inputs)
+//   Spearman rho        monotone association between two series (e.g.
+//                       message size vs latency without assuming a law)
+#pragma once
+
+#include <span>
+
+#include "stats/normality.hpp"  // TestResult
+
+namespace sci::stats {
+
+struct MannWhitneyResult {
+  double u_statistic = 0.0;
+  double p_value = 1.0;      ///< two-sided, normal approximation w/ tie correction
+  /// Common-language effect size: estimate of P[a > b] + P[a == b]/2.
+  double prob_superiority = 0.5;
+  [[nodiscard]] bool reject(double alpha = 0.05) const noexcept { return p_value < alpha; }
+};
+
+/// Mann-Whitney U (Wilcoxon rank-sum) test; requires n >= 2 per group.
+/// Uses the normal approximation (fine for n >= ~8 per group).
+[[nodiscard]] MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                               std::span<const double> b);
+
+/// Wilcoxon signed-rank test of paired differences (two-sided, normal
+/// approximation with tie/zero handling per Pratt). Requires matching
+/// sizes and at least 6 nonzero differences.
+[[nodiscard]] TestResult wilcoxon_signed_rank(std::span<const double> a,
+                                              std::span<const double> b);
+
+/// Spearman rank correlation coefficient rho in [-1, 1] with the t-based
+/// two-sided significance (statistic = rho, p from t(n-2) transform).
+[[nodiscard]] TestResult spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace sci::stats

@@ -1,0 +1,177 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+
+namespace sci::stats {
+namespace {
+
+/// Cholesky solve of the symmetric positive-definite system A x = b;
+/// returns false when A is not (numerically) SPD. A is n x n row-major
+/// and also receives the factor; diag_inv receives the inverse diagonal
+/// of A^-1 needed for coefficient standard errors.
+bool cholesky_solve(std::vector<double>& a, std::vector<double>& b, std::size_t n,
+                    std::vector<double>& ainv_diag) {
+  // Factor A = L L^T in place (lower triangle).
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) d -= a[j * n + k] * a[j * n + k];
+    if (d <= 0.0) return false;
+    a[j * n + j] = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = s / a[j * n + j];
+    }
+  }
+  // Solve L y = b, then L^T x = y.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a[i * n + k] * b[k];
+    b[i] = s / a[i * n + i];
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= a[k * n + i] * b[k];
+    b[i] = s / a[i * n + i];
+  }
+  // Diagonal of (L L^T)^-1: solve for each unit vector (n is tiny).
+  ainv_diag.assign(n, 0.0);
+  std::vector<double> e(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    std::fill(e.begin(), e.end(), 0.0);
+    e[col] = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = e[i];
+      for (std::size_t k = 0; k < i; ++k) s -= a[i * n + k] * e[k];
+      e[i] = s / a[i * n + i];
+    }
+    for (std::size_t i = n; i-- > 0;) {
+      double s = e[i];
+      for (std::size_t k = i + 1; k < n; ++k) s -= a[k * n + i] * e[k];
+      e[i] = s / a[i * n + i];
+    }
+    ainv_diag[col] = e[col];
+  }
+  return true;
+}
+
+}  // namespace
+
+double FitResult::predict(double x) const {
+  double y = 0.0;
+  for (std::size_t j = 0; j < bases.size() && j < coefficients.size(); ++j) {
+    y += coefficients[j] * bases[j].phi(x);
+  }
+  return y;
+}
+
+std::string FitResult::to_string() const {
+  std::ostringstream os;
+  os << "least-squares fit (R^2 = " << r_squared << ", residual sd = "
+     << residual_stddev << ")\n";
+  for (std::size_t j = 0; j < coefficients.size(); ++j) {
+    os << "  " << bases[j].name << ": " << coefficients[j];
+    if (j < coefficient_cis.size()) {
+      os << "  CI [" << coefficient_cis[j].lower << ", " << coefficient_cis[j].upper
+         << "]";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+FitResult fit_least_squares(std::span<const double> xs, std::span<const double> ys,
+                            std::vector<Basis> bases, double confidence) {
+  const std::size_t n = xs.size();
+  const std::size_t k = bases.size();
+  if (n != ys.size()) throw std::invalid_argument("fit_least_squares: size mismatch");
+  if (k == 0) throw std::invalid_argument("fit_least_squares: need >= 1 basis");
+  if (n <= k) throw std::invalid_argument("fit_least_squares: need n > #bases");
+
+  // Normal equations: (Phi^T Phi) beta = Phi^T y.
+  std::vector<double> ata(k * k, 0.0);
+  std::vector<double> aty(k, 0.0);
+  std::vector<double> phi(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) phi[j] = bases[j].phi(xs[i]);
+    for (std::size_t a = 0; a < k; ++a) {
+      aty[a] += phi[a] * ys[i];
+      for (std::size_t b = a; b < k; ++b) ata[a * k + b] += phi[a] * phi[b];
+    }
+  }
+  for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t b = 0; b < a; ++b) ata[a * k + b] = ata[b * k + a];
+  }
+
+  FitResult fit;
+  fit.bases = std::move(bases);
+  std::vector<double> beta = aty;
+  std::vector<double> ainv_diag;
+  if (!cholesky_solve(ata, beta, k, ainv_diag)) return fit;  // singular design
+  fit.coefficients = beta;
+
+  // Residuals, R^2, coefficient CIs.
+  double ss_res = 0.0, ss_tot = 0.0, y_mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) y_mean += ys[i];
+  y_mean /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = fit.predict(xs[i]);
+    ss_res += (ys[i] - pred) * (ys[i] - pred);
+    ss_tot += (ys[i] - y_mean) * (ys[i] - y_mean);
+  }
+  fit.r_squared = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  const double dof = static_cast<double>(n - k);
+  const double sigma2 = ss_res / dof;
+  fit.residual_stddev = std::sqrt(sigma2);
+  const double tcrit = StudentT{dof}.critical_two_sided(1.0 - confidence);
+  fit.coefficient_cis.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const double se = std::sqrt(sigma2 * ainv_diag[j]);
+    fit.coefficient_cis.push_back(
+        {fit.coefficients[j] - tcrit * se, fit.coefficients[j] + tcrit * se, confidence});
+  }
+  fit.ok = true;
+  return fit;
+}
+
+Basis basis_constant() {
+  return {"1", [](double) { return 1.0; }};
+}
+Basis basis_identity() {
+  return {"x", [](double x) { return x; }};
+}
+Basis basis_inverse() {
+  return {"1/x", [](double x) { return 1.0 / x; }};
+}
+Basis basis_log2() {
+  return {"log2(x)", [](double x) { return std::log2(x); }};
+}
+
+double ScalingFit::serial_fraction() const {
+  const double total = t_serial + t_parallel;
+  return (total > 0.0) ? t_serial / total : 0.0;
+}
+
+double ScalingFit::predict(double p) const {
+  return t_serial + t_parallel / p + c_log * std::log2(p);
+}
+
+ScalingFit fit_scaling_model(std::span<const double> processes,
+                             std::span<const double> times) {
+  const auto fit = fit_least_squares(processes, times,
+                                     {basis_constant(), basis_inverse(), basis_log2()});
+  ScalingFit out;
+  out.ok = fit.ok;
+  if (!fit.ok) return out;
+  out.t_serial = fit.coefficients[0];
+  out.t_parallel = fit.coefficients[1];
+  out.c_log = fit.coefficients[2];
+  out.r_squared = fit.r_squared;
+  return out;
+}
+
+}  // namespace sci::stats

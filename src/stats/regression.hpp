@@ -1,0 +1,74 @@
+// Least-squares regression on arbitrary basis functions, and the
+// scaling-law fits the paper's Section 5.1 calls "simple analytic or
+// semi-analytic modeling": combine measurements with a small model to
+// put results into perspective (Rule 11). Used, e.g., to fit
+//   T(p) = t_serial + t_parallel / p + c * log2(p)
+// to measured scaling data and read off the serial fraction and the
+// parallel overhead coefficient with confidence intervals.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/confidence.hpp"
+
+namespace sci::stats {
+
+/// One regression basis function phi_j(x) with a printable name.
+struct Basis {
+  std::string name;
+  std::function<double(double)> phi;
+};
+
+struct FitResult {
+  bool ok = false;
+  std::vector<double> coefficients;       ///< one per basis function
+  std::vector<Interval> coefficient_cis;  ///< t-based, homoskedastic errors
+  double r_squared = 0.0;
+  double residual_stddev = 0.0;
+
+  /// Model prediction at x.
+  [[nodiscard]] double predict(double x) const;
+
+  /// Printable fit summary.
+  [[nodiscard]] std::string to_string() const;
+
+  // Kept for predict(): the bases used during fitting.
+  std::vector<Basis> bases;
+};
+
+/// Ordinary least squares of y on the given bases (normal equations +
+/// Cholesky; fine for the handful of terms scaling models use).
+/// Requires xs.size() == ys.size() > bases.size().
+[[nodiscard]] FitResult fit_least_squares(std::span<const double> xs,
+                                          std::span<const double> ys,
+                                          std::vector<Basis> bases,
+                                          double confidence = 0.95);
+
+/// Convenience bases.
+[[nodiscard]] Basis basis_constant();
+[[nodiscard]] Basis basis_identity();     ///< phi(x) = x
+[[nodiscard]] Basis basis_inverse();      ///< phi(x) = 1/x
+[[nodiscard]] Basis basis_log2();         ///< phi(x) = log2(x)
+
+/// The scaling model of Section 5.1 / Figure 7:
+///   T(p) = t_serial + t_parallel / p + c_log * log2(p).
+struct ScalingFit {
+  bool ok = false;
+  double t_serial = 0.0;
+  double t_parallel = 0.0;
+  double c_log = 0.0;
+  double r_squared = 0.0;
+  /// Derived Amdahl serial fraction b = t_serial / (t_serial + t_parallel).
+  [[nodiscard]] double serial_fraction() const;
+  [[nodiscard]] double predict(double p) const;
+};
+
+/// Fits the scaling model to (process count, time) measurements.
+[[nodiscard]] ScalingFit fit_scaling_model(std::span<const double> processes,
+                                           std::span<const double> times);
+
+}  // namespace sci::stats

@@ -1,0 +1,35 @@
+// Special functions backing the probability distributions in
+// stats/distributions.hpp. Implemented from scratch (Lentz continued
+// fractions, Lanczos-free via std::lgamma, Acklam/Wichura-style rational
+// approximations) so the library has no external math dependencies.
+#pragma once
+
+namespace sci::stats {
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a,x)/Gamma(a).
+/// Domain: a > 0, x >= 0. Accuracy ~1e-12.
+[[nodiscard]] double regularized_gamma_p(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+[[nodiscard]] double regularized_gamma_q(double a, double x);
+
+/// Regularized incomplete beta I_x(a, b). Domain: a,b > 0, x in [0,1].
+[[nodiscard]] double regularized_beta(double a, double b, double x);
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation
+/// with one Halley refinement step; |error| < 1e-13).
+[[nodiscard]] double inverse_normal_cdf(double p);
+
+/// Standard normal CDF Phi(x).
+[[nodiscard]] double normal_cdf(double x);
+
+/// Standard normal density phi(x).
+[[nodiscard]] double normal_pdf(double x);
+
+/// Inverse of regularized incomplete beta: x with I_x(a,b) = p.
+[[nodiscard]] double inverse_regularized_beta(double a, double b, double p);
+
+/// Inverse of regularized lower incomplete gamma: x with P(a,x) = p.
+[[nodiscard]] double inverse_regularized_gamma_p(double a, double p);
+
+}  // namespace sci::stats

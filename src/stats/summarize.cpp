@@ -1,0 +1,57 @@
+#include "stats/summarize.hpp"
+
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace sci::stats {
+
+Summary summarize(const Cost& cost) {
+  return {arithmetic_mean(cost.values), "arithmetic mean", ""};
+}
+
+Summary summarize(const Rate& rate) {
+  return {harmonic_mean(rate.values), "harmonic mean", ""};
+}
+
+Summary summarize(const Ratio& ratio) {
+  return {geometric_mean(ratio.values), "geometric mean",
+          "Rule 4: ratios should not be averaged; summarize the underlying "
+          "costs or rates instead. Geometric mean reported as a documented "
+          "last resort."};
+}
+
+double rate_from_totals(std::span<const double> work, std::span<const double> time) {
+  if (work.size() != time.size() || work.empty())
+    throw std::invalid_argument("rate_from_totals: matching non-empty spans required");
+  double total_work = 0.0, total_time = 0.0;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    total_work += work[i];
+    total_time += time[i];
+  }
+  if (total_time <= 0.0) throw std::domain_error("rate_from_totals: positive time required");
+  return total_work / total_time;
+}
+
+HplExampleSummary hpl_example_summary(std::span<const double> times, double flops,
+                                      double peak_rate) {
+  if (times.empty()) throw std::invalid_argument("hpl_example_summary: empty input");
+  HplExampleSummary s;
+  s.arithmetic_mean_time = arithmetic_mean(times);
+  s.rate_from_mean_time = flops / s.arithmetic_mean_time;
+
+  std::vector<double> rates;
+  std::vector<double> rel;
+  rates.reserve(times.size());
+  rel.reserve(times.size());
+  for (double t : times) {
+    rates.push_back(flops / t);
+    rel.push_back(flops / t / peak_rate);
+  }
+  s.arithmetic_mean_of_rates = arithmetic_mean(rates);
+  s.harmonic_mean_of_rates = harmonic_mean(rates);
+  s.geometric_mean_of_ratios = geometric_mean(rel);
+  return s;
+}
+
+}  // namespace sci::stats

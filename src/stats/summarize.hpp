@@ -1,0 +1,73 @@
+// Rule-aware summarization (Rules 3 & 4).
+//
+// The paper's Section 3.1.1 assigns a *correct* mean to each measurement
+// category:
+//   costs  (seconds, joules, flop)  -> arithmetic mean
+//   rates  (flop/s, B/s)            -> harmonic mean, or better: mean the
+//                                      underlying costs first
+//   ratios (speedup, % of peak)     -> never average; geometric mean only
+//                                      as a documented last resort
+// Encoding the category in a strong type makes the wrong combination
+// unrepresentable instead of merely discouraged.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sci::stats {
+
+/// Measurements with an atomic unit and linear semantics (Section 3.1.1).
+struct Cost {
+  std::vector<double> values;
+  std::string unit;  ///< e.g. "s", "J", "flop"
+};
+
+/// Derived cost-per-cost measures, e.g. flop/s.
+struct Rate {
+  std::vector<double> values;
+  std::string unit;  ///< e.g. "flop/s"
+};
+
+/// Dimensionless normalized measures, e.g. speedup or fraction of peak.
+struct Ratio {
+  std::vector<double> values;
+};
+
+struct Summary {
+  double value = 0.0;
+  const char* method = "";  ///< "arithmetic mean" / "harmonic mean" / "geometric mean"
+  std::string advisory;     ///< non-empty when the summary is a documented compromise
+};
+
+/// Rule 3: costs are summarized with the arithmetic mean.
+[[nodiscard]] Summary summarize(const Cost& cost);
+
+/// Rule 3: rates are summarized with the harmonic mean.
+[[nodiscard]] Summary summarize(const Rate& rate);
+
+/// Rule 4: ratios get the geometric mean plus a mandatory advisory that
+/// averaging the underlying costs/rates is the correct approach.
+[[nodiscard]] Summary summarize(const Ratio& ratio);
+
+/// The preferred path for rates (Section 3.1.1 "if the absolute counts
+/// are available"): total work over total time, equal-weight runs.
+/// Equals the harmonic mean of per-run rates when work_per_run is
+/// constant.
+[[nodiscard]] double rate_from_totals(std::span<const double> work,
+                                      std::span<const double> time);
+
+/// Reproduces the paper's HPL worked example (Section 3.1.1): given
+/// per-run times for a fixed flop count, returns the three candidate
+/// summaries so callers/report code can show why they differ.
+struct HplExampleSummary {
+  double arithmetic_mean_time = 0.0;   ///< correct cost summary
+  double rate_from_mean_time = 0.0;    ///< correct rate (flop / mean time)
+  double arithmetic_mean_of_rates = 0.0;  ///< the *incorrect* rate summary
+  double harmonic_mean_of_rates = 0.0;    ///< correct rate summary
+  double geometric_mean_of_ratios = 0.0;  ///< the *incorrect* efficiency summary
+};
+[[nodiscard]] HplExampleSummary hpl_example_summary(std::span<const double> times,
+                                                    double flops, double peak_rate);
+
+}  // namespace sci::stats

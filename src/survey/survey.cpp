@@ -1,0 +1,185 @@
+#include "survey/survey.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/special_functions.hpp"
+
+namespace sci::survey {
+
+const char* to_string(DesignClass c) noexcept {
+  switch (c) {
+    case DesignClass::kProcessor: return "Processor Model / Accelerator";
+    case DesignClass::kRam: return "RAM Size / Type / Bus Infos";
+    case DesignClass::kNic: return "NIC Model / Network Infos";
+    case DesignClass::kCompiler: return "Compiler Version / Flags";
+    case DesignClass::kKernelLibraries: return "Kernel / Libraries Version";
+    case DesignClass::kFilesystem: return "Filesystem / Storage";
+    case DesignClass::kSoftwareInput: return "Software and Input";
+    case DesignClass::kMeasurementSetup: return "Measurement Setup";
+    case DesignClass::kCodeAvailable: return "Code Available Online";
+  }
+  return "unknown";
+}
+
+const char* to_string(AnalysisClass c) noexcept {
+  switch (c) {
+    case AnalysisClass::kMean: return "Mean";
+    case AnalysisClass::kBestWorst: return "Best / Worst Performance";
+    case AnalysisClass::kRankBased: return "Rank Based Statistics";
+    case AnalysisClass::kVariation: return "Measure of Variation";
+  }
+  return "unknown";
+}
+
+TextFindings text_findings() noexcept { return {}; }
+
+std::size_t PaperRecord::design_score() const noexcept {
+  std::size_t score = 0;
+  for (bool b : design) score += b ? 1 : 0;
+  return score;
+}
+
+namespace {
+
+std::vector<PaperRecord> build_records() {
+  std::vector<PaperRecord> records;
+  records.reserve(kTotalPapers);
+  for (std::size_t conf = 0; conf < kConferences; ++conf) {
+    for (int year : kYears) {
+      for (std::size_t i = 0; i < kPapersPerCell; ++i) {
+        PaperRecord r;
+        r.conference = conf;
+        r.year = year;
+        records.push_back(r);
+      }
+    }
+  }
+
+  rng::Xoshiro256 gen(0x5c15'7ab1e);  // fixed: the matrix is data, not noise
+
+  // 25 not-applicable papers, spread over all cells: two per cell plus
+  // one extra in the first cell (25 = 2*12 + 1).
+  std::size_t na_left = kTotalPapers - kApplicablePapers;
+  for (std::size_t cell = 0; cell < 12 && na_left > 0; ++cell) {
+    const std::size_t base = cell * kPapersPerCell;
+    const std::size_t in_cell = (cell == 0) ? 3 : 2;
+    for (std::size_t k = 0; k < in_cell && na_left > 0; ++k) {
+      records[base + rng::uniform_below(gen, kPapersPerCell)].applicable = false;
+      --na_left;
+    }
+  }
+  // uniform_below can repeat; repair to the exact count deterministically.
+  auto na_count = [&] {
+    return static_cast<std::size_t>(
+        std::count_if(records.begin(), records.end(),
+                      [](const PaperRecord& r) { return !r.applicable; }));
+  };
+  std::size_t idx = 0;
+  while (na_count() < kTotalPapers - kApplicablePapers) {
+    if (records[idx % kTotalPapers].applicable) records[idx % kTotalPapers].applicable = false;
+    idx += 7;  // co-prime stride: spreads repairs over cells
+  }
+
+  // Latent per-paper "diligence": diligent papers document more classes.
+  std::vector<std::size_t> applicable_idx;
+  std::vector<double> diligence;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].applicable) {
+      applicable_idx.push_back(i);
+      diligence.push_back(rng::uniform01(gen));
+    }
+  }
+
+  // For each class, mark exactly `total` applicable papers, preferring
+  // diligent ones: weight w = diligence + noise, take the top `total`.
+  auto assign = [&](std::size_t total, auto setter) {
+    std::vector<std::pair<double, std::size_t>> weighted;
+    weighted.reserve(applicable_idx.size());
+    for (std::size_t k = 0; k < applicable_idx.size(); ++k) {
+      weighted.emplace_back(diligence[k] + rng::normal(gen, 0.0, 0.35), applicable_idx[k]);
+    }
+    std::sort(weighted.begin(), weighted.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t k = 0; k < total; ++k) setter(records[weighted[k].second]);
+  };
+
+  const auto d_totals = design_totals();
+  for (std::size_t c = 0; c < kDesignClasses; ++c) {
+    assign(d_totals[c], [c](PaperRecord& r) { r.design[c] = true; });
+  }
+  const auto a_totals = analysis_totals();
+  for (std::size_t c = 0; c < kAnalysisClasses; ++c) {
+    assign(a_totals[c], [c](PaperRecord& r) { r.analysis[c] = true; });
+  }
+  return records;
+}
+
+}  // namespace
+
+const std::vector<PaperRecord>& survey_records() {
+  static const std::vector<PaperRecord> records = build_records();
+  return records;
+}
+
+std::size_t count_design(DesignClass c) {
+  std::size_t count = 0;
+  for (const auto& r : survey_records()) {
+    if (r.applicable && r.design[static_cast<std::size_t>(c)]) ++count;
+  }
+  return count;
+}
+
+std::size_t count_analysis(AnalysisClass c) {
+  std::size_t count = 0;
+  for (const auto& r : survey_records()) {
+    if (r.applicable && r.analysis[static_cast<std::size_t>(c)]) ++count;
+  }
+  return count;
+}
+
+stats::BoxStats cell_score_stats(std::size_t conference, int year) {
+  std::vector<double> scores;
+  for (const auto& r : survey_records()) {
+    if (r.conference == conference && r.year == year && r.applicable) {
+      scores.push_back(static_cast<double>(r.design_score()));
+    }
+  }
+  return stats::box_stats(scores);
+}
+
+std::vector<double> conference_median_by_year(std::size_t conference) {
+  std::vector<double> medians;
+  for (int year : kYears) {
+    medians.push_back(cell_score_stats(conference, year).median);
+  }
+  return medians;
+}
+
+TrendResult mann_kendall(std::span<const double> series) {
+  const std::size_t n = series.size();
+  TrendResult out;
+  if (n < 3) return out;
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = series[j] - series[i];
+      s += (d > 0.0) - (d < 0.0);
+    }
+  }
+  out.s_statistic = s;
+  const auto nd = static_cast<double>(n);
+  const double var = nd * (nd - 1.0) * (2.0 * nd + 5.0) / 18.0;
+  if (var <= 0.0) return out;
+  // Continuity-corrected normal approximation.
+  double z = 0.0;
+  if (s > 0.0) z = (s - 1.0) / std::sqrt(var);
+  if (s < 0.0) z = (s + 1.0) / std::sqrt(var);
+  out.p_value = 2.0 * (1.0 - stats::normal_cdf(std::fabs(z)));
+  return out;
+}
+
+}  // namespace sci::survey

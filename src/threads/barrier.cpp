@@ -1,0 +1,26 @@
+#include "threads/barrier.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace sci::threads {
+
+SpinBarrier::SpinBarrier(std::size_t parties) : parties_(parties) {
+  if (parties == 0) throw std::invalid_argument("SpinBarrier: parties >= 1");
+}
+
+void SpinBarrier::arrive_and_wait() noexcept {
+  const bool my_sense = !sense_.load(std::memory_order_relaxed);
+  if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    // Last arrival: reset the count and flip the sense to release all.
+    waiting_.store(0, std::memory_order_relaxed);
+    sense_.store(my_sense, std::memory_order_release);
+    return;
+  }
+  // Yielding spin: correct under oversubscription.
+  while (sense_.load(std::memory_order_acquire) != my_sense) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace sci::threads

@@ -1,0 +1,32 @@
+// Sense-reversing centralized spin barrier for real threads.
+//
+// LibSciBench "offers a window-based synchronization mechanism for
+// OpenMP and MPI"; this is the shared-memory half of that substrate.
+// The barrier yields while spinning so it behaves on oversubscribed
+// machines (including the single-core CI box this repo is developed on).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace sci::threads {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties);
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until all parties arrive. Reusable across rounds.
+  void arrive_and_wait() noexcept;
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> waiting_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace sci::threads

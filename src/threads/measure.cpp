@@ -1,0 +1,80 @@
+#include "threads/measure.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "threads/barrier.hpp"
+#include "threads/team.hpp"
+#include "timer/timer.hpp"
+
+namespace sci::threads {
+
+std::vector<double> ThreadedMeasurement::thread_series(std::size_t thread) const {
+  std::vector<double> out;
+  out.reserve(times_ns.size());
+  for (const auto& row : times_ns) out.push_back(row.at(thread));
+  return out;
+}
+
+std::vector<double> ThreadedMeasurement::max_across_threads() const {
+  std::vector<double> out;
+  out.reserve(times_ns.size());
+  for (const auto& row : times_ns) {
+    out.push_back(*std::max_element(row.begin(), row.end()));
+  }
+  return out;
+}
+
+ThreadedMeasurement measure_threaded(const std::function<void(std::size_t)>& kernel,
+                                     const ThreadedMeasurementOptions& options) {
+  if (!kernel) throw std::invalid_argument("measure_threaded: null kernel");
+  if (options.threads == 0 || options.iterations == 0)
+    throw std::invalid_argument("measure_threaded: threads, iterations >= 1");
+
+  const std::size_t total = options.iterations + options.warmup;
+  const std::size_t nthreads = options.threads;
+
+  ThreadedMeasurement result;
+  result.times_ns.assign(options.iterations, std::vector<double>(nthreads, 0.0));
+  result.start_skew_ns.assign(options.iterations, 0.0);
+  std::vector<std::vector<double>> starts(options.iterations,
+                                          std::vector<double>(nthreads, 0.0));
+
+  const timer::SteadyClock clock;  // one shared clock: threads share time
+  SpinBarrier barrier(nthreads);
+  std::atomic<double> deadline_ns{0.0};
+
+  ThreadTeam team(nthreads);
+  team.run([&](std::size_t id) {
+    for (std::size_t i = 0; i < total; ++i) {
+      barrier.arrive_and_wait();
+      if (id == 0) {
+        deadline_ns.store(clock.now_ns() + options.window_s * 1e9,
+                          std::memory_order_release);
+      }
+      barrier.arrive_and_wait();
+      const double deadline = deadline_ns.load(std::memory_order_acquire);
+      // Delay window: spin (yielding) until the shared deadline.
+      while (clock.now_ns() < deadline) std::this_thread::yield();
+
+      const double t0 = clock.now_ns();
+      kernel(id);
+      const double t1 = clock.now_ns();
+      if (i >= options.warmup) {
+        const std::size_t slot = i - options.warmup;
+        starts[slot][id] = t0;
+        result.times_ns[slot][id] = t1 - t0;
+      }
+    }
+  });
+
+  for (std::size_t i = 0; i < options.iterations; ++i) {
+    const auto [lo, hi] = std::minmax_element(starts[i].begin(), starts[i].end());
+    result.start_skew_ns[i] = *hi - *lo;
+  }
+  return result;
+}
+
+}  // namespace sci::threads

@@ -1,0 +1,53 @@
+#include "timer/calibration.hpp"
+
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace sci::timer {
+
+Calibration calibrate(const Clock& clock, std::size_t samples) {
+  Calibration cal;
+  cal.clock_name = std::string(clock.name());
+  cal.samples = samples;
+
+  std::vector<double> deltas;
+  deltas.reserve(samples);
+  double resolution = 0.0;
+  double prev = clock.now_ns();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double cur = clock.now_ns();
+    const double d = cur - prev;
+    if (d > 0.0) {
+      deltas.push_back(d);
+      if (resolution == 0.0 || d < resolution) resolution = d;
+    }
+    prev = cur;
+  }
+  cal.resolution_ns = resolution;
+  // Median of positive deltas approximates the per-call overhead when the
+  // clock ticks faster than the call (common for TSC); for coarse clocks
+  // most deltas are 0 and the resolution dominates instead.
+  cal.overhead_ns = deltas.empty() ? 0.0 : sci::stats::median(deltas);
+  return cal;
+}
+
+IntervalCheck check_interval(const Calibration& cal, double interval_ns,
+                             double max_overhead_fraction, double precision_factor) {
+  IntervalCheck check;
+  check.overhead_ok = cal.overhead_ns < max_overhead_fraction * interval_ns;
+  check.precision_ok = cal.resolution_ns * precision_factor <= interval_ns;
+  if (!check.overhead_ok) {
+    check.message += "timer overhead (" + std::to_string(cal.overhead_ns) +
+                     " ns) exceeds " + std::to_string(max_overhead_fraction * 100.0) +
+                     "% of the measured interval; measure multiple events per interval. ";
+  }
+  if (!check.precision_ok) {
+    check.message += "timer resolution (" + std::to_string(cal.resolution_ns) +
+                     " ns) is too coarse for the interval (want " +
+                     std::to_string(precision_factor) + "x finer).";
+  }
+  return check;
+}
+
+}  // namespace sci::timer

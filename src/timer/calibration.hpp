@@ -1,0 +1,36 @@
+// Timer self-characterisation: LibSciBench "automatically reports the
+// timer resolution and overhead on the target architecture" and warns
+// when the measured interval is too short for either (Section 4.2.1:
+// overhead < 5% of the interval, precision 10x finer).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "timer/timer.hpp"
+
+namespace sci::timer {
+
+struct Calibration {
+  std::string clock_name;
+  double resolution_ns = 0.0;  ///< smallest observed positive increment
+  double overhead_ns = 0.0;    ///< median cost of one now_ns() call
+  std::size_t samples = 0;
+};
+
+/// Measures resolution (smallest positive delta between consecutive
+/// readings) and per-call overhead (median of back-to-back read costs).
+[[nodiscard]] Calibration calibrate(const Clock& clock, std::size_t samples = 10000);
+
+/// Rule-of-thumb admission checks from Section 4.2.1.
+struct IntervalCheck {
+  bool overhead_ok = false;   ///< overhead < max_overhead_fraction * interval
+  bool precision_ok = false;  ///< resolution * precision_factor <= interval
+  std::string message;        ///< human-readable warning when either fails
+};
+
+[[nodiscard]] IntervalCheck check_interval(const Calibration& cal, double interval_ns,
+                                           double max_overhead_fraction = 0.05,
+                                           double precision_factor = 10.0);
+
+}  // namespace sci::timer

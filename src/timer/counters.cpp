@@ -1,0 +1,21 @@
+#include "timer/counters.hpp"
+
+namespace sci::timer {
+
+void CounterSet::start() {
+  start_values_.clear();
+  start_values_.reserve(providers_.size());
+  for (const auto& p : providers_) start_values_.push_back(p->read());
+}
+
+std::vector<CounterSet::Reading> CounterSet::stop() const {
+  std::vector<Reading> readings;
+  readings.reserve(providers_.size());
+  for (std::size_t i = 0; i < providers_.size(); ++i) {
+    const std::uint64_t before = (i < start_values_.size()) ? start_values_[i] : 0;
+    readings.push_back({std::string(providers_[i]->name()), providers_[i]->read() - before});
+  }
+  return readings;
+}
+
+}  // namespace sci::timer

@@ -1,0 +1,61 @@
+// Counter provider abstraction. LibSciBench "has support for arbitrary
+// PAPI counters"; PAPI is not available here, so the same API is served
+// by (a) a software flop/instruction accounting provider that
+// instrumented kernels tick explicitly, and (b) the wall-clock provider.
+// Downstream code (harness, reports) is agnostic to the source.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sci::timer {
+
+/// A named monotonically increasing event counter.
+class CounterProvider {
+ public:
+  virtual ~CounterProvider() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t read() const noexcept = 0;
+};
+
+/// Software counter: kernels call add() where a PAPI-instrumented build
+/// would count hardware events. Thread-compatible (not thread-safe; one
+/// instance per measuring thread, merged by the harness).
+class SoftwareCounter final : public CounterProvider {
+ public:
+  explicit SoftwareCounter(std::string name) : name_(std::move(name)) {}
+  void add(std::uint64_t events) noexcept { value_ += events; }
+  void reset() noexcept { value_ = 0; }
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] std::uint64_t read() const noexcept override { return value_; }
+
+ private:
+  std::string name_;
+  std::uint64_t value_ = 0;
+};
+
+/// Interval sample over a set of counters: read-before / read-after.
+class CounterSet {
+ public:
+  void attach(std::shared_ptr<CounterProvider> provider) {
+    providers_.push_back(std::move(provider));
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return providers_.size(); }
+
+  struct Reading {
+    std::string name;
+    std::uint64_t delta = 0;
+  };
+
+  void start();
+  [[nodiscard]] std::vector<Reading> stop() const;
+
+ private:
+  std::vector<std::shared_ptr<CounterProvider>> providers_;
+  std::vector<std::uint64_t> start_values_;
+};
+
+}  // namespace sci::timer

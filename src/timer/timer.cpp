@@ -1,0 +1,55 @@
+#include "timer/timer.hpp"
+
+#include <ctime>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace sci::timer {
+
+double SteadyClock::now_ns() const noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e9 + static_cast<double>(ts.tv_nsec);
+}
+
+std::uint64_t TscClock::raw_ticks() noexcept {
+#if defined(__x86_64__)
+  _mm_lfence();  // serialize: do not let the load window drift past rdtsc
+  const std::uint64_t t = __rdtsc();
+  _mm_lfence();
+  return t;
+#else
+  return 0;
+#endif
+}
+
+TscClock::TscClock() {
+#if defined(__x86_64__)
+  // Calibrate ticks -> ns against the steady clock over a short spin.
+  const SteadyClock steady;
+  const double t0_ns = steady.now_ns();
+  const std::uint64_t t0 = raw_ticks();
+  // ~2 ms calibration window: long enough for <0.1% period error.
+  while (steady.now_ns() - t0_ns < 2e6) {
+  }
+  const double t1_ns = steady.now_ns();
+  const std::uint64_t t1 = raw_ticks();
+  if (t1 > t0) {
+    ns_per_tick_ = (t1_ns - t0_ns) / static_cast<double>(t1 - t0);
+    base_ticks_ = t1;
+    base_ns_ = t1_ns;
+  }
+#endif
+}
+
+double TscClock::now_ns() const noexcept {
+  if (ns_per_tick_ > 0.0) {
+    const std::uint64_t t = raw_ticks();
+    return base_ns_ + static_cast<double>(t - base_ticks_) * ns_per_tick_;
+  }
+  return SteadyClock{}.now_ns();
+}
+
+}  // namespace sci::timer

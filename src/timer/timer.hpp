@@ -1,0 +1,66 @@
+// High-resolution timers (Section 6 "Timers": LibSciBench offers
+// high-resolution timers and automatically reports resolution and
+// overhead on the target architecture).
+//
+// Two clock sources:
+//   - TscTimer: raw time-stamp counter with lfence serialization
+//     (x86-64; falls back to the steady clock elsewhere);
+//   - SteadyTimer: clock_gettime(CLOCK_MONOTONIC_RAW / MONOTONIC).
+// Both report in nanoseconds through a common interface.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sci::timer {
+
+/// Abstract nanosecond clock. Implementations must be monotonic.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current reading in nanoseconds from an arbitrary epoch.
+  [[nodiscard]] virtual double now_ns() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// clock_gettime(CLOCK_MONOTONIC) based clock; always available.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] double now_ns() const noexcept override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "steady"; }
+};
+
+/// Serialized rdtsc; calibrated against the steady clock at construction
+/// to convert ticks to nanoseconds. On non-x86-64 builds the steady
+/// clock is used transparently.
+class TscClock final : public Clock {
+ public:
+  TscClock();
+  [[nodiscard]] double now_ns() const noexcept override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "tsc"; }
+  /// Calibrated tick period; 0 when the TSC is unavailable.
+  [[nodiscard]] double ns_per_tick() const noexcept { return ns_per_tick_; }
+
+  /// Raw serialized tick count (0 when unavailable).
+  [[nodiscard]] static std::uint64_t raw_ticks() noexcept;
+
+ private:
+  double ns_per_tick_ = 0.0;
+  double base_ns_ = 0.0;
+  std::uint64_t base_ticks_ = 0;
+};
+
+/// RAII interval measurement against any Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) noexcept : clock_(&clock), start_(clock.now_ns()) {}
+  void restart() noexcept { start_ = clock_->now_ns(); }
+  [[nodiscard]] double elapsed_ns() const noexcept { return clock_->now_ns() - start_; }
+  [[nodiscard]] double elapsed_s() const noexcept { return elapsed_ns() * 1e-9; }
+
+ private:
+  const Clock* clock_;
+  double start_;
+};
+
+}  // namespace sci::timer

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+
+namespace sci::simmpi {
+namespace {
+
+std::vector<double> expected_sum(int p, std::size_t n) {
+  // values[r][i] = r + i: sum over r = p(p-1)/2 + p*i.
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = p * (p - 1) / 2.0 + static_cast<double>(p) * static_cast<double>(i);
+  }
+  return out;
+}
+
+struct VCase {
+  int p;
+  std::size_t n;
+  AllreduceAlgo algo;
+};
+
+class AllreduceV : public ::testing::TestWithParam<VCase> {};
+
+TEST_P(AllreduceV, ComputesElementwiseSumEverywhere) {
+  const auto [p, n, algo] = GetParam();
+  World world(sim::make_daint(), p, 3000 + p + static_cast<int>(n));
+  std::vector<std::vector<double>> results(p);
+  world.launch([&, n, algo](Comm& c) -> sim::Task<void> {
+    std::vector<double> mine(n);
+    for (std::size_t i = 0; i < n; ++i) mine[i] = c.rank() + static_cast<double>(i);
+    results[c.rank()] = co_await allreduce_v(c, std::move(mine), ReduceOp::kSum, algo);
+  });
+  world.run();
+  const auto want = expected_sum(p, n);
+  for (int r = 0; r < p; ++r) EXPECT_EQ(results[r], want) << "rank " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AllreduceV,
+    ::testing::Values(VCase{2, 16, AllreduceAlgo::kRecursiveDoubling},
+                      VCase{5, 16, AllreduceAlgo::kRecursiveDoubling},
+                      VCase{8, 1024, AllreduceAlgo::kRecursiveDoubling},
+                      VCase{2, 16, AllreduceAlgo::kRing},
+                      VCase{3, 10, AllreduceAlgo::kRing},
+                      VCase{5, 17, AllreduceAlgo::kRing},  // uneven chunks
+                      VCase{8, 1024, AllreduceAlgo::kRing},
+                      VCase{13, 64, AllreduceAlgo::kRing},
+                      VCase{16, 4096, AllreduceAlgo::kAuto},
+                      VCase{7, 3, AllreduceAlgo::kRing} /* falls back: n < p */),
+    [](const auto& info) {
+      const char* algo = info.param.algo == AllreduceAlgo::kRing ? "ring"
+                         : info.param.algo == AllreduceAlgo::kAuto ? "auto"
+                                                                   : "rd";
+      return std::string(algo) + "_p" + std::to_string(info.param.p) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(AllreduceVAlgo, AlgorithmsAgreeBitExactlyOnMinMax) {
+  constexpr int kP = 6;
+  for (auto algo : {AllreduceAlgo::kRecursiveDoubling, AllreduceAlgo::kRing}) {
+    World world(sim::make_pilatus(), kP, 42);
+    std::vector<std::vector<double>> results(kP);
+    world.launch([&, algo](Comm& c) -> sim::Task<void> {
+      std::vector<double> mine(12);
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        mine[i] = (c.rank() % 2 ? 1.0 : -1.0) * static_cast<double>(i * (c.rank() + 1));
+      }
+      results[c.rank()] = co_await allreduce_v(c, std::move(mine), ReduceOp::kMax, algo);
+    });
+    world.run();
+    for (int r = 1; r < kP; ++r) EXPECT_EQ(results[r], results[0]);
+  }
+}
+
+TEST(AllreduceVAlgo, RingFasterForLargePayloads) {
+  // The crossover that motivates the algorithm switch: at 1 MiB on 16
+  // ranks the ring's 2(p-1)/p bandwidth term beats doubling's log2(p)
+  // full-vector exchanges.
+  constexpr int kP = 16;
+  constexpr std::size_t kN = 1 << 17;  // 1 MiB of doubles
+  auto timed = [&](AllreduceAlgo algo) {
+    World world(sim::make_noiseless(64), kP, 9);
+    double finish = 0.0;
+    world.launch([&, algo](Comm& c) -> sim::Task<void> {
+      std::vector<double> mine(kN, 1.0);
+      (void)co_await allreduce_v(c, std::move(mine), ReduceOp::kSum, algo);
+      finish = std::max(finish, c.world().engine().now());
+    });
+    world.run();
+    return finish;
+  };
+  EXPECT_LT(timed(AllreduceAlgo::kRing),
+            timed(AllreduceAlgo::kRecursiveDoubling));
+}
+
+TEST(AllreduceVAlgo, DoublingFasterForTinyPayloads) {
+  constexpr int kP = 16;
+  auto timed = [&](AllreduceAlgo algo) {
+    World world(sim::make_noiseless(64), kP, 10);
+    double finish = 0.0;
+    world.launch([&, algo](Comm& c) -> sim::Task<void> {
+      std::vector<double> mine(16, 1.0);
+      (void)co_await allreduce_v(c, std::move(mine), ReduceOp::kSum, algo);
+      finish = std::max(finish, c.world().engine().now());
+    });
+    world.run();
+    return finish;
+  };
+  EXPECT_LT(timed(AllreduceAlgo::kRecursiveDoubling), timed(AllreduceAlgo::kRing));
+}
+
+TEST(AllreduceVAlgo, SingleRankAndValidation) {
+  World world(sim::make_noiseless(4), 1, 11);
+  world.launch([](Comm& c) -> sim::Task<void> {
+    std::vector<double> one(3, 5.0);
+    auto out = co_await allreduce_v(c, std::move(one));
+    EXPECT_EQ(out, std::vector<double>(3, 5.0));
+  });
+  world.run();
+}
+
+TEST(Machines, BgqPresetIsQuietTorus) {
+  const auto bgq = sim::make_bgq();
+  EXPECT_EQ(bgq.name, "bgq");
+  EXPECT_EQ(bgq.topology->node_count(), 512u);
+  // Much quieter than daint: lower jitter, rarer detours.
+  const auto daint = sim::make_daint();
+  EXPECT_LT(bgq.compute_noise.rel_jitter, 0.1 * daint.compute_noise.rel_jitter);
+  EXPECT_LT(bgq.compute_noise.detour_rate, 0.01 * daint.compute_noise.detour_rate);
+  EXPECT_EQ(sim::make_machine("bgq").name, "bgq");
+}
+
+}  // namespace
+}  // namespace sci::simmpi

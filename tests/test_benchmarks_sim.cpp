@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/machine.hpp"
+#include "simmpi/benchmarks.hpp"
+#include "stats/descriptive.hpp"
+
+namespace sci::simmpi {
+namespace {
+
+TEST(PingPong, DeterministicForFixedSeed) {
+  const auto machine = sim::make_dora();
+  const auto a = pingpong_latency(machine, 500, 64, 42);
+  const auto b = pingpong_latency(machine, 500, 64, 42);
+  EXPECT_EQ(a, b);
+  const auto c = pingpong_latency(machine, 500, 64, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(PingPong, WarmupDiscarded) {
+  const auto machine = sim::make_dora();
+  EXPECT_EQ(pingpong_latency(machine, 100, 64, 1, /*warmup=*/16).size(), 100u);
+  EXPECT_EQ(pingpong_latency(machine, 100, 64, 1, /*warmup=*/0).size(), 100u);
+}
+
+TEST(PingPong, DoraCalibrationBracket) {
+  // The simulated Piz Dora must land in the paper's Figure 3 scale:
+  // min ~1.57 us, median ~1.77 us.
+  const auto s = pingpong_latency(sim::make_dora(), 20000, 64, 7);
+  const double min_us = stats::min_value(s) * 1e6;
+  const double med_us = stats::median(s) * 1e6;
+  EXPECT_GT(min_us, 1.3);
+  EXPECT_LT(min_us, 1.8);
+  EXPECT_GT(med_us, 1.55);
+  EXPECT_LT(med_us, 2.05);
+}
+
+TEST(PingPong, PilatusHeavierTailThanDora) {
+  // Figure 3/4 structure: Pilatus has the lower floor but the heavier
+  // tail; Dora is tighter.
+  const auto dora = pingpong_latency(sim::make_dora(), 30000, 64, 9);
+  const auto pilatus = pingpong_latency(sim::make_pilatus(), 30000, 64, 9);
+  EXPECT_LT(stats::min_value(pilatus), stats::min_value(dora));
+  EXPECT_GT(stats::quantile(pilatus, 0.99), stats::quantile(dora, 0.99));
+  // Mean: Pilatus slower on average (paper: +0.108 us).
+  EXPECT_GT(stats::arithmetic_mean(pilatus), stats::arithmetic_mean(dora));
+}
+
+TEST(PingPong, RightSkewedDistribution) {
+  const auto s = pingpong_latency(sim::make_dora(), 20000, 64, 11);
+  EXPECT_GT(stats::skewness(s), 0.5);
+  EXPECT_GT(stats::arithmetic_mean(s), stats::median(s));
+}
+
+TEST(PingPong, LargerMessagesSlower) {
+  const auto small = pingpong_latency(sim::make_dora(), 2000, 64, 13);
+  const auto big = pingpong_latency(sim::make_dora(), 2000, 1 << 20, 13);
+  EXPECT_GT(stats::median(big), 2.0 * stats::median(small));
+}
+
+TEST(ReduceBench, ShapesAndDeterminism) {
+  const auto machine = sim::make_daint();
+  const auto r = reduce_bench(machine, 8, 50, 21);
+  EXPECT_EQ(r.times.size(), 50u);
+  EXPECT_EQ(r.times[0].size(), 8u);
+  EXPECT_EQ(r.max_across_ranks().size(), 50u);
+  EXPECT_EQ(r.rank_series(3).size(), 50u);
+  const auto r2 = reduce_bench(machine, 8, 50, 21);
+  EXPECT_EQ(r.times, r2.times);
+}
+
+TEST(ReduceBench, MaxDominatesEachRank) {
+  const auto r = reduce_bench(sim::make_daint(), 8, 30, 22);
+  const auto mx = r.max_across_ranks();
+  for (int rank = 0; rank < 8; ++rank) {
+    const auto series = r.rank_series(rank);
+    for (std::size_t i = 0; i < series.size(); ++i) EXPECT_LE(series[i], mx[i] + 1e-15);
+  }
+}
+
+TEST(ReduceBench, LatencyGrowsWithProcessCount) {
+  const auto machine = sim::make_daint();
+  const auto p2 = reduce_bench(machine, 2, 60, 23).max_across_ranks();
+  const auto p16 = reduce_bench(machine, 16, 60, 23).max_across_ranks();
+  const auto p64 = reduce_bench(machine, 64, 60, 23).max_across_ranks();
+  EXPECT_LT(stats::median(p2), stats::median(p16));
+  EXPECT_LT(stats::median(p16), stats::median(p64));
+}
+
+TEST(ReduceBench, PowerOfTwoFasterThanNeighbors) {
+  // The Figure 5 effect.
+  const auto machine = sim::make_daint();
+  const double t32 = stats::median(reduce_bench(machine, 32, 60, 24).max_across_ranks());
+  const double t33 = stats::median(reduce_bench(machine, 33, 60, 24).max_across_ranks());
+  const double t31 = stats::median(reduce_bench(machine, 31, 60, 24).max_across_ranks());
+  EXPECT_LT(t32, t33);
+  EXPECT_LT(t32, t31);
+}
+
+TEST(PiScaling, CompletionShrinksWithProcesses) {
+  const auto machine = sim::make_daint();
+  const auto t1 = pi_scaling_run(machine, 1, 20e-3, 0.01, 3, 31);
+  const auto t8 = pi_scaling_run(machine, 8, 20e-3, 0.01, 3, 31);
+  const auto t32 = pi_scaling_run(machine, 32, 20e-3, 0.01, 3, 31);
+  EXPECT_GT(stats::median(t1), stats::median(t8));
+  EXPECT_GT(stats::median(t8), stats::median(t32));
+  // And respects the Amdahl floor: >= serial fraction.
+  EXPECT_GT(stats::min_value(t32), 20e-3 * 0.01);
+}
+
+TEST(PiScaling, NearBaseAtOneProcess) {
+  const auto t1 = pi_scaling_run(sim::make_noiseless(64), 1, 20e-3, 0.01, 1, 32);
+  EXPECT_NEAR(t1[0], 20e-3, 1e-3);
+}
+
+TEST(WindowSyncSkew, SmallOnAllMachines) {
+  for (const char* name : {"daint", "dora", "pilatus"}) {
+    const auto skew = window_sync_skew(sim::make_machine(name), 8, 20, 33);
+    EXPECT_EQ(skew.size(), 20u);
+    EXPECT_LT(stats::median(skew), 5e-6) << name;
+  }
+}
+
+}  // namespace
+}  // namespace sci::simmpi

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/confidence.hpp"
+#include "stats/descriptive.hpp"
+
+namespace sci::stats {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<double> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng::normal(gen, 50.0, 5.0));
+  return v;
+}
+
+TEST(Bootstrap, DeterministicForFixedSeed) {
+  const auto v = normal_sample(40, 1);
+  const auto mean_stat = [](std::span<const double> xs) { return arithmetic_mean(xs); };
+  const auto d1 = bootstrap_distribution(v, mean_stat, 200, 7);
+  const auto d2 = bootstrap_distribution(v, mean_stat, 200, 7);
+  EXPECT_EQ(d1, d2);
+  const auto d3 = bootstrap_distribution(v, mean_stat, 200, 8);
+  EXPECT_NE(d1, d3);
+}
+
+TEST(Bootstrap, PercentileCiCloseToParametricOnNormalData) {
+  const auto v = normal_sample(100, 2);
+  const auto mean_stat = [](std::span<const double> xs) { return arithmetic_mean(xs); };
+  const auto boot = bootstrap_percentile_ci(v, mean_stat, 2000, 0.95, 3);
+  const auto param = mean_confidence_interval(v, 0.95);
+  EXPECT_NEAR(boot.lower, param.lower, 0.35);
+  EXPECT_NEAR(boot.upper, param.upper, 0.35);
+}
+
+TEST(Bootstrap, CiContainsPointEstimate) {
+  const auto v = normal_sample(60, 4);
+  const auto med = [](std::span<const double> xs) { return median(xs); };
+  const auto ci = bootstrap_percentile_ci(v, med, 500, 0.95, 5);
+  const double point = median(v);
+  EXPECT_LE(ci.lower, point);
+  EXPECT_GE(ci.upper, point);
+}
+
+TEST(Bootstrap, CoverageOfMeanCi) {
+  // Percentile bootstrap 90% CIs should cover the true mean ~90%.
+  int covered = 0;
+  constexpr int kTrials = 200;
+  const auto mean_stat = [](std::span<const double> xs) { return arithmetic_mean(xs); };
+  for (int t = 0; t < kTrials; ++t) {
+    const auto v = normal_sample(40, 1000 + t);
+    covered += bootstrap_percentile_ci(v, mean_stat, 400, 0.90, t).contains(50.0);
+  }
+  const double rate = static_cast<double>(covered) / kTrials;
+  EXPECT_GT(rate, 0.82);
+  EXPECT_LT(rate, 0.97);
+}
+
+TEST(Bootstrap, BcaCorrectsSkew) {
+  // On right-skewed data, BCa shifts the CI relative to the naive
+  // percentile CI; both must stay valid brackets of the estimate region.
+  rng::Xoshiro256 gen(6);
+  std::vector<double> v;
+  for (int i = 0; i < 50; ++i) v.push_back(rng::lognormal(gen, 0.0, 1.0));
+  const auto mean_stat = [](std::span<const double> xs) { return arithmetic_mean(xs); };
+  const auto naive = bootstrap_percentile_ci(v, mean_stat, 1000, 0.95, 9);
+  const auto bca = bootstrap_bca_ci(v, mean_stat, 1000, 0.95, 9);
+  EXPECT_GT(bca.upper, bca.lower);
+  EXPECT_NE(bca.lower, naive.lower);  // correction does something
+  EXPECT_TRUE(bca.contains(arithmetic_mean(v)));
+}
+
+TEST(Bootstrap, InputValidation) {
+  const auto mean_stat = [](std::span<const double> xs) { return arithmetic_mean(xs); };
+  EXPECT_THROW(bootstrap_distribution(std::vector<double>{1.0}, mean_stat, 10),
+               std::invalid_argument);
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_THROW(bootstrap_distribution(v, mean_stat, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sci::stats

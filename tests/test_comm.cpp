@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "simmpi/comm.hpp"
+
+namespace sci::simmpi {
+namespace {
+
+TEST(Comm, SendRecvDeliversPayload) {
+  World world(sim::make_noiseless(4), 2, 1);
+  std::vector<double> received;
+  world.launch_on(0, [](Comm& c) -> sim::Task<void> {
+    std::vector<double> payload(2);
+    payload[0] = 3.5;
+    payload[1] = 4.5;
+    co_await c.send(1, 7, 16, std::move(payload));
+  });
+  world.launch_on(1, [&](Comm& c) -> sim::Task<void> {
+    Message m = co_await c.recv(0, 7);
+    received = m.payload;
+    EXPECT_EQ(m.src, 0);
+    EXPECT_EQ(m.tag, 7);
+    EXPECT_EQ(m.bytes, 16u);
+  });
+  world.run();
+  EXPECT_EQ(received, (std::vector<double>{3.5, 4.5}));
+  EXPECT_EQ(world.messages_delivered(), 1u);
+}
+
+TEST(Comm, RecvBeforeSendAlsoWorks) {
+  // Posted-receive path: receiver parks first.
+  World world(sim::make_noiseless(4), 2, 2);
+  bool got = false;
+  world.launch_on(1, [&](Comm& c) -> sim::Task<void> {
+    (void)co_await c.recv(0, 1);
+    got = true;
+  });
+  world.launch_on(0, [](Comm& c) -> sim::Task<void> {
+    co_await c.compute(1e-3);  // delay the send well past the recv post
+    co_await c.send(1, 1, 8);
+  });
+  world.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(Comm, TagMatchingIsSelective) {
+  World world(sim::make_noiseless(4), 2, 3);
+  std::vector<int> order;
+  world.launch_on(0, [](Comm& c) -> sim::Task<void> {
+    co_await c.send(1, /*tag=*/10, 8, std::vector<double>(1, 10.0));
+    co_await c.send(1, /*tag=*/20, 8, std::vector<double>(1, 20.0));
+  });
+  world.launch_on(1, [&](Comm& c) -> sim::Task<void> {
+    // Receive out of order by tag: tag 20 first.
+    Message m20 = co_await c.recv(0, 20);
+    Message m10 = co_await c.recv(0, 10);
+    order.push_back(static_cast<int>(m20.payload.at(0)));
+    order.push_back(static_cast<int>(m10.payload.at(0)));
+  });
+  world.run();
+  EXPECT_EQ(order, (std::vector<int>{20, 10}));
+}
+
+TEST(Comm, WildcardsMatchAnything) {
+  World world(sim::make_noiseless(4), 3, 4);
+  int from = -1;
+  world.launch_on(2, [](Comm& c) -> sim::Task<void> {
+    co_await c.send(0, 99, 8);
+  });
+  world.launch_on(0, [&](Comm& c) -> sim::Task<void> {
+    Message m = co_await c.recv(kAnySource, kAnyTag);
+    from = m.src;
+  });
+  world.launch_on(1, [](Comm&) -> sim::Task<void> { co_return; });
+  world.run();
+  EXPECT_EQ(from, 2);
+}
+
+TEST(Comm, FifoPerChannel) {
+  // Same (src, dst, tag): arrival order must match send order even with
+  // noisy per-message transfer times.
+  World world(sim::make_pilatus(), 2, 5);
+  std::vector<double> seq;
+  constexpr int kN = 200;
+  world.launch_on(0, [](Comm& c) -> sim::Task<void> {
+    for (int i = 0; i < kN; ++i) {
+      co_await c.send(1, 0, 8, std::vector<double>(1, static_cast<double>(i)));
+    }
+  });
+  world.launch_on(1, [&](Comm& c) -> sim::Task<void> {
+    for (int i = 0; i < kN; ++i) {
+      Message m = co_await c.recv(0, 0);
+      seq.push_back(m.payload.at(0));
+    }
+  });
+  world.run();
+  ASSERT_EQ(seq.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(seq[i], i);
+}
+
+TEST(Comm, DeadlockDetected) {
+  World world(sim::make_noiseless(4), 2, 6);
+  world.launch([](Comm& c) -> sim::Task<void> {
+    // Both ranks receive first: classic deadlock.
+    (void)co_await c.recv(1 - c.rank(), 0);
+    co_await c.send(1 - c.rank(), 0, 8);
+  });
+  EXPECT_THROW(world.run(), std::runtime_error);
+}
+
+TEST(Comm, ComputeAdvancesLocalTime) {
+  World world(sim::make_noiseless(4), 1, 7);
+  double before = 0.0, after = 0.0;
+  world.launch_on(0, [&](Comm& c) -> sim::Task<void> {
+    before = c.wtime();
+    co_await c.compute(0.5);
+    after = c.wtime();
+  });
+  world.run();
+  EXPECT_NEAR(after - before, 0.5, 1e-9);
+}
+
+TEST(Comm, ClockSkewVisibleOnNoisyMachine) {
+  World world(sim::make_dora(), 8, 8);
+  bool any_offset = false;
+  for (int r = 0; r < 8; ++r) {
+    if (std::fabs(world.comm(r).clock().offset()) > 1e-9) any_offset = true;
+  }
+  EXPECT_TRUE(any_offset);
+}
+
+TEST(Comm, WaitUntilLocalHonorsSkewedClock) {
+  World world(sim::make_dora(), 2, 9);
+  double woke_local = 0.0, target = 0.0;
+  world.launch_on(0, [&](Comm& c) -> sim::Task<void> {
+    target = c.wtime() + 1e-3;
+    co_await c.wait_until_local(target);
+    woke_local = c.wtime();
+  });
+  world.launch_on(1, [](Comm&) -> sim::Task<void> { co_return; });
+  world.run();
+  EXPECT_NEAR(woke_local, target, 1e-9);
+}
+
+TEST(Comm, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    World world(sim::make_daint(), 4, 42);
+    std::vector<double> finish(4);
+    world.launch([&](Comm& c) -> sim::Task<void> {
+      for (int i = 0; i < 10; ++i) {
+        const int peer = c.rank() ^ 1;
+        if (c.rank() < peer) {
+          co_await c.send(peer, 0, 64);
+          (void)co_await c.recv(peer, 1);
+        } else {
+          (void)co_await c.recv(peer, 0);
+          co_await c.send(peer, 1, 64);
+        }
+      }
+      finish[c.rank()] = c.world().engine().now();
+    });
+    world.run();
+    return finish;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Comm, InvalidRanksThrow) {
+  World world(sim::make_noiseless(4), 2, 10);
+  EXPECT_THROW((void)world.comm(0).send(5, 0, 8), std::out_of_range);
+  EXPECT_THROW((void)world.comm(0).recv(-2, 0), std::out_of_range);
+  EXPECT_THROW((void)world.comm(0).compute(-1.0), std::domain_error);
+}
+
+TEST(Comm, RendezvousStepAboveEagerThreshold) {
+  // A message just above the eager limit pays the handshake round trip:
+  // the latency jump is far larger than the payload-size difference
+  // alone explains.
+  const auto machine = sim::make_noiseless(4);
+  const std::size_t limit = machine.loggp.eager_threshold_bytes;
+  auto one_way = [&](std::size_t bytes) {
+    World world(machine, 2, 50);
+    double t = 0.0;
+    world.launch_on(0, [&](Comm& c) -> sim::Task<void> {
+      co_await c.send(1, 0, bytes);
+    });
+    world.launch_on(1, [&](Comm& c) -> sim::Task<void> {
+      (void)co_await c.recv(0, 0);
+      t = c.world().engine().now();
+    });
+    world.run();
+    return t;
+  };
+  const double below = one_way(limit);
+  const double above = one_way(limit + 1);
+  const double per_byte = machine.loggp.gap_per_byte_s;
+  EXPECT_GT(above - below, 100.0 * per_byte);  // step, not slope
+  // The step equals one small-message round trip: 2 (o + wire_small).
+  const auto net = machine.make_network();
+  const double expected =
+      2.0 * (machine.loggp.overhead_s + net.ideal_transfer_time(0, 1, 8));
+  EXPECT_NEAR(above - below, expected + per_byte, 1e-9);
+}
+
+TEST(World, RoundRobinWhenRanksExceedNodes) {
+  World world(sim::make_noiseless(4), 10, 11);
+  EXPECT_EQ(world.size(), 10);
+  // Ranks 0..3 on distinct nodes, then wrap.
+  EXPECT_EQ(world.comm(0).node(), world.comm(4).node());
+}
+
+}  // namespace
+}  // namespace sci::simmpi

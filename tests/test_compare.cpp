@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/compare.hpp"
+
+namespace sci::stats {
+namespace {
+
+std::vector<double> sample(double mean, double sd, std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<double> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng::normal(gen, mean, sd));
+  return v;
+}
+
+TEST(TTest, DetectsClearDifference) {
+  const auto a = sample(10.0, 1.0, 50, 1);
+  const auto b = sample(12.0, 1.0, 50, 2);
+  EXPECT_LT(t_test(a, b).p_value, 1e-6);
+  EXPECT_LT(t_test(a, b, /*pooled=*/true).p_value, 1e-6);
+}
+
+TEST(TTest, AcceptsEqualMeans) {
+  int rejections = 0;
+  for (std::uint64_t s = 0; s < 40; ++s) {
+    const auto a = sample(5.0, 1.0, 30, 100 + s);
+    const auto b = sample(5.0, 1.0, 30, 200 + s);
+    rejections += (t_test(a, b).p_value < 0.05);
+  }
+  EXPECT_LE(rejections, 6);  // ~5% type-I errors
+}
+
+TEST(TTest, WelchHandlesUnequalVariances) {
+  const auto a = sample(10.0, 0.5, 20, 3);
+  const auto b = sample(10.0, 5.0, 20, 4);
+  const auto r = t_test(a, b, /*pooled=*/false);
+  EXPECT_GT(r.p_value, 0.01);  // no real difference
+}
+
+TEST(TTest, SignOfStatistic) {
+  const auto a = sample(3.0, 1.0, 40, 5);
+  const auto b = sample(8.0, 1.0, 40, 6);
+  EXPECT_LT(t_test(a, b).statistic, 0.0);
+  EXPECT_GT(t_test(b, a).statistic, 0.0);
+}
+
+TEST(Anova, MatchesHandComputedF) {
+  // Three groups of three, easy numbers.
+  const std::vector<std::vector<double>> groups = {
+      {1.0, 2.0, 3.0}, {2.0, 3.0, 4.0}, {6.0, 7.0, 8.0}};
+  const auto r = one_way_anova(groups);
+  // Grand mean 4; SSB = 3*(2-4)^2 + 3*(3-4)^2 + 3*(7-4)^2 = 42; MSB = 21.
+  // SSW = 2+2+2 = 6; MSW = 1. F = 21.
+  EXPECT_NEAR(r.inter_group_variability, 21.0, 1e-9);
+  EXPECT_NEAR(r.intra_group_variability, 1.0, 1e-9);
+  EXPECT_NEAR(r.f_statistic, 21.0, 1e-9);
+  EXPECT_LT(r.p_value, 0.01);
+  EXPECT_TRUE(r.reject());
+}
+
+TEST(Anova, EqualGroupsNotRejected) {
+  std::vector<std::vector<double>> groups;
+  for (std::uint64_t g = 0; g < 4; ++g) groups.push_back(sample(7.0, 2.0, 25, 300 + g));
+  EXPECT_GT(one_way_anova(groups).p_value, 0.01);
+}
+
+TEST(Anova, ConstantGroupsEdgeCases) {
+  const std::vector<std::vector<double>> same = {{2.0, 2.0}, {2.0, 2.0}};
+  EXPECT_EQ(one_way_anova(same).p_value, 1.0);
+  const std::vector<std::vector<double>> diff = {{2.0, 2.0}, {3.0, 3.0}};
+  EXPECT_EQ(one_way_anova(diff).p_value, 0.0);
+}
+
+TEST(Anova, UnequalGroupSizes) {
+  const std::vector<std::vector<double>> groups = {
+      sample(5.0, 1.0, 10, 11), sample(5.0, 1.0, 40, 12), sample(9.0, 1.0, 25, 13)};
+  EXPECT_TRUE(one_way_anova(groups).reject());
+}
+
+TEST(KruskalWallis, DetectsMedianShift) {
+  rng::Xoshiro256 gen(20);
+  std::vector<double> a, b;
+  for (int i = 0; i < 60; ++i) {
+    a.push_back(rng::lognormal(gen, 0.0, 0.5));
+    b.push_back(rng::lognormal(gen, 0.5, 0.5));
+  }
+  const std::vector<std::vector<double>> groups = {a, b};
+  EXPECT_LT(kruskal_wallis(groups).p_value, 0.001);
+}
+
+TEST(KruskalWallis, AcceptsSameDistribution) {
+  int rejections = 0;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    rng::Xoshiro256 gen(500 + s);
+    std::vector<double> a, b, c;
+    for (int i = 0; i < 30; ++i) {
+      a.push_back(rng::lognormal(gen, 1.0, 1.0));
+      b.push_back(rng::lognormal(gen, 1.0, 1.0));
+      c.push_back(rng::lognormal(gen, 1.0, 1.0));
+    }
+    const std::vector<std::vector<double>> groups = {a, b, c};
+    rejections += kruskal_wallis(groups).reject(0.05);
+  }
+  EXPECT_LE(rejections, 5);
+}
+
+TEST(KruskalWallis, HandlesTies) {
+  const std::vector<std::vector<double>> groups = {{1.0, 2.0, 2.0, 3.0},
+                                                   {2.0, 3.0, 3.0, 4.0}};
+  const auto r = kruskal_wallis(groups);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+  EXPECT_GT(r.statistic, 0.0);
+}
+
+TEST(KruskalWallis, KnownSmallExample) {
+  // Hand-checkable: disjoint groups {1,2,3} vs {4,5,6}; ranks 1-3 vs 4-6.
+  // H = 12/(6*7) * (6^2/3 + 15^2/3) - 3*7 = 2/7 * 87 - 21 = 3.857...
+  const std::vector<std::vector<double>> groups = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_NEAR(kruskal_wallis(groups).statistic, 27.0 / 7.0, 1e-9);
+}
+
+TEST(EffectSize, KnownValue) {
+  // Means differ by 2, pooled sd = 1 -> d = 2.
+  const std::vector<double> a = {9.0, 10.0, 11.0};
+  const std::vector<double> b = {7.0, 8.0, 9.0};
+  EXPECT_NEAR(effect_size_cohens_d(a, b), 2.0, 1e-9);
+}
+
+TEST(EffectSize, Classification) {
+  EXPECT_EQ(classify_effect(0.1), EffectMagnitude::kNegligible);
+  EXPECT_EQ(classify_effect(-0.3), EffectMagnitude::kSmall);
+  EXPECT_EQ(classify_effect(0.6), EffectMagnitude::kMedium);
+  EXPECT_EQ(classify_effect(-1.5), EffectMagnitude::kLarge);
+  EXPECT_STREQ(to_string(EffectMagnitude::kLarge), "large");
+}
+
+TEST(EffectSize, SmallEffectBetterMetricThanPValue) {
+  // The paper's point: with huge n, tiny differences become "significant"
+  // while the effect size stays negligible.
+  const auto a = sample(10.00, 1.0, 20000, 31);
+  const auto b = sample(10.03, 1.0, 20000, 32);
+  EXPECT_LT(t_test(a, b).p_value, 0.05);                      // "significant"
+  EXPECT_EQ(classify_effect(effect_size_cohens_d(a, b)),
+            EffectMagnitude::kNegligible);                    // but meaningless
+}
+
+}  // namespace
+}  // namespace sci::stats

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace sci::core {
+namespace {
+
+TEST(Adaptive, ConvergesQuicklyOnTightData) {
+  rng::Xoshiro256 gen(1);
+  const auto r = measure_adaptive([&] { return rng::normal(gen, 100.0, 0.5); });
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.stop_reason, "converged");
+  EXPECT_LT(r.samples.size(), 200u);
+  EXPECT_GE(r.samples.size(), 10u);  // min_samples respected
+}
+
+TEST(Adaptive, HitsBudgetOnWildData) {
+  rng::Xoshiro256 gen(2);
+  AdaptiveOptions opts;
+  opts.relative_error = 1e-6;  // unreachable for heavy-tailed data
+  opts.max_samples = 100;
+  const auto r = measure_adaptive([&] { return rng::pareto(gen, 1.0, 1.2); }, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.stop_reason, "max_samples");
+  EXPECT_EQ(r.samples.size(), 100u);
+}
+
+TEST(Adaptive, WarmupDiscarded) {
+  int calls = 0;
+  AdaptiveOptions opts;
+  opts.warmup = 5;
+  opts.min_samples = 10;
+  opts.max_samples = 20;
+  const auto r = measure_adaptive(
+      [&] {
+        ++calls;
+        // First calls return an absurd warm-up transient.
+        return calls <= 5 ? 1e9 : 10.0;
+      },
+      opts);
+  EXPECT_EQ(r.warmup_discarded, 5u);
+  for (double v : r.samples) EXPECT_EQ(v, 10.0);  // transient never recorded
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Adaptive, MeanModeConverges) {
+  rng::Xoshiro256 gen(3);
+  AdaptiveOptions opts;
+  opts.use_mean = true;
+  opts.relative_error = 0.02;
+  const auto r = measure_adaptive([&] { return rng::normal(gen, 42.0, 1.0); }, opts);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Adaptive, TailQuantileMode) {
+  rng::Xoshiro256 gen(4);
+  AdaptiveOptions opts;
+  opts.quantile = 0.9;
+  opts.relative_error = 0.1;
+  opts.max_samples = 5000;
+  const auto r = measure_adaptive([&] { return rng::exponential(gen, 1.0); }, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.samples.size(), 50u);  // tails need more data than the median
+}
+
+TEST(Adaptive, TighterErrorNeedsMoreSamples) {
+  AdaptiveOptions loose, tight;
+  loose.relative_error = 0.10;
+  tight.relative_error = 0.02;
+  tight.max_samples = loose.max_samples = 100000;
+  rng::Xoshiro256 g1(5), g2(5);
+  const auto rl = measure_adaptive([&] { return rng::lognormal(g1, 0.0, 0.6); }, loose);
+  const auto rt = measure_adaptive([&] { return rng::lognormal(g2, 0.0, 0.6); }, tight);
+  ASSERT_TRUE(rl.converged);
+  ASSERT_TRUE(rt.converged);
+  EXPECT_GT(rt.samples.size(), rl.samples.size());
+}
+
+TEST(Adaptive, Validation) {
+  const auto f = [] { return 1.0; };
+  AdaptiveOptions opts;
+  opts.relative_error = 0.0;
+  EXPECT_THROW(measure_adaptive(f, opts), std::domain_error);
+  opts.relative_error = 0.1;
+  opts.max_samples = 5;
+  opts.min_samples = 10;
+  EXPECT_THROW(measure_adaptive(f, opts), std::invalid_argument);
+  EXPECT_THROW(measure_adaptive(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sci::core

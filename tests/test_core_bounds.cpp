@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bounds.hpp"
+
+namespace sci::core {
+namespace {
+
+TEST(ScalingBounds, IdealIsLinear) {
+  const ScalingBounds b(10.0, 0.0);
+  EXPECT_EQ(b.time_ideal(1), 10.0);
+  EXPECT_EQ(b.time_ideal(10), 1.0);
+  EXPECT_EQ(b.speedup_ideal(8), 8.0);
+}
+
+TEST(ScalingBounds, AmdahlSaturates) {
+  const ScalingBounds b(1.0, 0.1);
+  // Amdahl limit: 1/b = 10.
+  EXPECT_NEAR(b.speedup_amdahl(1), 1.0, 1e-12);
+  EXPECT_LT(b.speedup_amdahl(1000), 10.0);
+  EXPECT_GT(b.speedup_amdahl(1000), 9.0);
+  EXPECT_NEAR(b.time_amdahl(10), 1.0 * (0.1 + 0.9 / 10.0), 1e-12);
+}
+
+class BoundsOrdering : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoundsOrdering, TighterModelsBoundBelow) {
+  // ideal <= amdahl <= with_overheads for time; reverse for speedup.
+  const int p = GetParam();
+  const ScalingBounds b(20e-3, 0.01, daint_reduction_overhead);
+  EXPECT_LE(b.time_ideal(p), b.time_amdahl(p) + 1e-15);
+  EXPECT_LE(b.time_amdahl(p), b.time_with_overheads(p) + 1e-15);
+  EXPECT_GE(b.speedup_ideal(p), b.speedup_amdahl(p) - 1e-12);
+  EXPECT_GE(b.speedup_amdahl(p), b.speedup_with_overheads(p) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, BoundsOrdering,
+                         ::testing::Values(1, 2, 4, 8, 9, 16, 17, 32));
+
+TEST(ScalingBounds, PaperFigure7Model) {
+  // Base 20 ms, b = 0.01, piecewise reduction model: the overheads line
+  // must stay below ideal and above zero for all plotted p.
+  const ScalingBounds b(20e-3, 0.01, daint_reduction_overhead);
+  // At p = 32 the overhead is 0.17 ms * 5 = 0.85 ms.
+  EXPECT_NEAR(daint_reduction_overhead(32), 0.17e-3 * 5.0, 1e-12);
+  EXPECT_NEAR(daint_reduction_overhead(4), 10e-9, 1e-15);
+  EXPECT_NEAR(daint_reduction_overhead(16), 0.1e-3 * 4.0, 1e-12);
+  const double t32 = b.time_with_overheads(32);
+  EXPECT_NEAR(t32, 20e-3 * (0.01 + 0.99 / 32.0) + 0.85e-3, 1e-9);
+}
+
+TEST(ScalingBounds, Validation) {
+  EXPECT_THROW(ScalingBounds(0.0, 0.1), std::domain_error);
+  EXPECT_THROW(ScalingBounds(1.0, -0.1), std::domain_error);
+  EXPECT_THROW(ScalingBounds(1.0, 1.1), std::domain_error);
+  const ScalingBounds b(1.0, 0.1);
+  EXPECT_THROW(b.time_ideal(0), std::domain_error);
+  EXPECT_THROW(daint_reduction_overhead(0), std::domain_error);
+}
+
+TEST(MachineModel, FractionAndBottleneck) {
+  const MachineModel model({{"flops", 100.0}, {"membw", 50.0}});
+  const auto frac = model.fraction_of_peak({50.0, 45.0});
+  EXPECT_NEAR(frac[0], 0.5, 1e-12);
+  EXPECT_NEAR(frac[1], 0.9, 1e-12);
+  EXPECT_EQ(model.bottleneck({50.0, 45.0}), 1u);  // membw limits
+  EXPECT_TRUE(model.near_peak({50.0, 45.0}, 0.1));
+  EXPECT_FALSE(model.near_peak({50.0, 30.0}, 0.1));
+}
+
+TEST(MachineModel, Validation) {
+  EXPECT_THROW(MachineModel({}), std::invalid_argument);
+  EXPECT_THROW(MachineModel({{"flops", 0.0}}), std::domain_error);
+  const MachineModel model({{"flops", 1.0}});
+  EXPECT_THROW(model.fraction_of_peak({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Roofline, RidgePointBehavior) {
+  const double peak = 100.0, bw = 10.0;
+  // Below the ridge (intensity < 10): bandwidth-bound.
+  EXPECT_EQ(roofline_attainable(peak, bw, 2.0), 20.0);
+  // Above the ridge: compute-bound.
+  EXPECT_EQ(roofline_attainable(peak, bw, 50.0), 100.0);
+  EXPECT_EQ(roofline_attainable(peak, bw, 10.0), 100.0);
+  EXPECT_THROW(roofline_attainable(0.0, bw, 1.0), std::domain_error);
+}
+
+TEST(SpeedupReport, Rule1Rendering) {
+  SpeedupReport r;
+  r.base_case = BaseCase::kBestSerial;
+  r.base_absolute = 12.5;
+  r.base_unit = "s";
+  r.processes = {2, 4};
+  r.speedups = {1.9, 3.7};
+  const auto text = r.to_string();
+  EXPECT_NE(text.find("best serial implementation"), std::string::npos);
+  EXPECT_NE(text.find("12.5 s"), std::string::npos);
+  EXPECT_NE(text.find("p=4"), std::string::npos);
+  EXPECT_STREQ(to_string(BaseCase::kSingleParallelProcess),
+               "parallel code on one process");
+}
+
+}  // namespace
+}  // namespace sci::core

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/dataset.hpp"
+
+namespace sci::core {
+namespace {
+
+Experiment make_experiment() {
+  Experiment e;
+  e.name = "latency_sweep";
+  e.set("machine", "dora-sim");
+  e.add_factor("bytes", {"64", "4096"});
+  return e;
+}
+
+TEST(Dataset, StoresRowsAndColumns) {
+  Dataset ds(make_experiment(), {"bytes", "latency_us"});
+  ds.add_row({64.0, 1.7});
+  ds.add_row({4096.0, 2.4});
+  EXPECT_EQ(ds.rows(), 2u);
+  EXPECT_EQ(ds.column("latency_us"), (std::vector<double>{1.7, 2.4}));
+  EXPECT_EQ(ds.row(1)[0], 4096.0);
+}
+
+TEST(Dataset, ArityAndColumnErrors) {
+  Dataset ds(make_experiment(), {"a", "b"});
+  EXPECT_THROW(ds.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(ds.column("missing"), std::out_of_range);
+  EXPECT_THROW(Dataset(make_experiment(), {}), std::invalid_argument);
+}
+
+TEST(Dataset, CsvHeaderEmbedsExperiment) {
+  Dataset ds(make_experiment(), {"x"});
+  ds.add_row({1.0});
+  std::ostringstream os;
+  ds.write_csv(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("# experiment: latency_sweep"), std::string::npos);
+  EXPECT_NE(text.find("# env.machine: dora-sim"), std::string::npos);
+  EXPECT_NE(text.find("# factor.bytes: 64 4096"), std::string::npos);
+  EXPECT_NE(text.find("x\n"), std::string::npos);
+}
+
+TEST(Dataset, RoundTripThroughFile) {
+  const std::string path = ::testing::TempDir() + "/scibench_roundtrip.csv";
+  {
+    Dataset ds(make_experiment(), {"bytes", "latency_us"});
+    ds.add_row({64.0, 1.6625});
+    ds.add_row({128.0, 1.75});
+    ds.add_row({4096.0, 2.875});
+    ds.save_csv(path);
+  }
+  const auto loaded = Dataset::load_csv(path);
+  EXPECT_EQ(loaded.rows(), 3u);
+  EXPECT_EQ(loaded.columns(), (std::vector<std::string>{"bytes", "latency_us"}));
+  EXPECT_DOUBLE_EQ(loaded.column("latency_us")[2], 2.875);
+  // Provenance preserved in description.
+  EXPECT_NE(loaded.experiment().description.find("latency_sweep"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, FullPrecisionRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/scibench_precision.csv";
+  const double value = 1.0 / 3.0;
+  {
+    Dataset ds(make_experiment(), {"v"});
+    ds.add_row({value});
+    ds.save_csv(path);
+  }
+  const auto loaded = Dataset::load_csv(path);
+  EXPECT_EQ(loaded.column("v")[0], value);  // bit-exact via %.17g
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadMissingFileThrows) {
+  EXPECT_THROW(Dataset::load_csv("/nonexistent/nope.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sci::core

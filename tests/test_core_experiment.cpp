@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace sci::core {
+namespace {
+
+Experiment documented_experiment() {
+  Experiment e;
+  e.name = "pingpong";
+  e.description = "64 B ping-pong latency";
+  e.set("hardware.cpu", "Xeon E5-2690 v3").set("software.compiler", "gcc 4.8.2 -O3");
+  e.add_factor("message_size", {"64", "4096"});
+  e.synchronization_method = "window";
+  e.summary_across_processes = "max";
+  return e;
+}
+
+TEST(Experiment, HeaderContainsAllSections) {
+  const auto e = documented_experiment();
+  const auto header = e.to_header();
+  EXPECT_NE(header.find("experiment: pingpong"), std::string::npos);
+  EXPECT_NE(header.find("env.hardware.cpu: Xeon E5-2690 v3"), std::string::npos);
+  EXPECT_NE(header.find("factor.message_size: 64 4096"), std::string::npos);
+  EXPECT_NE(header.find("sync: window"), std::string::npos);
+  EXPECT_NE(header.find("process-summary: max"), std::string::npos);
+}
+
+TEST(Experiment, CleanExperimentPassesAudit) {
+  EXPECT_TRUE(documented_experiment().audit().empty());
+}
+
+TEST(Experiment, AuditFlagsMissingEnvironment) {
+  Experiment e;
+  e.name = "bare";
+  const auto issues = e.audit();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues.front().find("Rule 9"), std::string::npos);
+}
+
+TEST(Experiment, AuditFlagsUndocumentedSubset) {
+  auto e = documented_experiment();
+  e.uses_subset = true;  // no reason given
+  bool found = false;
+  for (const auto& issue : e.audit()) {
+    if (issue.find("Rule 2") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+  e.subset_reason = "compiler transformation only applies to C benchmarks";
+  EXPECT_TRUE(e.audit().empty());
+}
+
+TEST(Experiment, AuditFlagsWeakScalingWithoutFunction) {
+  auto e = documented_experiment();
+  e.scaling = ScalingMode::kWeak;
+  bool found = false;
+  for (const auto& issue : e.audit()) {
+    if (issue.find("weak scaling") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+  e.weak_scaling_function = "n = 10^6 * p";
+  EXPECT_TRUE(e.audit().empty());
+  EXPECT_NE(e.to_header().find("weak"), std::string::npos);
+}
+
+TEST(Experiment, AuditFlagsEmptyFactorLevels) {
+  auto e = documented_experiment();
+  e.add_factor("empty_factor", {});
+  bool found = false;
+  for (const auto& issue : e.audit()) {
+    if (issue.find("empty_factor") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Experiment, SubsetWithoutReasonVisibleInHeader) {
+  auto e = documented_experiment();
+  e.uses_subset = true;
+  EXPECT_NE(e.to_header().find("no reason given"), std::string::npos);
+}
+
+TEST(ScalingMode, Names) {
+  EXPECT_STREQ(to_string(ScalingMode::kStrong), "strong");
+  EXPECT_STREQ(to_string(ScalingMode::kWeak), "weak");
+  EXPECT_STREQ(to_string(ScalingMode::kNotApplicable), "n/a");
+}
+
+}  // namespace
+}  // namespace sci::core

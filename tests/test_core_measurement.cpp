@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace sci::core {
+namespace {
+
+TEST(SummarizeSeries, DeterministicDetected) {
+  const std::vector<double> v(20, 3.14);
+  const auto s = summarize_series(v);
+  EXPECT_TRUE(s.deterministic);
+  EXPECT_EQ(s.representative, 3.14);
+  EXPECT_EQ(s.representative_kind, "deterministic value");
+  EXPECT_FALSE(s.mean_ci.has_value());
+}
+
+TEST(SummarizeSeries, NearDeterministicWithTolerance) {
+  std::vector<double> v(20, 100.0);
+  v[3] = 100.0001;  // 1e-6 relative wiggle
+  SummaryOptions opts;
+  opts.deterministic_rtol = 1e-4;
+  EXPECT_TRUE(summarize_series(v, opts).deterministic);
+  opts.deterministic_rtol = 0.0;
+  EXPECT_FALSE(summarize_series(v, opts).deterministic);
+}
+
+TEST(SummarizeSeries, NormalDataGetsMeanAndParametricCi) {
+  rng::Xoshiro256 gen(1);
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng::normal(gen, 50.0, 5.0));
+  const auto s = summarize_series(v);
+  EXPECT_FALSE(s.deterministic);
+  EXPECT_TRUE(s.normal_plausible);
+  EXPECT_EQ(s.representative_kind, "mean");
+  ASSERT_TRUE(s.mean_ci.has_value());
+  EXPECT_TRUE(s.mean_ci->contains(s.mean));
+  ASSERT_TRUE(s.median_ci.has_value());  // always available with n > 5
+}
+
+TEST(SummarizeSeries, SkewedDataGetsMedianRepresentative) {
+  rng::Xoshiro256 gen(2);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng::lognormal(gen, 0.0, 1.0));
+  const auto s = summarize_series(v);
+  EXPECT_FALSE(s.normal_plausible);           // Rule 6 at work
+  EXPECT_FALSE(s.mean_ci.has_value());        // no unfounded parametric CI
+  EXPECT_EQ(s.representative_kind, "median");
+  ASSERT_TRUE(s.median_ci.has_value());
+  EXPECT_TRUE(s.median_ci->contains(s.median));
+}
+
+TEST(SummarizeSeries, QuantilesOrdered) {
+  rng::Xoshiro256 gen(3);
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(rng::exponential(gen, 1.0));
+  const auto s = summarize_series(v);
+  EXPECT_LE(s.min, s.q1);
+  EXPECT_LE(s.q1, s.median);
+  EXPECT_LE(s.median, s.q3);
+  EXPECT_LE(s.q3, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_GT(s.cov, 0.0);
+}
+
+TEST(SummarizeSeries, VeryLongSeriesThinnedForNormalityTest) {
+  rng::Xoshiro256 gen(4);
+  std::vector<double> v;
+  for (int i = 0; i < 50000; ++i) v.push_back(rng::lognormal(gen, 0.0, 0.5));
+  const auto s = summarize_series(v);  // must not throw (SW caps at 5000)
+  ASSERT_TRUE(s.normality.has_value());
+  EXPECT_FALSE(s.normal_plausible);
+}
+
+TEST(SummarizeSeries, TinySeriesHasNoCis) {
+  const std::vector<double> v = {1.0, 2.0};
+  const auto s = summarize_series(v);
+  EXPECT_FALSE(s.deterministic);
+  EXPECT_FALSE(s.median_ci.has_value());  // needs n > 5
+  EXPECT_EQ(s.n, 2u);
+}
+
+TEST(SummarizeSeries, EmptyThrows) {
+  EXPECT_THROW(summarize_series({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sci::core

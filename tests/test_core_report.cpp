@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/plots.hpp"
+#include "core/report.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace sci::core {
+namespace {
+
+Experiment full_experiment() {
+  Experiment e;
+  e.name = "latency_comparison";
+  e.set("hardware", "simulated Cray XC40").set("software", "scibench 1.0");
+  e.add_factor("system", {"dora", "pilatus"});
+  e.synchronization_method = "window";
+  e.summary_across_processes = "max";
+  return e;
+}
+
+Series skewed_series(const std::string& name, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  Series s;
+  s.name = name;
+  s.unit = "us";
+  for (int i = 0; i < 300; ++i) s.values.push_back(rng::lognormal(gen, 0.5, 0.4));
+  return s;
+}
+
+bool rule_satisfied(const std::vector<RuleCheck>& checks, int rule) {
+  for (const auto& c : checks) {
+    if (c.rule == rule) return c.satisfied;
+  }
+  return false;
+}
+
+TEST(Report, RenderContainsSummaries) {
+  ReportBuilder builder(full_experiment());
+  builder.add_series(skewed_series("dora", 1));
+  const auto text = builder.render();
+  EXPECT_NE(text.find("latency_comparison"), std::string::npos);
+  EXPECT_NE(text.find("series dora [us]"), std::string::npos);
+  EXPECT_NE(text.find("median="), std::string::npos);
+  EXPECT_NE(text.find("CI95%(median)"), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  EXPECT_NE(text.find("Shapiro-Wilk"), std::string::npos);
+}
+
+TEST(Report, DeterministicSeriesRenderedAsSuch) {
+  ReportBuilder builder(full_experiment());
+  Series s;
+  s.name = "flops";
+  s.unit = "flop";
+  s.values.assign(10, 1000.0);
+  builder.add_series(s);
+  EXPECT_NE(builder.render().find("deterministic: 1000"), std::string::npos);
+}
+
+TEST(Report, FullReportPassesAllTwelveRules) {
+  ReportBuilder builder(full_experiment());
+  const auto dora = skewed_series("dora", 2);
+  const auto pilatus = skewed_series("pilatus", 3);
+  builder.add_series(dora).add_series(pilatus);
+  builder.declare_units_convention();
+
+  SpeedupReport speedup;
+  speedup.base_case = BaseCase::kBestSerial;
+  speedup.base_absolute = 20e-3;
+  speedup.base_unit = "s";
+  speedup.processes = {2, 4};
+  speedup.speedups = {1.9, 3.6};
+  builder.add_speedup(speedup);
+
+  builder.add_comparison("dora", "pilatus", "Kruskal-Wallis", 0.001, 0.4);
+  builder.add_bound("dora", "LogGP lower bound", 1.5);
+  builder.add_plot(render_density(dora.values, {}));
+
+  const auto checks = builder.audit();
+  ASSERT_EQ(checks.size(), 12u);
+  for (const auto& c : checks) {
+    EXPECT_TRUE(c.satisfied || !c.applicable) << "Rule " << c.rule << ": " << c.note;
+  }
+  const auto audit_text = ReportBuilder::render_audit(checks);
+  EXPECT_NE(audit_text.find("Rule 12"), std::string::npos);
+  EXPECT_EQ(audit_text.find("[ ]"), std::string::npos);  // nothing unsatisfied
+}
+
+TEST(Report, BareReportFailsSeveralRules) {
+  Experiment bare;
+  bare.name = "bare";
+  ReportBuilder builder(bare);
+  builder.add_series(skewed_series("x", 4));
+  const auto checks = builder.audit();
+  EXPECT_FALSE(rule_satisfied(checks, 9));   // no environment documented
+  EXPECT_FALSE(rule_satisfied(checks, 10));  // no sync/summarization methods
+  EXPECT_FALSE(rule_satisfied(checks, 11));  // no bounds
+  EXPECT_FALSE(rule_satisfied(checks, 12));  // no plots
+  EXPECT_TRUE(rule_satisfied(checks, 5));    // CIs always computed for n > 5
+}
+
+TEST(Report, SpeedupWithoutBaseFailsRule1) {
+  ReportBuilder builder(full_experiment());
+  SpeedupReport bad;
+  bad.base_case = BaseCase::kSingleParallelProcess;
+  bad.base_absolute = 0.0;  // Rule 1 violation
+  builder.add_speedup(bad);
+  EXPECT_FALSE(rule_satisfied(builder.audit(), 1));
+}
+
+TEST(Report, SubsetWithoutReasonFailsRule2) {
+  auto e = full_experiment();
+  e.uses_subset = true;
+  ReportBuilder builder(e);
+  EXPECT_FALSE(rule_satisfied(builder.audit(), 2));
+}
+
+TEST(Report, AuditRendering) {
+  ReportBuilder builder(full_experiment());
+  const auto text = ReportBuilder::render_audit(builder.audit());
+  EXPECT_NE(text.find("Twelve-rule audit"), std::string::npos);
+  // Rule 1 inapplicable without speedups: rendered as [-].
+  EXPECT_NE(text.find("[-] Rule  1"), std::string::npos);
+}
+
+TEST(Report, MarkdownRenderingContainsSections) {
+  ReportBuilder builder(full_experiment());
+  builder.add_series(skewed_series("dora", 11));
+  builder.add_series({"flops", "flop", std::vector<double>(8, 500.0)});
+  builder.add_comparison("dora", "flops", "ANOVA", 0.01, 0.5);
+  builder.add_bound("dora", "LogGP", 1.5);
+  builder.add_plot("PLOT-BODY");
+  const auto md = builder.render_markdown();
+  EXPECT_NE(md.find("## latency_comparison"), std::string::npos);
+  EXPECT_NE(md.find("### Setup (Rule 9)"), std::string::npos);
+  EXPECT_NE(md.find("| series |"), std::string::npos);
+  EXPECT_NE(md.find("| dora [us] |"), std::string::npos);
+  EXPECT_NE(md.find("deterministic"), std::string::npos);  // flops row
+  EXPECT_NE(md.find("### Comparisons (Rule 7)"), std::string::npos);
+  EXPECT_NE(md.find("### Bounds (Rule 11)"), std::string::npos);
+  EXPECT_NE(md.find("PLOT-BODY"), std::string::npos);
+  EXPECT_NE(md.find("- [x] Rule 12"), std::string::npos);
+}
+
+TEST(Report, MarkdownAuditMarksFailures) {
+  Experiment bare;
+  bare.name = "bare";
+  ReportBuilder builder(bare);
+  const auto md = builder.render_markdown();
+  EXPECT_NE(md.find("- [ ] Rule 9"), std::string::npos);   // undocumented
+  EXPECT_NE(md.find("- [x] Rule 10"), std::string::npos);  // n/a counts as checked
+  EXPECT_NE(md.find("*(n/a)*"), std::string::npos);
+}
+
+TEST(Report, ComparisonAndBoundLinesRendered) {
+  ReportBuilder builder(full_experiment());
+  builder.add_comparison("a", "b", "ANOVA", 0.03, 0.7);
+  builder.add_bound("a", "ideal", 2.0);
+  const auto text = builder.render();
+  EXPECT_NE(text.find("compare a vs b (ANOVA)"), std::string::npos);
+  EXPECT_NE(text.find("bound[a] ideal <= 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sci::core

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "hpl/sim_hpl.hpp"
+#include "sim/machine.hpp"
+#include "simmpi/comm.hpp"
+
+namespace sci::simmpi {
+namespace {
+
+TEST(Energy, IdleOnlyJobMatchesClosedForm) {
+  auto machine = sim::make_noiseless(4);
+  machine.power = {.idle_w = 100.0, .compute_w = 50.0,
+                   .net_j_per_msg = 0.0, .net_j_per_byte = 0.0};
+  World world(machine, 2, 1);
+  world.launch([](Comm& c) -> sim::Task<void> {
+    if (c.rank() == 0) co_await c.compute(2.0);
+  });
+  world.run();
+  // Makespan 2 s, 2 distinct nodes idle + 2 s compute on one rank.
+  EXPECT_NEAR(world.energy_joules(), 100.0 * 2.0 * 2.0 + 50.0 * 2.0, 1e-6);
+}
+
+TEST(Energy, MessagesAddNicAndWireEnergy) {
+  auto machine = sim::make_noiseless(4);
+  machine.power = {.idle_w = 0.0, .compute_w = 0.0,
+                   .net_j_per_msg = 1.0, .net_j_per_byte = 0.5};
+  World world(machine, 2, 2);
+  world.launch_on(0, [](Comm& c) -> sim::Task<void> {
+    co_await c.send(1, 0, 100);
+    co_await c.send(1, 1, 20);
+  });
+  world.launch_on(1, [](Comm& c) -> sim::Task<void> {
+    (void)co_await c.recv(0, 0);
+    (void)co_await c.recv(0, 1);
+  });
+  world.run();
+  // 2 messages, 120 bytes.
+  EXPECT_NEAR(world.energy_joules(), 2.0 * 1.0 + 120.0 * 0.5, 1e-9);
+}
+
+TEST(Energy, MoreWorkCostsMoreEnergy) {
+  const auto machine = sim::make_daint();
+  auto run = [&](double work) {
+    World world(machine, 4, 3);
+    world.launch([work](Comm& c) -> sim::Task<void> { co_await c.compute(work); });
+    world.run();
+    return world.energy_joules();
+  };
+  EXPECT_GT(run(1.0), run(0.1));
+}
+
+TEST(Energy, BusySecondsTracksComputes) {
+  World world(sim::make_noiseless(4), 1, 4);
+  world.launch([](Comm& c) -> sim::Task<void> {
+    co_await c.compute(0.25);
+    co_await c.compute(0.5);
+  });
+  world.run();
+  EXPECT_NEAR(world.comm(0).busy_seconds(), 0.75, 1e-12);
+}
+
+TEST(Energy, SimulatedHplInPlausibleRange) {
+  // 64 nodes at ~350 W for ~300 s: order 6-8 MJ, ~2.5-3.5 Gflop/J --
+  // the K20X era's flop/W ballpark.
+  const auto run = hpl::simulate_hpl_run(sim::make_daint(), hpl::SimHplConfig{}, 5);
+  EXPECT_GT(run.energy_j, 4e6);
+  EXPECT_LT(run.energy_j, 1e7);
+  EXPECT_GT(run.gflops_per_watt(), 1.5);
+  EXPECT_LT(run.gflops_per_watt(), 5.0);
+}
+
+TEST(Energy, DeterministicForSeed) {
+  const auto machine = sim::make_daint();
+  auto energy = [&] {
+    World world(machine, 8, 5);
+    world.launch([](Comm& c) -> sim::Task<void> {
+      co_await c.compute(1e-3);
+      co_await c.send((c.rank() + 1) % c.size(), 0, 64);
+      (void)co_await c.recv((c.rank() - 1 + c.size()) % c.size(), 0);
+    });
+    world.run();
+    return world.energy_joules();
+  };
+  EXPECT_EQ(energy(), energy());
+}
+
+}  // namespace
+}  // namespace sci::simmpi

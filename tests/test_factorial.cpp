@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/factorial.hpp"
+
+namespace sci::stats {
+namespace {
+
+TEST(Factorial, LevelGenerationYatesOrder) {
+  const auto levels = full_factorial_levels(3);
+  ASSERT_EQ(levels.size(), 8u);
+  EXPECT_EQ(levels[0], (std::vector<bool>{false, false, false}));
+  EXPECT_EQ(levels[1], (std::vector<bool>{true, false, false}));  // A fastest
+  EXPECT_EQ(levels[2], (std::vector<bool>{false, true, false}));
+  EXPECT_EQ(levels[7], (std::vector<bool>{true, true, true}));
+  EXPECT_THROW(full_factorial_levels(0), std::invalid_argument);
+}
+
+// Jain's memory/cache textbook example shape: y = 10 + 2 A + 3 B + 1 AB.
+TEST(Factorial, RecoversExactLinearModel) {
+  std::vector<FactorialRun> runs;
+  for (const auto& lv : full_factorial_levels(2)) {
+    const double a = lv[0] ? 1.0 : -1.0;
+    const double b = lv[1] ? 1.0 : -1.0;
+    runs.push_back({lv, {10.0 + 2.0 * a + 3.0 * b + 1.0 * a * b}});
+  }
+  const auto fit = analyze_factorial({"A", "B"}, runs);
+  EXPECT_NEAR(fit.grand_mean, 10.0, 1e-12);
+  ASSERT_EQ(fit.effects.size(), 3u);
+  // Ordered: A, B, AB.
+  EXPECT_EQ(fit.effects[0].name, "A");
+  EXPECT_NEAR(fit.effects[0].estimate, 2.0, 1e-12);
+  EXPECT_EQ(fit.effects[1].name, "B");
+  EXPECT_NEAR(fit.effects[1].estimate, 3.0, 1e-12);
+  EXPECT_EQ(fit.effects[2].name, "AB");
+  EXPECT_NEAR(fit.effects[2].estimate, 1.0, 1e-12);
+  // Variation decomposition: SS proportional to estimate^2 (4:9:1)/14.
+  EXPECT_NEAR(fit.effects[1].variation_explained, 9.0 / 14.0, 1e-12);
+  EXPECT_EQ(fit.error_fraction, 0.0);
+}
+
+TEST(Factorial, PredictReproducesCellMeans) {
+  std::vector<FactorialRun> runs;
+  rng::Xoshiro256 gen(1);
+  for (const auto& lv : full_factorial_levels(3)) {
+    runs.push_back({lv, {rng::uniform(gen, 0.0, 100.0)}});
+  }
+  const auto fit = analyze_factorial({"A", "B", "C"}, runs);
+  // With r = 1 the full model is saturated: predictions are exact.
+  for (const auto& run : runs) {
+    EXPECT_NEAR(fit.predict(run.levels), run.responses[0], 1e-9);
+  }
+}
+
+TEST(Factorial, ReplicationYieldsSignificanceCalls) {
+  // Strong A effect + pure noise elsewhere.
+  rng::Xoshiro256 gen(2);
+  std::vector<FactorialRun> runs;
+  for (const auto& lv : full_factorial_levels(2)) {
+    const double a = lv[0] ? 1.0 : -1.0;
+    std::vector<double> reps;
+    for (int r = 0; r < 10; ++r) {
+      reps.push_back(50.0 + 10.0 * a + rng::normal(gen, 0.0, 1.0));
+    }
+    runs.push_back({lv, reps});
+  }
+  const auto fit = analyze_factorial({"A", "B"}, runs);
+  ASSERT_TRUE(fit.effects[0].ci.has_value());
+  EXPECT_TRUE(fit.effects[0].significant());   // A
+  EXPECT_FALSE(fit.effects[1].significant());  // B is noise
+  EXPECT_NEAR(fit.effects[0].estimate, 10.0, 0.5);
+  EXPECT_GT(fit.effects[0].variation_explained, 0.9);
+  EXPECT_EQ(fit.replicates, 10u);
+}
+
+TEST(Factorial, UnreplicatedHasNoCis) {
+  std::vector<FactorialRun> runs;
+  for (const auto& lv : full_factorial_levels(2)) runs.push_back({lv, {1.0}});
+  const auto fit = analyze_factorial({"A", "B"}, runs);
+  for (const auto& e : fit.effects) EXPECT_FALSE(e.ci.has_value());
+}
+
+TEST(Factorial, Validation) {
+  std::vector<FactorialRun> runs;
+  for (const auto& lv : full_factorial_levels(2)) runs.push_back({lv, {1.0}});
+  // Wrong factor count.
+  EXPECT_THROW(analyze_factorial({"A"}, runs), std::invalid_argument);
+  // Duplicate configuration.
+  auto dup = runs;
+  dup[1].levels = dup[0].levels;
+  EXPECT_THROW(analyze_factorial({"A", "B"}, dup), std::invalid_argument);
+  // Unequal replication.
+  auto uneq = runs;
+  uneq[2].responses.push_back(2.0);
+  EXPECT_THROW(analyze_factorial({"A", "B"}, uneq), std::invalid_argument);
+}
+
+TEST(Factorial, ToStringListsEffects) {
+  std::vector<FactorialRun> runs;
+  for (const auto& lv : full_factorial_levels(2)) {
+    runs.push_back({lv, {lv[0] ? 2.0 : 1.0, lv[0] ? 2.1 : 1.1}});
+  }
+  const auto fit = analyze_factorial({"block_size", "numa"}, runs);
+  const auto text = fit.to_string();
+  EXPECT_NE(text.find("A = block_size"), std::string::npos);
+  EXPECT_NE(text.find("AB"), std::string::npos);
+  EXPECT_NE(text.find("experimental error"), std::string::npos);
+}
+
+class FactorialSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FactorialSizes, EffectCountAndVariationSum) {
+  const std::size_t k = GetParam();
+  rng::Xoshiro256 gen(3 + k);
+  std::vector<FactorialRun> runs;
+  for (const auto& lv : full_factorial_levels(k)) {
+    runs.push_back({lv, {rng::normal(gen, 10.0, 2.0), rng::normal(gen, 10.0, 2.0)}});
+  }
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < k; ++f) names.push_back(std::string(1, char('A' + f)));
+  const auto fit = analyze_factorial(names, runs);
+  EXPECT_EQ(fit.effects.size(), (std::size_t{1} << k) - 1);
+  double total = fit.error_fraction;
+  for (const auto& e : fit.effects) total += e.variation_explained;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FactorialSizes, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace sci::stats

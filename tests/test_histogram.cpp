@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/histogram.hpp"
+
+namespace sci::stats {
+namespace {
+
+TEST(Histogram, CountsSumToN) {
+  rng::Xoshiro256 gen(1);
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(rng::normal(gen, 0.0, 1.0));
+  const auto h = make_histogram(v, 32);
+  EXPECT_EQ(h.bins(), 32u);
+  EXPECT_EQ(std::accumulate(h.counts.begin(), h.counts.end(), std::size_t{0}), v.size());
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  rng::Xoshiro256 gen(2);
+  std::vector<double> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(rng::exponential(gen, 2.0));
+  const auto h = make_histogram(v);
+  double area = 0.0;
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    area += h.density[i] * (h.edges[i + 1] - h.edges[i]);
+  }
+  EXPECT_NEAR(area, 1.0, 1e-9);
+}
+
+TEST(Histogram, AutoBinCountReasonable) {
+  rng::Xoshiro256 gen(3);
+  std::vector<double> v;
+  for (int i = 0; i < 10000; ++i) v.push_back(rng::normal(gen, 5.0, 1.0));
+  const auto h = make_histogram(v);
+  EXPECT_GE(h.bins(), 10u);
+  EXPECT_LE(h.bins(), 512u);
+}
+
+TEST(Histogram, EdgesMonotoneAndCoverRange) {
+  const std::vector<double> v = {-3.0, 0.0, 7.0};
+  const auto h = make_histogram(v, 4);
+  EXPECT_EQ(h.edges.front(), -3.0);
+  EXPECT_EQ(h.edges.back(), 7.0);
+  for (std::size_t i = 1; i < h.edges.size(); ++i) EXPECT_GT(h.edges[i], h.edges[i - 1]);
+}
+
+TEST(Histogram, ConstantDataSafe) {
+  const std::vector<double> v(100, 42.0);
+  const auto h = make_histogram(v);
+  EXPECT_EQ(std::accumulate(h.counts.begin(), h.counts.end(), std::size_t{0}), 100u);
+}
+
+TEST(Kde, DensityIntegratesToOne) {
+  rng::Xoshiro256 gen(4);
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(rng::normal(gen, 10.0, 2.0));
+  const auto curve = kernel_density(v, 256);
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.x.size(); ++i) {
+    area += 0.5 * (curve.density[i] + curve.density[i - 1]) * (curve.x[i] - curve.x[i - 1]);
+  }
+  EXPECT_NEAR(area, 1.0, 0.02);
+  EXPECT_GT(curve.bandwidth, 0.0);
+}
+
+TEST(Kde, PeakNearMode) {
+  rng::Xoshiro256 gen(5);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(rng::normal(gen, 3.0, 0.5));
+  const auto curve = kernel_density(v, 128);
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < curve.density.size(); ++i) {
+    if (curve.density[i] > curve.density[argmax]) argmax = i;
+  }
+  EXPECT_NEAR(curve.x[argmax], 3.0, 0.2);
+}
+
+TEST(Kde, BimodalShapeVisible) {
+  rng::Xoshiro256 gen(6);
+  std::vector<double> v;
+  for (int i = 0; i < 10000; ++i) {
+    v.push_back(rng::bernoulli(gen, 0.5) ? rng::normal(gen, 0.0, 0.3)
+                                         : rng::normal(gen, 5.0, 0.3));
+  }
+  const auto curve = kernel_density(v, 200, 0.2);
+  // Density at the valley (x ~ 2.5) should be well below both peaks.
+  double valley = 1e9, peak0 = 0.0, peak5 = 0.0;
+  for (std::size_t i = 0; i < curve.x.size(); ++i) {
+    if (std::abs(curve.x[i] - 2.5) < 0.5) valley = std::min(valley, curve.density[i]);
+    if (std::abs(curve.x[i]) < 0.5) peak0 = std::max(peak0, curve.density[i]);
+    if (std::abs(curve.x[i] - 5.0) < 0.5) peak5 = std::max(peak5, curve.density[i]);
+  }
+  EXPECT_LT(valley, 0.2 * peak0);
+  EXPECT_LT(valley, 0.2 * peak5);
+}
+
+TEST(Kde, ThinsVeryLongSeries) {
+  rng::Xoshiro256 gen(7);
+  std::vector<double> v;
+  for (int i = 0; i < 200000; ++i) v.push_back(rng::normal(gen, 0.0, 1.0));
+  const auto curve = kernel_density(v, 64);  // must not take forever
+  EXPECT_EQ(curve.x.size(), 64u);
+}
+
+TEST(HistogramKde, InputValidation) {
+  EXPECT_THROW(make_histogram({}), std::invalid_argument);
+  EXPECT_THROW(kernel_density({}), std::invalid_argument);
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW(kernel_density(v, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sci::stats

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/independence.hpp"
+
+namespace sci::stats {
+namespace {
+
+std::vector<double> iid_sample(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<double> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng::normal(gen, 10.0, 1.0));
+  return v;
+}
+
+/// AR(1) process: strongly autocorrelated.
+std::vector<double> ar1_sample(std::size_t n, double phi, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<double> v;
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = phi * x + rng::normal(gen);
+    v.push_back(x);
+  }
+  return v;
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  EXPECT_EQ(autocorrelation(iid_sample(100, 1), 0), 1.0);
+}
+
+TEST(Autocorrelation, IidNearZero) {
+  const auto v = iid_sample(5000, 2);
+  for (std::size_t lag : {1, 2, 5, 10}) {
+    EXPECT_NEAR(autocorrelation(v, lag), 0.0, 0.05) << lag;
+  }
+}
+
+TEST(Autocorrelation, Ar1MatchesPhi) {
+  const double phi = 0.7;
+  const auto v = ar1_sample(20000, phi, 3);
+  EXPECT_NEAR(autocorrelation(v, 1), phi, 0.03);
+  EXPECT_NEAR(autocorrelation(v, 2), phi * phi, 0.04);
+}
+
+TEST(Autocorrelation, AlternatingSeriesNegative) {
+  std::vector<double> v;
+  rng::Xoshiro256 gen(4);
+  for (int i = 0; i < 1000; ++i) v.push_back((i % 2 ? 1.0 : -1.0) + 0.01 * rng::normal(gen));
+  EXPECT_LT(autocorrelation(v, 1), -0.9);
+}
+
+TEST(LjungBox, AcceptsIidRejectsAr1) {
+  int rejections = 0;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    rejections += ljung_box(iid_sample(300, 100 + s)).reject(0.05);
+  }
+  EXPECT_LE(rejections, 5);
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    EXPECT_TRUE(ljung_box(ar1_sample(300, 0.6, 200 + s)).reject(0.01));
+  }
+}
+
+TEST(RunsTest, AcceptsRandomRejectsTrend) {
+  int rejections = 0;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    rejections += runs_test(iid_sample(200, 300 + s)).reject(0.05);
+  }
+  EXPECT_LE(rejections, 5);
+  // A slow drift produces long runs above/below the median.
+  std::vector<double> trend;
+  rng::Xoshiro256 gen(5);
+  for (int i = 0; i < 200; ++i) trend.push_back(i * 0.1 + rng::normal(gen, 0.0, 0.5));
+  EXPECT_TRUE(runs_test(trend).reject(0.01));
+}
+
+TEST(EffectiveSampleSize, IidKeepsAlmostAll) {
+  const auto v = iid_sample(2000, 6);
+  EXPECT_GT(effective_sample_size(v), 1200.0);
+}
+
+TEST(EffectiveSampleSize, Ar1Shrinks) {
+  // n_eff ~ n (1 - phi) / (1 + phi) for AR(1): phi=0.8 -> ~n/9.
+  const auto v = ar1_sample(9000, 0.8, 7);
+  const double n_eff = effective_sample_size(v);
+  EXPECT_LT(n_eff, 2500.0);
+  EXPECT_GT(n_eff, 300.0);
+}
+
+TEST(Independence, Validation) {
+  const std::vector<double> tiny = {1.0, 2.0};
+  EXPECT_THROW(autocorrelation(tiny, 5), std::invalid_argument);
+  EXPECT_THROW(ljung_box(tiny), std::invalid_argument);
+  EXPECT_THROW(runs_test(tiny), std::invalid_argument);
+  EXPECT_THROW(effective_sample_size(tiny), std::invalid_argument);
+  const std::vector<double> same(20, 3.0);
+  EXPECT_THROW(runs_test(same), std::invalid_argument);  // all tie the median
+}
+
+TEST(SummarizeSeries, FlagsAutocorrelatedMeasurements) {
+  // The Rule 5/6 pipeline also diagnoses non-iid series now.
+  auto v = ar1_sample(1000, 0.7, 8);
+  for (double& x : v) x += 100.0;  // keep positive-ish
+  const auto s = core::summarize_series(v);
+  ASSERT_TRUE(s.iid_check.has_value());
+  EXPECT_FALSE(s.iid_plausible);
+  EXPECT_LT(s.effective_n, 500.0);
+
+  const auto good = core::summarize_series(iid_sample(1000, 9));
+  EXPECT_TRUE(good.iid_plausible);
+  EXPECT_GT(good.effective_n, 500.0);
+}
+
+}  // namespace
+}  // namespace sci::stats

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "lp/simplex.hpp"
+
+namespace sci::lp {
+namespace {
+
+// min -x - 2y  s.t.  x + y + s1 = 4, x + 3y + s2 = 6; x,y,s >= 0.
+// Optimum at (3, 1): objective -5.
+TEST(Simplex, SolvesSmallLp) {
+  Problem p(2, 4);
+  p.set_objective(0, -1.0);
+  p.set_objective(1, -2.0);
+  p.set_coefficient(0, 0, 1.0);
+  p.set_coefficient(0, 1, 1.0);
+  p.set_coefficient(0, 2, 1.0);
+  p.set_coefficient(1, 0, 1.0);
+  p.set_coefficient(1, 1, 3.0);
+  p.set_coefficient(1, 3, 1.0);
+  p.set_rhs(0, 4.0);
+  p.set_rhs(1, 6.0);
+
+  const auto sol = p.solve();
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, -5.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-9);
+}
+
+// x = 2, minimize x: trivially feasible with unique point.
+TEST(Simplex, SingleEqualityPinsVariable) {
+  Problem p(1, 1);
+  p.set_objective(0, 1.0);
+  p.set_coefficient(0, 0, 1.0);
+  p.set_rhs(0, 2.0);
+  const auto sol = p.solve();
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+// x + y = -1 with x,y >= 0 is infeasible (after sign flip: -x - y = 1).
+TEST(Simplex, DetectsInfeasible) {
+  Problem p(1, 2);
+  p.set_coefficient(0, 0, 1.0);
+  p.set_coefficient(0, 1, 1.0);
+  p.set_rhs(0, -1.0);
+  const auto sol = p.solve();
+  EXPECT_EQ(sol.status, Status::kInfeasible);
+}
+
+// min -x s.t. x - y = 0: x can grow forever with y.
+TEST(Simplex, DetectsUnbounded) {
+  Problem p(1, 2);
+  p.set_objective(0, -1.0);
+  p.set_coefficient(0, 0, 1.0);
+  p.set_coefficient(0, 1, -1.0);
+  p.set_rhs(0, 0.0);
+  const auto sol = p.solve();
+  EXPECT_EQ(sol.status, Status::kUnbounded);
+}
+
+// Negative RHS rows must be handled by the internal sign flip.
+TEST(Simplex, NegativeRhsNormalized) {
+  // -x - s = -3  <=>  x + s = 3; min x -> x = 0, s = 3.
+  Problem p(1, 2);
+  p.set_objective(0, 1.0);
+  p.set_coefficient(0, 0, -1.0);
+  p.set_coefficient(0, 1, -1.0);
+  p.set_rhs(0, -3.0);
+  const auto sol = p.solve();
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 3.0, 1e-9);
+}
+
+// Degenerate problem with a redundant row must still terminate (Bland).
+TEST(Simplex, RedundantRowTerminates) {
+  Problem p(2, 3);
+  p.set_objective(0, 1.0);
+  // x + y + z = 2 twice.
+  for (std::size_t r = 0; r < 2; ++r) {
+    p.set_coefficient(r, 0, 1.0);
+    p.set_coefficient(r, 1, 1.0);
+    p.set_coefficient(r, 2, 1.0);
+    p.set_rhs(r, 2.0);
+  }
+  const auto sol = p.solve();
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+}
+
+// Feasibility at equality: x + y = 4, x - y = 2 -> (3, 1).
+TEST(Simplex, SolvesSquareSystem) {
+  Problem p(2, 2);
+  p.set_coefficient(0, 0, 1.0);
+  p.set_coefficient(0, 1, 1.0);
+  p.set_rhs(0, 4.0);
+  p.set_coefficient(1, 0, 1.0);
+  p.set_coefficient(1, 1, -1.0);
+  p.set_rhs(1, 2.0);
+  const auto sol = p.solve();
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-9);
+}
+
+class SimplexScale : public ::testing::TestWithParam<std::size_t> {};
+
+// min sum x_i s.t. x_i + s_i = i+1: optimum 0 with slack carrying rhs.
+TEST_P(SimplexScale, ScalesToLargerProblems) {
+  const std::size_t n = GetParam();
+  Problem p(n, 2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.set_objective(i, 1.0);
+    p.set_coefficient(i, i, 1.0);
+    p.set_coefficient(i, n + i, 1.0);
+    p.set_rhs(i, static_cast<double>(i + 1));
+  }
+  const auto sol = p.solve();
+  ASSERT_EQ(sol.status, Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(sol.x[n + i], static_cast<double>(i + 1), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimplexScale, ::testing::Values(5, 20, 60));
+
+}  // namespace
+}  // namespace sci::lp

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "rng/xoshiro.hpp"
+#include "sim/noise.hpp"
+
+namespace sci::sim {
+namespace {
+
+TEST(ComputeNoise, ZeroModelIsIdentity) {
+  ComputeNoise noise;  // all zeros
+  rng::Xoshiro256 gen(1);
+  for (double d : {1e-6, 1.0, 100.0}) EXPECT_EQ(noise.perturb(d, gen), d);
+}
+
+TEST(ComputeNoise, NeverShortensWork) {
+  ComputeNoise noise{.rel_jitter = 0.1,
+                     .detour_rate = 1000.0,
+                     .detour_mean = 1e-5,
+                     .burst_rate = 10.0,
+                     .burst_scale = 1e-4,
+                     .burst_shape = 2.0};
+  rng::Xoshiro256 gen(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(noise.perturb(1e-3, gen), 1e-3);
+  }
+}
+
+TEST(ComputeNoise, DetourCountScalesWithDuration) {
+  // Rate semantics: long intervals absorb proportionally more detours.
+  ComputeNoise noise{.rel_jitter = 0.0,
+                     .detour_rate = 100.0,
+                     .detour_mean = 1e-3,
+                     .burst_rate = 0.0};
+  rng::Xoshiro256 gen(3);
+  double short_extra = 0.0, long_extra = 0.0;
+  constexpr int kTrials = 3000;
+  for (int i = 0; i < kTrials; ++i) {
+    short_extra += noise.perturb(0.01, gen) - 0.01;
+    long_extra += noise.perturb(1.0, gen) - 1.0;
+  }
+  // Expected extra: rate * duration * mean => 1e-3 vs 0.1 per call.
+  EXPECT_NEAR(short_extra / kTrials, 100.0 * 0.01 * 1e-3, 3e-4);
+  EXPECT_NEAR(long_extra / kTrials, 100.0 * 1.0 * 1e-3, 1e-2);
+}
+
+TEST(ComputeNoise, JitterScalesMultiplicatively) {
+  ComputeNoise noise{.rel_jitter = 0.05};
+  rng::Xoshiro256 gen(4);
+  double sum = 0.0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) sum += noise.perturb(10.0, gen);
+  // E[1 + |N(0,s)|] = 1 + s*sqrt(2/pi).
+  EXPECT_NEAR(sum / kTrials, 10.0 * (1.0 + 0.05 * 0.7979), 0.02);
+}
+
+TEST(NetworkNoise, ZeroModelIsIdentity) {
+  NetworkNoise noise;
+  rng::Xoshiro256 gen(5);
+  EXPECT_EQ(noise.perturb(1e-6, gen), 1e-6);
+}
+
+TEST(NetworkNoise, CongestionFrequencyMatchesProbability) {
+  NetworkNoise noise{.rel_jitter = 0.0,
+                     .congestion_prob = 0.25,
+                     .congestion_mean = 1e-6};
+  rng::Xoshiro256 gen(6);
+  int congested = 0;
+  constexpr int kTrials = 40000;
+  for (int i = 0; i < kTrials; ++i) {
+    congested += (noise.perturb(1e-6, gen) > 1e-6);
+  }
+  EXPECT_NEAR(static_cast<double>(congested) / kTrials, 0.25, 0.01);
+}
+
+TEST(NetworkNoise, RareEventsProduceHeavyTail) {
+  NetworkNoise noise{.rel_jitter = 0.0,
+                     .congestion_prob = 0.0,
+                     .congestion_mean = 0.0,
+                     .rare_prob = 0.01,
+                     .rare_scale = 1e-5,
+                     .rare_shape = 2.0};
+  rng::Xoshiro256 gen(7);
+  double max_seen = 0.0;
+  for (int i = 0; i < 50000; ++i) max_seen = std::max(max_seen, noise.perturb(1e-6, gen));
+  EXPECT_GT(max_seen, 1e-5);  // at least one rare event fired and dominates
+}
+
+TEST(Noise, DeterministicGivenGeneratorState) {
+  ComputeNoise noise{.rel_jitter = 0.1, .detour_rate = 100.0, .detour_mean = 1e-4};
+  rng::Xoshiro256 a(8), b(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(noise.perturb(0.5, a), noise.perturb(0.5, b));
+}
+
+}  // namespace
+}  // namespace sci::sim

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/normality.hpp"
+
+namespace sci::stats {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng::normal(gen, 10.0, 2.0));
+  return v;
+}
+
+std::vector<double> lognormal_sample(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng::lognormal(gen, 0.0, 1.0));
+  return v;
+}
+
+TEST(ShapiroWilk, AcceptsNormalData) {
+  // Type-I error control: normal samples should rarely be rejected.
+  int rejections = 0;
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    rejections += shapiro_wilk(normal_sample(200, seed)).reject(0.05);
+  }
+  EXPECT_LE(rejections, 6);  // ~5% expected, allow slack
+}
+
+TEST(ShapiroWilk, RejectsLognormalData) {
+  // Power check: clearly skewed data must be rejected essentially always.
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    EXPECT_TRUE(shapiro_wilk(lognormal_sample(200, seed)).reject(0.05)) << seed;
+  }
+}
+
+TEST(ShapiroWilk, WStatisticNearOneForNormal) {
+  const auto r = shapiro_wilk(normal_sample(500, 7));
+  EXPECT_GT(r.statistic, 0.99);
+  EXPECT_LE(r.statistic, 1.0);
+}
+
+TEST(ShapiroWilk, SmallSampleBranch) {
+  // n <= 11 uses a different p-value transform; sanity only.
+  const auto r = shapiro_wilk(normal_sample(8, 3));
+  EXPECT_GT(r.statistic, 0.6);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(ShapiroWilk, RejectsDomainViolations) {
+  EXPECT_THROW(shapiro_wilk(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(shapiro_wilk(std::vector<double>(3, 5.0)), std::invalid_argument);
+  EXPECT_THROW(shapiro_wilk(normal_sample(5001, 1)), std::invalid_argument);
+}
+
+TEST(AndersonDarling, AcceptsNormalRejectsSkewed) {
+  int rejections = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    rejections += anderson_darling(normal_sample(300, seed)).reject(0.05);
+  }
+  EXPECT_LE(rejections, 4);
+  for (std::uint64_t seed = 50; seed < 55; ++seed) {
+    EXPECT_TRUE(anderson_darling(lognormal_sample(300, seed)).reject(0.05));
+  }
+}
+
+TEST(JarqueBera, AcceptsNormalRejectsSkewed) {
+  int rejections = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    rejections += jarque_bera(normal_sample(500, seed)).reject(0.05);
+  }
+  EXPECT_LE(rejections, 4);
+  for (std::uint64_t seed = 70; seed < 75; ++seed) {
+    EXPECT_TRUE(jarque_bera(lognormal_sample(500, seed)).reject(0.05));
+  }
+}
+
+TEST(QQPlot, PointsSortedAndSized) {
+  const auto v = lognormal_sample(1000, 9);
+  const auto pts = qq_normal(v, 128);
+  EXPECT_EQ(pts.size(), 128u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].theoretical, pts[i - 1].theoretical);
+    EXPECT_GE(pts[i].sample, pts[i - 1].sample);
+  }
+}
+
+TEST(QQPlot, FullResolutionWhenSmall) {
+  const auto v = normal_sample(50, 10);
+  EXPECT_EQ(qq_normal(v, 128).size(), 50u);
+}
+
+TEST(QQCorrelation, DiscriminatesShapes) {
+  const double r_normal = qq_correlation(normal_sample(1000, 11));
+  const double r_skewed = qq_correlation(lognormal_sample(1000, 11));
+  EXPECT_GT(r_normal, 0.995);
+  EXPECT_LT(r_skewed, r_normal);
+  EXPECT_LT(r_skewed, 0.97);
+}
+
+class ShapiroWilkSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShapiroWilkSizes, ValidPValueAcrossSizes) {
+  const auto r = shapiro_wilk(normal_sample(GetParam(), 21));
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+  EXPECT_GT(r.statistic, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ShapiroWilkSizes,
+                         ::testing::Values(3, 4, 5, 11, 12, 30, 100, 1000, 5000));
+
+}  // namespace
+}  // namespace sci::stats

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/normality.hpp"
+#include "stats/normalization.hpp"
+#include "stats/outliers.hpp"
+
+namespace sci::stats {
+namespace {
+
+TEST(Tukey, FencesMatchDefinition) {
+  std::vector<double> v;
+  for (int i = 1; i <= 12; ++i) v.push_back(i);  // q1 = 3.75, q3 = 9.25 (R7)
+  const auto f = tukey_fences(v, 1.5);
+  const double q1 = quantile(v, 0.25);
+  const double q3 = quantile(v, 0.75);
+  EXPECT_NEAR(f.lower, q1 - 1.5 * (q3 - q1), 1e-12);
+  EXPECT_NEAR(f.upper, q3 + 1.5 * (q3 - q1), 1e-12);
+}
+
+TEST(Tukey, RemovalCountsReported) {
+  std::vector<double> v = {5, 6, 7, 8, 9, 10, 11, 12, 1000, -1000};
+  const auto r = remove_outliers_tukey(v);
+  EXPECT_EQ(r.removed_high, 1u);
+  EXPECT_EQ(r.removed_low, 1u);
+  EXPECT_EQ(r.removed(), 2u);
+  EXPECT_EQ(r.kept.size(), 8u);
+}
+
+TEST(Tukey, LargerConstantKeepsMore) {
+  rng::Xoshiro256 gen(1);
+  std::vector<double> v;
+  for (int i = 0; i < 2000; ++i) v.push_back(rng::lognormal(gen, 0.0, 1.0));
+  const auto strict = remove_outliers_tukey(v, 1.5);
+  const auto loose = remove_outliers_tukey(v, 3.0);
+  EXPECT_GT(strict.removed(), loose.removed());
+}
+
+TEST(Tukey, CleanDataUntouched) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_EQ(remove_outliers_tukey(v).removed(), 0u);
+}
+
+TEST(BlockMeans, ValuesAndTruncation) {
+  const std::vector<double> v = {1, 2, 3, 4, 5, 6, 7};  // k=3: two blocks
+  const auto b = block_means(v, 3);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_NEAR(b[0], 2.0, 1e-12);
+  EXPECT_NEAR(b[1], 5.0, 1e-12);
+  EXPECT_THROW(block_means(v, 0), std::domain_error);
+}
+
+TEST(LogTransform, ValuesAndDomain) {
+  const std::vector<double> v = {1.0, std::exp(1.0)};
+  const auto t = log_transform(v);
+  EXPECT_NEAR(t[0], 0.0, 1e-12);
+  EXPECT_NEAR(t[1], 1.0, 1e-12);
+  EXPECT_THROW(log_transform(std::vector<double>{1.0, 0.0}), std::domain_error);
+}
+
+TEST(LogAverage, EqualsGeometricMean) {
+  rng::Xoshiro256 gen(2);
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(rng::lognormal(gen, 0.0, 1.0));
+  EXPECT_NEAR(log_average(v), geometric_mean(v), 1e-12);
+}
+
+TEST(Normalization, LognormalDataNormalizesUnderLog) {
+  // The paper's Figure 2(b): log of lognormal is normal.
+  rng::Xoshiro256 gen(3);
+  std::vector<double> v;
+  for (int i = 0; i < 2000; ++i) v.push_back(rng::lognormal(gen, 1.0, 0.8));
+  EXPECT_TRUE(shapiro_wilk(v).reject(0.05));
+  EXPECT_FALSE(shapiro_wilk(log_transform(v)).reject(0.01));
+}
+
+TEST(Normalization, BlockMeansApproachNormality) {
+  // CLT (the paper's Figure 2(c,d)): means of k samples normalize.
+  rng::Xoshiro256 gen(4);
+  std::vector<double> v;
+  for (int i = 0; i < 100000; ++i) v.push_back(rng::exponential(gen, 1.0));
+  EXPECT_TRUE(shapiro_wilk(std::span(v).first(3000)).reject(0.05));
+  const auto b100 = block_means(v, 100);
+  EXPECT_FALSE(shapiro_wilk(b100).reject(0.01));
+}
+
+TEST(Normalization, FindBlockSizeReturnsWorkingK) {
+  rng::Xoshiro256 gen(5);
+  std::vector<double> v;
+  for (int i = 0; i < 60000; ++i) v.push_back(rng::exponential(gen, 2.0));
+  const std::vector<std::size_t> candidates = {1, 10, 100, 1000};
+  const std::size_t k = find_normalizing_block_size(v, candidates);
+  EXPECT_GT(k, 1u);  // raw exponential data is not normal
+  // Verify the returned k indeed passes.
+  EXPECT_FALSE(shapiro_wilk(block_means(v, k)).reject(0.05));
+}
+
+TEST(Normalization, ReturnsZeroWhenNothingWorks) {
+  // Too few samples for any candidate to yield >= 8 blocks that pass.
+  rng::Xoshiro256 gen(6);
+  std::vector<double> v;
+  for (int i = 0; i < 50; ++i) v.push_back(rng::pareto(gen, 1.0, 1.1));
+  const std::vector<std::size_t> candidates = {25};  // 2 blocks only
+  EXPECT_EQ(find_normalizing_block_size(v, candidates), 0u);
+}
+
+}  // namespace
+}  // namespace sci::stats

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/quantile_regression.hpp"
+
+namespace sci::stats {
+namespace {
+
+TEST(QuantReg, InterceptOnlyEqualsSampleQuantile) {
+  // With no regressors, the tau-quantile-regression intercept is a
+  // tau-quantile of y (any minimizer of the check loss).
+  rng::Xoshiro256 gen(1);
+  std::vector<double> y;
+  for (int i = 0; i < 101; ++i) y.push_back(rng::lognormal(gen, 0.0, 1.0));
+  for (double tau : {0.25, 0.5, 0.9}) {
+    const auto fit = quantile_regression(y, {}, tau);
+    ASSERT_TRUE(fit.converged);
+    // The LP optimum must lie between neighboring order statistics of
+    // the R1 quantile; with n=101 and these taus it's an exact order stat.
+    EXPECT_NEAR(fit.coefficients[0], quantile(y, tau, QuantileMethod::kR1InverseEcdf),
+                1e-9)
+        << tau;
+  }
+}
+
+TEST(QuantReg, BinaryFactorEqualsGroupQuantileDifference) {
+  // The Figure 4 design: y ~ intercept + indicator(system). The fitted
+  // coefficients are the group quantile and the between-group difference.
+  rng::Xoshiro256 gen(2);
+  std::vector<double> y;
+  std::vector<std::vector<double>> x;
+  std::vector<double> g0, g1;
+  for (int i = 0; i < 75; ++i) {
+    const double a = rng::lognormal(gen, 0.0, 0.4);
+    const double b = rng::lognormal(gen, 0.3, 0.6);
+    y.push_back(a);
+    x.push_back({0.0});
+    g0.push_back(a);
+    y.push_back(b);
+    x.push_back({1.0});
+    g1.push_back(b);
+  }
+  const double tau = 0.5;
+  const auto fit = quantile_regression(y, x, tau);
+  ASSERT_TRUE(fit.converged);
+  const double q0 = quantile(g0, tau, QuantileMethod::kR1InverseEcdf);
+  const double q1 = quantile(g1, tau, QuantileMethod::kR1InverseEcdf);
+  EXPECT_NEAR(fit.coefficients[0], q0, 0.05);
+  EXPECT_NEAR(fit.coefficients[0] + fit.coefficients[1], q1, 0.05);
+}
+
+TEST(QuantReg, RecoversLinearTrend) {
+  // y = 2 + 3x + symmetric noise: median regression recovers the line.
+  rng::Xoshiro256 gen(3);
+  std::vector<double> y;
+  std::vector<std::vector<double>> x;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = rng::uniform(gen, 0.0, 10.0);
+    x.push_back({xi});
+    y.push_back(2.0 + 3.0 * xi + rng::normal(gen, 0.0, 0.5));
+  }
+  const auto fit = quantile_regression(y, x, 0.5);
+  ASSERT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 0.3);
+  EXPECT_NEAR(fit.coefficients[1], 3.0, 0.06);
+}
+
+TEST(QuantReg, SweepIsMonotoneInTau) {
+  rng::Xoshiro256 gen(4);
+  std::vector<double> y;
+  for (int i = 0; i < 150; ++i) y.push_back(rng::exponential(gen, 1.0));
+  const std::vector<double> taus = {0.1, 0.3, 0.5, 0.7, 0.9};
+  const auto sweep = quantile_regression_sweep(y, {}, taus);
+  ASSERT_EQ(sweep.size(), taus.size());
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    ASSERT_TRUE(sweep[i].converged);
+    EXPECT_GE(sweep[i].coefficients[0], sweep[i - 1].coefficients[0]);
+  }
+}
+
+TEST(QuantReg, ObjectiveIsCheckLoss) {
+  const std::vector<double> y = {1.0, 2.0, 10.0};
+  const auto fit = quantile_regression(y, {}, 0.5);
+  ASSERT_TRUE(fit.converged);
+  // Median = 2; loss = 0.5*(|1-2| + |10-2|) = 4.5.
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.objective, 4.5, 1e-9);
+}
+
+TEST(QuantReg, InputValidation) {
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(quantile_regression({}, {}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile_regression(y, {}, 0.0), std::domain_error);
+  EXPECT_THROW(quantile_regression(y, {}, 1.0), std::domain_error);
+  const std::vector<std::vector<double>> ragged = {{1.0}, {1.0, 2.0}};
+  EXPECT_THROW(quantile_regression(y, ragged, 0.5), std::invalid_argument);
+}
+
+TEST(QuantReg, BootstrapCiBracketsEstimate) {
+  rng::Xoshiro256 gen(5);
+  std::vector<double> y;
+  for (int i = 0; i < 80; ++i) y.push_back(rng::lognormal(gen, 1.0, 0.5));
+  const auto fit = quantile_regression(y, {}, 0.5);
+  const auto ci = quantile_regression_bootstrap_ci(y, {}, 0.5, 100, 0.95, 42);
+  ASSERT_EQ(ci.lower.size(), 1u);
+  EXPECT_LE(ci.lower[0], fit.coefficients[0] + 1e-12);
+  EXPECT_GE(ci.upper[0], fit.coefficients[0] - 1e-12);
+  EXPECT_GT(ci.upper[0], ci.lower[0]);
+}
+
+}  // namespace
+}  // namespace sci::stats

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/ranktests.hpp"
+
+namespace sci::stats {
+namespace {
+
+std::vector<double> lognormal_sample(double mu, std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<double> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng::lognormal(gen, mu, 0.5));
+  return v;
+}
+
+TEST(MannWhitney, DetectsShift) {
+  const auto a = lognormal_sample(0.0, 60, 1);
+  const auto b = lognormal_sample(0.6, 60, 2);
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_TRUE(r.reject(0.001));
+  EXPECT_LT(r.prob_superiority, 0.3);  // a mostly below b
+}
+
+TEST(MannWhitney, AcceptsSameDistribution) {
+  int rejections = 0;
+  for (std::uint64_t s = 0; s < 40; ++s) {
+    const auto a = lognormal_sample(1.0, 30, 100 + s);
+    const auto b = lognormal_sample(1.0, 30, 200 + s);
+    rejections += mann_whitney_u(a, b).reject(0.05);
+  }
+  EXPECT_LE(rejections, 6);
+}
+
+TEST(MannWhitney, ProbSuperiorityInterpretation) {
+  // Disjoint samples: P[a > b] = 1.
+  const std::vector<double> a = {10, 11, 12, 13};
+  const std::vector<double> b = {1, 2, 3, 4};
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_EQ(r.prob_superiority, 1.0);
+  const auto r2 = mann_whitney_u(b, a);
+  EXPECT_EQ(r2.prob_superiority, 0.0);
+}
+
+TEST(MannWhitney, AllTiedIsInconclusive) {
+  const std::vector<double> a(10, 5.0), b(10, 5.0);
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_EQ(r.p_value, 1.0);
+  EXPECT_NEAR(r.prob_superiority, 0.5, 1e-12);
+}
+
+TEST(Wilcoxon, DetectsPairedImprovement) {
+  // "After" is consistently ~10% faster on the same inputs.
+  rng::Xoshiro256 gen(3);
+  std::vector<double> before, after;
+  for (int i = 0; i < 30; ++i) {
+    const double base = rng::lognormal(gen, 2.0, 1.0);
+    before.push_back(base);
+    after.push_back(base * rng::uniform(gen, 0.85, 0.95));
+  }
+  EXPECT_TRUE(wilcoxon_signed_rank(before, after).reject(0.001));
+}
+
+TEST(Wilcoxon, AcceptsNoEffect) {
+  int rejections = 0;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    rng::Xoshiro256 gen(400 + s);
+    std::vector<double> x, y;
+    for (int i = 0; i < 25; ++i) {
+      x.push_back(rng::normal(gen, 10.0, 1.0));
+      y.push_back(rng::normal(gen, 10.0, 1.0));
+    }
+    rejections += wilcoxon_signed_rank(x, y).reject(0.05);
+  }
+  EXPECT_LE(rejections, 5);
+}
+
+TEST(Wilcoxon, Validation) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {1, 2};
+  EXPECT_THROW(wilcoxon_signed_rank(x, y), std::invalid_argument);
+  // All differences zero: nothing to test.
+  const std::vector<double> same = {1, 2, 3, 4, 5, 6, 7};
+  EXPECT_THROW(wilcoxon_signed_rank(same, same), std::invalid_argument);
+}
+
+TEST(Spearman, PerfectMonotoneRelations) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 9, 16, 100};  // nonlinear but monotone
+  const auto r = spearman(x, y);
+  EXPECT_NEAR(r.statistic, 1.0, 1e-12);
+  EXPECT_LT(r.p_value, 0.01);
+  std::vector<double> y_rev(y.rbegin(), y.rend());
+  EXPECT_NEAR(spearman(x, y_rev).statistic, -1.0, 1e-12);
+}
+
+TEST(Spearman, IndependentSeriesNotSignificant) {
+  int rejections = 0;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    rng::Xoshiro256 gen(600 + s);
+    std::vector<double> x, y;
+    for (int i = 0; i < 40; ++i) {
+      x.push_back(rng::uniform01(gen));
+      y.push_back(rng::uniform01(gen));
+    }
+    rejections += (spearman(x, y).p_value < 0.05);
+  }
+  EXPECT_LE(rejections, 5);
+}
+
+TEST(Spearman, RobustToOutliersUnlikePearson) {
+  // One extreme outlier barely moves rank correlation.
+  std::vector<double> x, y;
+  rng::Xoshiro256 gen(7);
+  for (int i = 0; i < 50; ++i) {
+    const double v = rng::uniform(gen, 0.0, 10.0);
+    x.push_back(v);
+    y.push_back(2.0 * v + rng::normal(gen, 0.0, 0.5));
+  }
+  const double rho_clean = spearman(x, y).statistic;
+  x.push_back(5.0);
+  y.push_back(1e9);  // catastrophic outlier
+  const double rho_dirty = spearman(x, y).statistic;
+  EXPECT_NEAR(rho_dirty, rho_clean, 0.05);
+}
+
+TEST(Spearman, ConstantSeriesInconclusive) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> c(5, 7.0);
+  const auto r = spearman(x, c);
+  EXPECT_EQ(r.statistic, 0.0);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(RankTests, Validation) {
+  const std::vector<double> tiny = {1.0};
+  const std::vector<double> ok = {1.0, 2.0, 3.0};
+  EXPECT_THROW(mann_whitney_u(tiny, ok), std::invalid_argument);
+  EXPECT_THROW(spearman(tiny, tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sci::stats

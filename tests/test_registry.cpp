@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/registry.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace sci::core {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  // Tests use a private registry instance to avoid cross-test state.
+  Registry registry_;
+};
+
+TEST_F(RegistryTest, RegistersAndLists) {
+  registry_.add("alpha", [] { return 1.0; });
+  registry_.add("beta", [] { return 2.0; });
+  EXPECT_EQ(registry_.size(), 2u);
+  EXPECT_EQ(registry_.names(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST_F(RegistryTest, RejectsDuplicatesAndInvalid) {
+  registry_.add("alpha", [] { return 1.0; });
+  EXPECT_THROW(registry_.add("alpha", [] { return 1.0; }), std::invalid_argument);
+  EXPECT_THROW(registry_.add("", [] { return 1.0; }), std::invalid_argument);
+  EXPECT_THROW(registry_.add("x", nullptr), std::invalid_argument);
+}
+
+TEST_F(RegistryTest, RunAllRendersReports) {
+  rng::Xoshiro256 gen(1);
+  RegisteredBenchmark b;
+  b.name = "noisy";
+  b.unit = "us";
+  b.measure = [&] { return rng::lognormal(gen, 1.0, 0.3); };
+  b.sampling.max_samples = 200;
+  registry_.add(std::move(b));
+  registry_.add("deterministic", [] { return 7.0; });
+
+  std::ostringstream os;
+  const auto executed = registry_.run_all(os);
+  EXPECT_EQ(executed, 2u);
+  const auto text = os.str();
+  EXPECT_NE(text.find("series noisy [us]"), std::string::npos);
+  EXPECT_NE(text.find("median="), std::string::npos);
+  EXPECT_NE(text.find("deterministic: 7"), std::string::npos);
+  EXPECT_NE(text.find("Twelve-rule audit"), std::string::npos);
+}
+
+TEST_F(RegistryTest, FilterSelectsSubset) {
+  registry_.add("sort_small", [] { return 1.0; });
+  registry_.add("sort_large", [] { return 2.0; });
+  registry_.add("hash", [] { return 3.0; });
+  std::ostringstream os;
+  RunnerOptions opts;
+  opts.filter = "sort";
+  EXPECT_EQ(registry_.run_all(os, opts), 2u);
+  EXPECT_EQ(os.str().find("hash"), std::string::npos);
+}
+
+TEST_F(RegistryTest, CsvExportWritesFiles) {
+  registry_.add("csvbench", [] { return 5.0; });
+  RunnerOptions opts;
+  opts.write_csv = true;
+  opts.csv_directory = ::testing::TempDir();
+  std::ostringstream os;
+  registry_.run_all(os, opts);
+  std::ifstream check(::testing::TempDir() + "/csvbench.csv");
+  EXPECT_TRUE(check.good());
+  std::string line;
+  std::getline(check, line);
+  EXPECT_EQ(line.front(), '#');  // documented header present
+  std::remove((::testing::TempDir() + "/csvbench.csv").c_str());
+}
+
+TEST_F(RegistryTest, ClearEmptiesRegistry) {
+  registry_.add("gone", [] { return 1.0; });
+  registry_.clear();
+  EXPECT_EQ(registry_.size(), 0u);
+}
+
+TEST(RegistryGlobal, StaticRegistrationMacroWorks) {
+  // The SCIBENCH macro registers into the global instance at static
+  // initialization; see the definition below this test.
+  bool found = false;
+  for (const auto& name : Registry::instance().names()) {
+    if (name == "macro_registered") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace sci::core
+
+// Static-registration exercise for RegistryGlobal above.
+SCIBENCH(macro_registered) { return 42.0; }

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/regression.hpp"
+
+namespace sci::stats {
+namespace {
+
+TEST(LeastSquares, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 10; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 + 3.0 * i);
+  }
+  const auto fit = fit_least_squares(xs, ys, {basis_constant(), basis_identity()});
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1], 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.predict(20.0), 62.0, 1e-8);
+}
+
+TEST(LeastSquares, NoisyLineCisBracketTruth) {
+  rng::Xoshiro256 gen(1);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng::uniform(gen, 0.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(5.0 - 2.0 * x + rng::normal(gen, 0.0, 0.5));
+  }
+  const auto fit = fit_least_squares(xs, ys, {basis_constant(), basis_identity()});
+  ASSERT_TRUE(fit.ok);
+  EXPECT_TRUE(fit.coefficient_cis[0].contains(5.0));
+  EXPECT_TRUE(fit.coefficient_cis[1].contains(-2.0));
+  EXPECT_GT(fit.r_squared, 0.97);
+  EXPECT_NEAR(fit.residual_stddev, 0.5, 0.1);
+}
+
+TEST(LeastSquares, SingularDesignReportsFailure) {
+  // Two identical bases: the normal equations are singular.
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {1, 2, 3, 4, 5};
+  const auto fit = fit_least_squares(xs, ys, {basis_identity(), basis_identity()});
+  EXPECT_FALSE(fit.ok);
+}
+
+TEST(LeastSquares, Validation) {
+  const std::vector<double> xs = {1, 2};
+  const std::vector<double> ys = {1, 2};
+  EXPECT_THROW(fit_least_squares(xs, ys, {}), std::invalid_argument);
+  EXPECT_THROW(fit_least_squares(xs, ys,
+                                 {basis_constant(), basis_identity(), basis_log2()}),
+               std::invalid_argument);  // n <= k
+  const std::vector<double> bad = {1, 2, 3};
+  EXPECT_THROW(fit_least_squares(bad, ys, {basis_constant()}), std::invalid_argument);
+}
+
+TEST(ScalingModel, RecoversKnownComponents) {
+  // T(p) = 2 + 80/p + 0.5 log2 p, exactly.
+  std::vector<double> ps, ts;
+  for (double p : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    ps.push_back(p);
+    ts.push_back(2.0 + 80.0 / p + 0.5 * std::log2(p));
+  }
+  const auto fit = fit_scaling_model(ps, ts);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.t_serial, 2.0, 1e-8);
+  EXPECT_NEAR(fit.t_parallel, 80.0, 1e-8);
+  EXPECT_NEAR(fit.c_log, 0.5, 1e-8);
+  EXPECT_NEAR(fit.serial_fraction(), 2.0 / 82.0, 1e-9);
+  EXPECT_NEAR(fit.predict(128.0), 2.0 + 80.0 / 128.0 + 0.5 * 7.0, 1e-7);
+}
+
+TEST(ScalingModel, NoisyMeasurementsStillClose) {
+  rng::Xoshiro256 gen(2);
+  std::vector<double> ps, ts;
+  for (double p : {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0}) {
+    for (int rep = 0; rep < 5; ++rep) {
+      ps.push_back(p);
+      const double t = 1.0 + 50.0 / p + 0.2 * std::log2(p);
+      ts.push_back(t * (1.0 + rng::normal(gen, 0.0, 0.01)));
+    }
+  }
+  const auto fit = fit_scaling_model(ps, ts);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.t_serial, 1.0, 0.2);
+  EXPECT_NEAR(fit.t_parallel, 50.0, 1.5);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LeastSquares, ToStringListsBases) {
+  const std::vector<double> xs = {1, 2, 4, 8};
+  const std::vector<double> ys = {0, 1, 2, 3};
+  const auto fit = fit_least_squares(xs, ys, {basis_constant(), basis_log2()});
+  ASSERT_TRUE(fit.ok);
+  const auto text = fit.to_string();
+  EXPECT_NE(text.find("log2(x)"), std::string::npos);
+  EXPECT_NE(text.find("R^2"), std::string::npos);
+  EXPECT_NEAR(fit.coefficients[1], 1.0, 1e-9);  // y = log2 x exactly
+}
+
+}  // namespace
+}  // namespace sci::stats

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "stats/summarize.hpp"
+
+namespace sci::stats {
+namespace {
+
+TEST(Summarize, CostUsesArithmeticMean) {
+  const Cost cost{{10.0, 100.0, 40.0}, "s"};
+  const auto s = summarize(cost);
+  EXPECT_NEAR(s.value, 50.0, 1e-12);
+  EXPECT_STREQ(s.method, "arithmetic mean");
+  EXPECT_TRUE(s.advisory.empty());
+}
+
+TEST(Summarize, RateUsesHarmonicMean) {
+  const Rate rate{{10.0, 1.0, 2.5}, "Gflop/s"};
+  const auto s = summarize(rate);
+  EXPECT_NEAR(s.value, 2.0, 1e-12);
+  EXPECT_STREQ(s.method, "harmonic mean");
+}
+
+TEST(Summarize, RatioUsesGeometricMeanWithAdvisory) {
+  const Ratio ratio{{1.0, 0.1, 0.25}};
+  const auto s = summarize(ratio);
+  EXPECT_NEAR(s.value, std::cbrt(0.025), 1e-12);
+  EXPECT_STREQ(s.method, "geometric mean");
+  EXPECT_NE(s.advisory.find("Rule 4"), std::string::npos);
+}
+
+TEST(RateFromTotals, EqualsHarmonicForConstantWork) {
+  const std::vector<double> work = {100.0, 100.0, 100.0};
+  const std::vector<double> time = {10.0, 100.0, 40.0};
+  EXPECT_NEAR(rate_from_totals(work, time), 2.0, 1e-12);
+}
+
+TEST(RateFromTotals, WeightsByWork) {
+  // 100 units in 1 s + 900 units in 9 s -> 100/s overall.
+  const std::vector<double> work = {100.0, 900.0};
+  const std::vector<double> time = {1.0, 9.0};
+  EXPECT_NEAR(rate_from_totals(work, time), 100.0, 1e-12);
+}
+
+TEST(RateFromTotals, Validation) {
+  EXPECT_THROW(rate_from_totals({}, {}), std::invalid_argument);
+  EXPECT_THROW(rate_from_totals(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(rate_from_totals(std::vector<double>{1.0}, std::vector<double>{0.0}),
+               std::domain_error);
+}
+
+TEST(HplExample, ReproducesSection311Numbers) {
+  // The paper's worked example: 100 Gflop, times (10, 100, 40) s,
+  // peak 10 Gflop/s.
+  const std::vector<double> times = {10.0, 100.0, 40.0};
+  const auto s = hpl_example_summary(times, 100.0, 10.0);
+  EXPECT_NEAR(s.arithmetic_mean_time, 50.0, 1e-12);
+  EXPECT_NEAR(s.rate_from_mean_time, 2.0, 1e-12);
+  EXPECT_NEAR(s.arithmetic_mean_of_rates, 4.5, 1e-12);
+  EXPECT_NEAR(s.harmonic_mean_of_rates, 2.0, 1e-12);
+  EXPECT_NEAR(s.geometric_mean_of_ratios, 0.2924, 1e-4);  // "0.29" in the paper
+}
+
+TEST(HplExample, WrongSummariesOverstate) {
+  // The structural point of Rule 3: the arithmetic mean of rates always
+  // overstates (or equals) the true aggregate rate.
+  const std::vector<double> times = {2.0, 8.0, 32.0};
+  const auto s = hpl_example_summary(times, 64.0, 100.0);
+  EXPECT_GT(s.arithmetic_mean_of_rates, s.harmonic_mean_of_rates);
+  EXPECT_NEAR(s.harmonic_mean_of_rates, s.rate_from_mean_time, 1e-12);
+}
+
+}  // namespace
+}  // namespace sci::stats

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "threads/barrier.hpp"
+#include "threads/measure.hpp"
+#include "threads/team.hpp"
+
+namespace sci::threads {
+namespace {
+
+TEST(SpinBarrier, SinglePartyNeverBlocks) {
+  SpinBarrier barrier(1);
+  for (int i = 0; i < 100; ++i) barrier.arrive_and_wait();
+  EXPECT_EQ(barrier.parties(), 1u);
+}
+
+TEST(SpinBarrier, NoThreadPassesEarly) {
+  // Each round, every thread increments a counter before the barrier;
+  // after the barrier the counter must equal parties * round.
+  constexpr std::size_t kParties = 4;
+  constexpr int kRounds = 200;
+  SpinBarrier barrier(kParties);
+  std::atomic<int> counter{0};
+  std::atomic<int> violations{0};
+
+  ThreadTeam team(kParties);
+  team.run([&](std::size_t) {
+    for (int round = 1; round <= kRounds; ++round) {
+      counter.fetch_add(1);
+      barrier.arrive_and_wait();
+      if (counter.load() < round * static_cast<int>(kParties)) violations.fetch_add(1);
+      barrier.arrive_and_wait();  // keep rounds separated
+    }
+  });
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(counter.load(), kRounds * static_cast<int>(kParties));
+}
+
+TEST(ThreadTeam, RunsRegionOnEveryWorker) {
+  ThreadTeam team(3);
+  std::vector<std::atomic<int>> hits(3);
+  team.run([&](std::size_t id) { hits[id].fetch_add(1); });
+  team.run([&](std::size_t id) { hits[id].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ThreadTeam, ParallelForCoversRangeExactlyOnce) {
+  ThreadTeam team(4);
+  std::vector<std::atomic<int>> touched(1000);
+  team.parallel_for(0, 1000, [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (auto& t : touched) EXPECT_EQ(t.load(), 1);
+  // Empty and degenerate ranges are no-ops.
+  team.parallel_for(5, 5, [&](std::size_t) { FAIL(); });
+  team.parallel_for(7, 3, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadTeam, ParallelForComputesCorrectSum) {
+  ThreadTeam team(3);
+  std::vector<double> data(10000);
+  std::iota(data.begin(), data.end(), 1.0);
+  std::vector<double> partial(3, 0.0);
+  team.run([&](std::size_t id) {
+    // Manual reduction: each worker sums its static chunk.
+    const std::size_t chunk = (data.size() + 2) / 3;
+    const std::size_t lo = id * chunk;
+    const std::size_t hi = std::min(data.size(), lo + chunk);
+    for (std::size_t i = lo; i < hi; ++i) partial[id] += data[i];
+  });
+  EXPECT_DOUBLE_EQ(partial[0] + partial[1] + partial[2], 10000.0 * 10001.0 / 2.0);
+}
+
+TEST(ThreadTeam, PropagatesExceptions) {
+  ThreadTeam team(2);
+  EXPECT_THROW(
+      team.run([](std::size_t id) {
+        if (id == 1) throw std::runtime_error("worker failure");
+      }),
+      std::runtime_error);
+  // The team survives and runs the next region.
+  std::atomic<int> ok{0};
+  team.run([&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 2);
+}
+
+TEST(ThreadTeam, Validation) { EXPECT_THROW(ThreadTeam(0), std::invalid_argument); }
+
+TEST(MeasureThreaded, ShapesAndPositiveTimes) {
+  std::atomic<std::uint64_t> work{0};
+  ThreadedMeasurementOptions opts;
+  opts.threads = 2;
+  opts.iterations = 20;
+  opts.warmup = 2;
+  const auto m = measure_threaded(
+      [&](std::size_t) {
+        for (int i = 0; i < 2000; ++i) work.fetch_add(1, std::memory_order_relaxed);
+      },
+      opts);
+  ASSERT_EQ(m.times_ns.size(), 20u);
+  ASSERT_EQ(m.times_ns[0].size(), 2u);
+  for (const auto& row : m.times_ns) {
+    for (double t : row) EXPECT_GT(t, 0.0);
+  }
+  EXPECT_EQ(m.thread_series(1).size(), 20u);
+  const auto mx = m.max_across_threads();
+  for (std::size_t i = 0; i < mx.size(); ++i) {
+    EXPECT_GE(mx[i], m.times_ns[i][0]);
+    EXPECT_GE(mx[i], m.times_ns[i][1]);
+  }
+  // Warmup executed: total kernel invocations = threads * (iters+warmup).
+  EXPECT_EQ(work.load(), 2000u * 2u * 22u);
+}
+
+TEST(MeasureThreaded, StartSkewRecorded) {
+  ThreadedMeasurementOptions opts;
+  opts.threads = 2;
+  opts.iterations = 10;
+  opts.window_s = 2e-3;  // generous window for an oversubscribed box
+  const auto m = measure_threaded([](std::size_t) {}, opts);
+  ASSERT_EQ(m.start_skew_ns.size(), 10u);
+  for (double skew : m.start_skew_ns) EXPECT_GE(skew, 0.0);
+  // With a shared clock the window scheme should usually start threads
+  // within the window itself.
+  EXPECT_LT(stats::median(m.start_skew_ns), 2e6 * 5);
+}
+
+TEST(MeasureThreaded, Validation) {
+  EXPECT_THROW(measure_threaded(nullptr), std::invalid_argument);
+  ThreadedMeasurementOptions opts;
+  opts.threads = 0;
+  EXPECT_THROW(measure_threaded([](std::size_t) {}, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sci::threads

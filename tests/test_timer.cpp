@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "timer/calibration.hpp"
+#include "timer/counters.hpp"
+#include "timer/timer.hpp"
+
+namespace sci::timer {
+namespace {
+
+TEST(SteadyClock, Monotonic) {
+  const SteadyClock clock;
+  double prev = clock.now_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const double cur = clock.now_ns();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(TscClock, MonotonicAndCalibrated) {
+  const TscClock clock;
+  double prev = clock.now_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const double cur = clock.now_ns();
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+#if defined(__x86_64__)
+  EXPECT_GT(clock.ns_per_tick(), 0.0);
+  EXPECT_LT(clock.ns_per_tick(), 10.0);  // >= 100 MHz TSC
+#endif
+}
+
+TEST(TscClock, AgreesWithSteadyClockOnIntervals) {
+  const TscClock tsc;
+  const SteadyClock steady;
+  const double t0s = steady.now_ns();
+  const double t0t = tsc.now_ns();
+  // Busy wait ~3 ms.
+  while (steady.now_ns() - t0s < 3e6) {
+  }
+  const double ds = steady.now_ns() - t0s;
+  const double dt = tsc.now_ns() - t0t;
+  EXPECT_NEAR(dt / ds, 1.0, 0.05);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  const SteadyClock clock;
+  Stopwatch sw(clock);
+  const double t0 = clock.now_ns();
+  while (clock.now_ns() - t0 < 1e6) {
+  }
+  const double ns = sw.elapsed_ns();
+  EXPECT_GE(ns, 1e6);
+  // elapsed_s() is a later reading: monotone and close (two separate reads).
+  EXPECT_GE(sw.elapsed_s(), ns * 1e-9);
+  EXPECT_NEAR(sw.elapsed_s(), ns * 1e-9, 1e-4);
+  sw.restart();
+  EXPECT_LT(sw.elapsed_ns(), 1e6);
+}
+
+TEST(Calibration, ReportsPlausibleNumbers) {
+  const TscClock clock;
+  const auto cal = calibrate(clock, 5000);
+  EXPECT_EQ(cal.clock_name, "tsc");
+  EXPECT_GT(cal.resolution_ns, 0.0);
+  EXPECT_LT(cal.resolution_ns, 1e6);  // sub-millisecond for sure
+  EXPECT_GE(cal.overhead_ns, 0.0);
+  EXPECT_LT(cal.overhead_ns, 1e5);
+}
+
+TEST(Calibration, IntervalChecksFollowThresholds) {
+  Calibration cal;
+  cal.resolution_ns = 10.0;
+  cal.overhead_ns = 50.0;
+  // Long interval: both fine.
+  const auto ok = check_interval(cal, 1e6);
+  EXPECT_TRUE(ok.overhead_ok);
+  EXPECT_TRUE(ok.precision_ok);
+  EXPECT_TRUE(ok.message.empty());
+  // Interval shorter than 20x overhead: overhead violation (5% rule).
+  const auto bad_overhead = check_interval(cal, 500.0);
+  EXPECT_FALSE(bad_overhead.overhead_ok);
+  EXPECT_FALSE(bad_overhead.message.empty());
+  // Interval shorter than 10x resolution: precision violation.
+  const auto bad_precision = check_interval(cal, 80.0);
+  EXPECT_FALSE(bad_precision.precision_ok);
+}
+
+TEST(SoftwareCounter, AccumulatesAndResets) {
+  SoftwareCounter flops("flop");
+  EXPECT_EQ(flops.read(), 0u);
+  flops.add(100);
+  flops.add(23);
+  EXPECT_EQ(flops.read(), 123u);
+  flops.reset();
+  EXPECT_EQ(flops.read(), 0u);
+  EXPECT_EQ(flops.name(), "flop");
+}
+
+TEST(CounterSet, MeasuresDeltas) {
+  auto flops = std::make_shared<SoftwareCounter>("flop");
+  auto loads = std::make_shared<SoftwareCounter>("load");
+  CounterSet set;
+  set.attach(flops);
+  set.attach(loads);
+  flops->add(1000);  // before the interval: excluded
+  set.start();
+  flops->add(500);
+  loads->add(7);
+  const auto readings = set.stop();
+  ASSERT_EQ(readings.size(), 2u);
+  EXPECT_EQ(readings[0].name, "flop");
+  EXPECT_EQ(readings[0].delta, 500u);
+  EXPECT_EQ(readings[1].delta, 7u);
+}
+
+}  // namespace
+}  // namespace sci::timer

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "sim/machine.hpp"
+#include "sim/network.hpp"
+#include "sim/topology.hpp"
+
+namespace sci::sim {
+namespace {
+
+TEST(Dragonfly, HopStructure) {
+  const Dragonfly topo(4, 4, 2);  // 32 nodes
+  EXPECT_EQ(topo.node_count(), 32u);
+  EXPECT_EQ(topo.hops(0, 0), 0u);
+  EXPECT_EQ(topo.hops(0, 1), 1u);   // same router
+  EXPECT_EQ(topo.hops(0, 2), 2u);   // same group, different router
+  EXPECT_EQ(topo.hops(0, 8), 3u);   // different group
+  EXPECT_EQ(topo.hops(31, 0), 3u);
+}
+
+TEST(Dragonfly, HopsSymmetric) {
+  const Dragonfly topo(4, 4, 2);
+  rng::Xoshiro256 gen(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = rng::uniform_below(gen, 32);
+    const auto b = rng::uniform_below(gen, 32);
+    EXPECT_EQ(topo.hops(a, b), topo.hops(b, a));
+  }
+}
+
+TEST(Dragonfly, OutOfRangeThrows) {
+  const Dragonfly topo(2, 2, 2);
+  EXPECT_THROW(topo.hops(0, 8), std::out_of_range);
+}
+
+TEST(FatTree, HopStructure) {
+  const FatTree topo(4, 3);  // 64 nodes
+  EXPECT_EQ(topo.node_count(), 64u);
+  EXPECT_EQ(topo.hops(0, 0), 0u);
+  EXPECT_EQ(topo.hops(0, 1), 2u);    // same leaf switch
+  EXPECT_EQ(topo.hops(0, 4), 4u);    // one level up
+  EXPECT_EQ(topo.hops(0, 16), 6u);   // two levels up
+  EXPECT_EQ(topo.hops(0, 63), 6u);
+}
+
+TEST(FatTree, HopsSymmetricAndBounded) {
+  const FatTree topo(8, 2);
+  rng::Xoshiro256 gen(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = rng::uniform_below(gen, topo.node_count());
+    const auto b = rng::uniform_below(gen, topo.node_count());
+    EXPECT_EQ(topo.hops(a, b), topo.hops(b, a));
+    EXPECT_LE(topo.hops(a, b), 4u);  // 2 levels max
+  }
+}
+
+TEST(Allocation, PackedIsContiguous) {
+  const Dragonfly topo(4, 4, 4);  // 64 nodes
+  rng::Xoshiro256 gen(3);
+  const auto nodes = allocate_nodes(topo, 16, AllocationPolicy::kPacked, gen);
+  ASSERT_EQ(nodes.size(), 16u);
+  for (std::size_t i = 1; i < nodes.size(); ++i) EXPECT_EQ(nodes[i], nodes[i - 1] + 1);
+}
+
+TEST(Allocation, ScatteredIsDistinct) {
+  const Dragonfly topo(4, 4, 4);
+  rng::Xoshiro256 gen(4);
+  const auto nodes = allocate_nodes(topo, 32, AllocationPolicy::kScattered, gen);
+  const std::set<std::size_t> unique(nodes.begin(), nodes.end());
+  EXPECT_EQ(unique.size(), 32u);
+  for (auto n : nodes) EXPECT_LT(n, 64u);
+}
+
+TEST(Allocation, DifferentSeedsDifferentAllocations) {
+  const Dragonfly topo(8, 8, 4);
+  rng::Xoshiro256 g1(5), g2(6);
+  const auto a = allocate_nodes(topo, 16, AllocationPolicy::kScattered, g1);
+  const auto b = allocate_nodes(topo, 16, AllocationPolicy::kScattered, g2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Allocation, Validation) {
+  const Dragonfly topo(2, 2, 2);
+  rng::Xoshiro256 gen(7);
+  EXPECT_THROW(allocate_nodes(topo, 0, AllocationPolicy::kPacked, gen),
+               std::invalid_argument);
+  EXPECT_THROW(allocate_nodes(topo, 9, AllocationPolicy::kPacked, gen),
+               std::invalid_argument);
+}
+
+TEST(Network, IdealTransferFormula) {
+  auto topo = std::make_shared<Dragonfly>(4, 4, 2);
+  const LogGPParams params{.latency_s = 1e-6,
+                           .overhead_s = 2e-7,
+                           .gap_per_msg_s = 1e-7,
+                           .gap_per_byte_s = 1e-9,
+                           .hop_latency_s = 5e-8};
+  const Network net(topo, params, {});
+  // Same router: 1 hop. 65 bytes -> 64 * G payload term.
+  EXPECT_NEAR(net.ideal_transfer_time(0, 1, 65), 1e-6 + 5e-8 + 64e-9, 1e-15);
+  // Zero and one byte degenerate to pure latency.
+  EXPECT_NEAR(net.ideal_transfer_time(0, 1, 0), 1e-6 + 5e-8, 1e-15);
+  EXPECT_NEAR(net.ideal_transfer_time(0, 1, 1), 1e-6 + 5e-8, 1e-15);
+  // More hops cost more.
+  EXPECT_GT(net.ideal_transfer_time(0, 8, 64), net.ideal_transfer_time(0, 1, 64));
+}
+
+TEST(Network, NoiselessTransferEqualsIdeal) {
+  auto machine = make_noiseless(8);
+  const auto net = machine.make_network();
+  rng::Xoshiro256 gen(8);
+  EXPECT_EQ(net.transfer_time(0, 1, 64, gen), net.ideal_transfer_time(0, 1, 64));
+}
+
+TEST(Network, NoisyTransferAtLeastIdeal) {
+  auto machine = make_dora();
+  const auto net = machine.make_network();
+  rng::Xoshiro256 gen(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(net.transfer_time(0, 40, 64, gen), net.ideal_transfer_time(0, 40, 64));
+  }
+}
+
+TEST(Machines, PresetsConstructAndDiffer) {
+  const auto daint = make_daint();
+  const auto dora = make_dora();
+  const auto pilatus = make_pilatus();
+  EXPECT_EQ(daint.name, "daint");
+  EXPECT_GT(daint.topology->node_count(), 64u);
+  EXPECT_GT(dora.topology->node_count(), 64u);
+  EXPECT_EQ(pilatus.topology->node_count(), 256u);
+  EXPECT_NE(daint.node_peak_flops, dora.node_peak_flops);
+  EXPECT_EQ(make_machine("dora").name, "dora");
+  EXPECT_THROW(make_machine("summit"), std::invalid_argument);
+}
+
+TEST(Machines, NoiselessIsTrulyNoiseless) {
+  const auto m = make_noiseless(4);
+  rng::Xoshiro256 gen(10);
+  EXPECT_EQ(m.compute_noise.perturb(1.0, gen), 1.0);
+  EXPECT_EQ(m.net_noise.perturb(1e-6, gen), 1e-6);
+  EXPECT_EQ(m.clock_drift_ppm_sigma, 0.0);
+}
+
+}  // namespace
+}  // namespace sci::sim
