@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_refinement.dir/bench_adaptive_refinement.cpp.o"
+  "CMakeFiles/bench_adaptive_refinement.dir/bench_adaptive_refinement.cpp.o.d"
+  "bench_adaptive_refinement"
+  "bench_adaptive_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

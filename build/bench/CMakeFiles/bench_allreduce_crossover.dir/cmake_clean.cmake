@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allreduce_crossover.dir/bench_allreduce_crossover.cpp.o"
+  "CMakeFiles/bench_allreduce_crossover.dir/bench_allreduce_crossover.cpp.o.d"
+  "bench_allreduce_crossover"
+  "bench_allreduce_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allreduce_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_factorial_design.dir/bench_factorial_design.cpp.o"
+  "CMakeFiles/bench_factorial_design.dir/bench_factorial_design.cpp.o.d"
+  "bench_factorial_design"
+  "bench_factorial_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_factorial_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_hpl.dir/bench_fig1_hpl.cpp.o"
+  "CMakeFiles/bench_fig1_hpl.dir/bench_fig1_hpl.cpp.o.d"
+  "bench_fig1_hpl"
+  "bench_fig1_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_normalization.cpp" "bench/CMakeFiles/bench_fig2_normalization.dir/bench_fig2_normalization.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_normalization.dir/bench_fig2_normalization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sci_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/sci_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/sci_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpl/CMakeFiles/sci_hpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sci_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/sci_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sci_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sci_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/sci_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

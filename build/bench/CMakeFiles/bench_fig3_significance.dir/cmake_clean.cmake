@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_significance.dir/bench_fig3_significance.cpp.o"
+  "CMakeFiles/bench_fig3_significance.dir/bench_fig3_significance.cpp.o.d"
+  "bench_fig3_significance"
+  "bench_fig3_significance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_significance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_quantile_regression.dir/bench_fig4_quantile_regression.cpp.o"
+  "CMakeFiles/bench_fig4_quantile_regression.dir/bench_fig4_quantile_regression.cpp.o.d"
+  "bench_fig4_quantile_regression"
+  "bench_fig4_quantile_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_quantile_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

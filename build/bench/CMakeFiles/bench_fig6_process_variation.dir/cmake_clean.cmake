@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_process_variation.dir/bench_fig6_process_variation.cpp.o"
+  "CMakeFiles/bench_fig6_process_variation.dir/bench_fig6_process_variation.cpp.o.d"
+  "bench_fig6_process_variation"
+  "bench_fig6_process_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_process_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7ab_bounds.dir/bench_fig7ab_bounds.cpp.o"
+  "CMakeFiles/bench_fig7ab_bounds.dir/bench_fig7ab_bounds.cpp.o.d"
+  "bench_fig7ab_bounds"
+  "bench_fig7ab_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7ab_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7c_box_violin.dir/bench_fig7c_box_violin.cpp.o"
+  "CMakeFiles/bench_fig7c_box_violin.dir/bench_fig7c_box_violin.cpp.o.d"
+  "bench_fig7c_box_violin"
+  "bench_fig7c_box_violin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7c_box_violin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_library_micro.dir/bench_library_micro.cpp.o"
+  "CMakeFiles/bench_library_micro.dir/bench_library_micro.cpp.o.d"
+  "bench_library_micro"
+  "bench_library_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_library_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_means_example.dir/bench_means_example.cpp.o"
+  "CMakeFiles/bench_means_example.dir/bench_means_example.cpp.o.d"
+  "bench_means_example"
+  "bench_means_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_means_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noise_propagation.dir/bench_noise_propagation.cpp.o"
+  "CMakeFiles/bench_noise_propagation.dir/bench_noise_propagation.cpp.o.d"
+  "bench_noise_propagation"
+  "bench_noise_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noise_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

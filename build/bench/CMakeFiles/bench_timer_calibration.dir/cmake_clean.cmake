@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timer_calibration.dir/bench_timer_calibration.cpp.o"
+  "CMakeFiles/bench_timer_calibration.dir/bench_timer_calibration.cpp.o.d"
+  "bench_timer_calibration"
+  "bench_timer_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timer_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fool_the_masses.dir/fool_the_masses.cpp.o"
+  "CMakeFiles/fool_the_masses.dir/fool_the_masses.cpp.o.d"
+  "fool_the_masses"
+  "fool_the_masses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fool_the_masses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fool_the_masses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fool_the_masses.
+# This may be replaced when dependencies are built.

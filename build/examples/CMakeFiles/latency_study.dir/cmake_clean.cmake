@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_study.dir/latency_study.cpp.o"
+  "CMakeFiles/latency_study.dir/latency_study.cpp.o.d"
+  "latency_study"
+  "latency_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_audit.dir/rules_audit.cpp.o"
+  "CMakeFiles/rules_audit.dir/rules_audit.cpp.o.d"
+  "rules_audit"
+  "rules_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

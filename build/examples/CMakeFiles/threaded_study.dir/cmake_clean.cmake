@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_study.dir/threaded_study.cpp.o"
+  "CMakeFiles/threaded_study.dir/threaded_study.cpp.o.d"
+  "threaded_study"
+  "threaded_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

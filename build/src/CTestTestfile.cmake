@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("rng")
+subdirs("lp")
+subdirs("stats")
+subdirs("timer")
+subdirs("threads")
+subdirs("sim")
+subdirs("simmpi")
+subdirs("hpl")
+subdirs("core")
+subdirs("survey")

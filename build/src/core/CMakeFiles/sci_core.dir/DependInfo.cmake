@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/sci_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/sci_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/sci_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/sci_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/sci_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/sci_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/sci_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/sci_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/measurement.cpp" "src/core/CMakeFiles/sci_core.dir/measurement.cpp.o" "gcc" "src/core/CMakeFiles/sci_core.dir/measurement.cpp.o.d"
+  "/root/repo/src/core/plots.cpp" "src/core/CMakeFiles/sci_core.dir/plots.cpp.o" "gcc" "src/core/CMakeFiles/sci_core.dir/plots.cpp.o.d"
+  "/root/repo/src/core/refinement.cpp" "src/core/CMakeFiles/sci_core.dir/refinement.cpp.o" "gcc" "src/core/CMakeFiles/sci_core.dir/refinement.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/sci_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/sci_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/sci_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/sci_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/sci_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/sci_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sci_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/sci_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_core.dir/adaptive.cpp.o"
+  "CMakeFiles/sci_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/sci_core.dir/bounds.cpp.o"
+  "CMakeFiles/sci_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/sci_core.dir/dataset.cpp.o"
+  "CMakeFiles/sci_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/sci_core.dir/experiment.cpp.o"
+  "CMakeFiles/sci_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/sci_core.dir/measurement.cpp.o"
+  "CMakeFiles/sci_core.dir/measurement.cpp.o.d"
+  "CMakeFiles/sci_core.dir/plots.cpp.o"
+  "CMakeFiles/sci_core.dir/plots.cpp.o.d"
+  "CMakeFiles/sci_core.dir/refinement.cpp.o"
+  "CMakeFiles/sci_core.dir/refinement.cpp.o.d"
+  "CMakeFiles/sci_core.dir/registry.cpp.o"
+  "CMakeFiles/sci_core.dir/registry.cpp.o.d"
+  "CMakeFiles/sci_core.dir/report.cpp.o"
+  "CMakeFiles/sci_core.dir/report.cpp.o.d"
+  "libsci_core.a"
+  "libsci_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

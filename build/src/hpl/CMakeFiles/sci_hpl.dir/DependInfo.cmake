@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpl/lu.cpp" "src/hpl/CMakeFiles/sci_hpl.dir/lu.cpp.o" "gcc" "src/hpl/CMakeFiles/sci_hpl.dir/lu.cpp.o.d"
+  "/root/repo/src/hpl/sim_hpl.cpp" "src/hpl/CMakeFiles/sci_hpl.dir/sim_hpl.cpp.o" "gcc" "src/hpl/CMakeFiles/sci_hpl.dir/sim_hpl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sci_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/sci_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

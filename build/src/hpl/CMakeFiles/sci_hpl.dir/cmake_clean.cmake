@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_hpl.dir/lu.cpp.o"
+  "CMakeFiles/sci_hpl.dir/lu.cpp.o.d"
+  "CMakeFiles/sci_hpl.dir/sim_hpl.cpp.o"
+  "CMakeFiles/sci_hpl.dir/sim_hpl.cpp.o.d"
+  "libsci_hpl.a"
+  "libsci_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

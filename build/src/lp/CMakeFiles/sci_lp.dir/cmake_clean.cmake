@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_lp.dir/simplex.cpp.o"
+  "CMakeFiles/sci_lp.dir/simplex.cpp.o.d"
+  "libsci_lp.a"
+  "libsci_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_rng.dir/distributions.cpp.o"
+  "CMakeFiles/sci_rng.dir/distributions.cpp.o.d"
+  "CMakeFiles/sci_rng.dir/xoshiro.cpp.o"
+  "CMakeFiles/sci_rng.dir/xoshiro.cpp.o.d"
+  "libsci_rng.a"
+  "libsci_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_sim.dir/engine.cpp.o"
+  "CMakeFiles/sci_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/sci_sim.dir/machine.cpp.o"
+  "CMakeFiles/sci_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/sci_sim.dir/network.cpp.o"
+  "CMakeFiles/sci_sim.dir/network.cpp.o.d"
+  "CMakeFiles/sci_sim.dir/noise.cpp.o"
+  "CMakeFiles/sci_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/sci_sim.dir/topology.cpp.o"
+  "CMakeFiles/sci_sim.dir/topology.cpp.o.d"
+  "libsci_sim.a"
+  "libsci_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/benchmarks.cpp" "src/simmpi/CMakeFiles/sci_simmpi.dir/benchmarks.cpp.o" "gcc" "src/simmpi/CMakeFiles/sci_simmpi.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/simmpi/clock.cpp" "src/simmpi/CMakeFiles/sci_simmpi.dir/clock.cpp.o" "gcc" "src/simmpi/CMakeFiles/sci_simmpi.dir/clock.cpp.o.d"
+  "/root/repo/src/simmpi/collectives.cpp" "src/simmpi/CMakeFiles/sci_simmpi.dir/collectives.cpp.o" "gcc" "src/simmpi/CMakeFiles/sci_simmpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/simmpi/comm.cpp" "src/simmpi/CMakeFiles/sci_simmpi.dir/comm.cpp.o" "gcc" "src/simmpi/CMakeFiles/sci_simmpi.dir/comm.cpp.o.d"
+  "/root/repo/src/simmpi/replay.cpp" "src/simmpi/CMakeFiles/sci_simmpi.dir/replay.cpp.o" "gcc" "src/simmpi/CMakeFiles/sci_simmpi.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sci_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/sci_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/simmpi/CMakeFiles/sci_simmpi.dir/clock.cpp.o: \
+ /root/repo/src/simmpi/clock.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/simmpi/clock.hpp

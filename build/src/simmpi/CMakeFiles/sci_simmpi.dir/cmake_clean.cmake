@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_simmpi.dir/benchmarks.cpp.o"
+  "CMakeFiles/sci_simmpi.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/sci_simmpi.dir/clock.cpp.o"
+  "CMakeFiles/sci_simmpi.dir/clock.cpp.o.d"
+  "CMakeFiles/sci_simmpi.dir/collectives.cpp.o"
+  "CMakeFiles/sci_simmpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/sci_simmpi.dir/comm.cpp.o"
+  "CMakeFiles/sci_simmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/sci_simmpi.dir/replay.cpp.o"
+  "CMakeFiles/sci_simmpi.dir/replay.cpp.o.d"
+  "libsci_simmpi.a"
+  "libsci_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/sci_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/compare.cpp" "src/stats/CMakeFiles/sci_stats.dir/compare.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/compare.cpp.o.d"
+  "/root/repo/src/stats/confidence.cpp" "src/stats/CMakeFiles/sci_stats.dir/confidence.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/confidence.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/sci_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/sci_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/factorial.cpp" "src/stats/CMakeFiles/sci_stats.dir/factorial.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/factorial.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/sci_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/independence.cpp" "src/stats/CMakeFiles/sci_stats.dir/independence.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/independence.cpp.o.d"
+  "/root/repo/src/stats/normality.cpp" "src/stats/CMakeFiles/sci_stats.dir/normality.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/normality.cpp.o.d"
+  "/root/repo/src/stats/normalization.cpp" "src/stats/CMakeFiles/sci_stats.dir/normalization.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/normalization.cpp.o.d"
+  "/root/repo/src/stats/outliers.cpp" "src/stats/CMakeFiles/sci_stats.dir/outliers.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/outliers.cpp.o.d"
+  "/root/repo/src/stats/quantile_regression.cpp" "src/stats/CMakeFiles/sci_stats.dir/quantile_regression.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/quantile_regression.cpp.o.d"
+  "/root/repo/src/stats/ranktests.cpp" "src/stats/CMakeFiles/sci_stats.dir/ranktests.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/ranktests.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/sci_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/special_functions.cpp" "src/stats/CMakeFiles/sci_stats.dir/special_functions.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/special_functions.cpp.o.d"
+  "/root/repo/src/stats/summarize.cpp" "src/stats/CMakeFiles/sci_stats.dir/summarize.cpp.o" "gcc" "src/stats/CMakeFiles/sci_stats.dir/summarize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/sci_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/sci_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_survey.dir/survey.cpp.o"
+  "CMakeFiles/sci_survey.dir/survey.cpp.o.d"
+  "libsci_survey.a"
+  "libsci_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

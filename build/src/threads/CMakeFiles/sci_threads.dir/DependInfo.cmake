@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threads/barrier.cpp" "src/threads/CMakeFiles/sci_threads.dir/barrier.cpp.o" "gcc" "src/threads/CMakeFiles/sci_threads.dir/barrier.cpp.o.d"
+  "/root/repo/src/threads/measure.cpp" "src/threads/CMakeFiles/sci_threads.dir/measure.cpp.o" "gcc" "src/threads/CMakeFiles/sci_threads.dir/measure.cpp.o.d"
+  "/root/repo/src/threads/team.cpp" "src/threads/CMakeFiles/sci_threads.dir/team.cpp.o" "gcc" "src/threads/CMakeFiles/sci_threads.dir/team.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timer/CMakeFiles/sci_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sci_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sci_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/sci_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

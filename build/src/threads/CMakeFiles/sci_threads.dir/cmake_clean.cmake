@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_threads.dir/barrier.cpp.o"
+  "CMakeFiles/sci_threads.dir/barrier.cpp.o.d"
+  "CMakeFiles/sci_threads.dir/measure.cpp.o"
+  "CMakeFiles/sci_threads.dir/measure.cpp.o.d"
+  "CMakeFiles/sci_threads.dir/team.cpp.o"
+  "CMakeFiles/sci_threads.dir/team.cpp.o.d"
+  "libsci_threads.a"
+  "libsci_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsci_threads.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timer/calibration.cpp" "src/timer/CMakeFiles/sci_timer.dir/calibration.cpp.o" "gcc" "src/timer/CMakeFiles/sci_timer.dir/calibration.cpp.o.d"
+  "/root/repo/src/timer/counters.cpp" "src/timer/CMakeFiles/sci_timer.dir/counters.cpp.o" "gcc" "src/timer/CMakeFiles/sci_timer.dir/counters.cpp.o.d"
+  "/root/repo/src/timer/timer.cpp" "src/timer/CMakeFiles/sci_timer.dir/timer.cpp.o" "gcc" "src/timer/CMakeFiles/sci_timer.dir/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/sci_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sci_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/sci_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sci_timer.dir/calibration.cpp.o"
+  "CMakeFiles/sci_timer.dir/calibration.cpp.o.d"
+  "CMakeFiles/sci_timer.dir/counters.cpp.o"
+  "CMakeFiles/sci_timer.dir/counters.cpp.o.d"
+  "CMakeFiles/sci_timer.dir/timer.cpp.o"
+  "CMakeFiles/sci_timer.dir/timer.cpp.o.d"
+  "libsci_timer.a"
+  "libsci_timer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sci_timer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_core_adaptive.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_adaptive.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_bounds.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_bounds.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_dataset.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_dataset.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_experiment.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_experiment.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_measurement.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_measurement.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_plots.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_plots.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_refinement.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_refinement.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_report.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_report.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_registry.cpp.o"
+  "CMakeFiles/test_core.dir/test_registry.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allreduce_v.cpp" "tests/CMakeFiles/test_sim.dir/test_allreduce_v.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_allreduce_v.cpp.o.d"
+  "/root/repo/tests/test_benchmarks_sim.cpp" "tests/CMakeFiles/test_sim.dir/test_benchmarks_sim.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_benchmarks_sim.cpp.o.d"
+  "/root/repo/tests/test_collective_algebra.cpp" "tests/CMakeFiles/test_sim.dir/test_collective_algebra.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_collective_algebra.cpp.o.d"
+  "/root/repo/tests/test_collectives.cpp" "tests/CMakeFiles/test_sim.dir/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_collectives.cpp.o.d"
+  "/root/repo/tests/test_collectives_extended.cpp" "tests/CMakeFiles/test_sim.dir/test_collectives_extended.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_collectives_extended.cpp.o.d"
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/test_sim.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/test_sim.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_engine_task.cpp" "tests/CMakeFiles/test_sim.dir/test_engine_task.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_engine_task.cpp.o.d"
+  "/root/repo/tests/test_noise.cpp" "tests/CMakeFiles/test_sim.dir/test_noise.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_noise.cpp.o.d"
+  "/root/repo/tests/test_nonblocking.cpp" "tests/CMakeFiles/test_sim.dir/test_nonblocking.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_nonblocking.cpp.o.d"
+  "/root/repo/tests/test_replay.cpp" "tests/CMakeFiles/test_sim.dir/test_replay.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_replay.cpp.o.d"
+  "/root/repo/tests/test_topology_network.cpp" "tests/CMakeFiles/test_sim.dir/test_topology_network.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_topology_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sci_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/sci_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/sci_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpl/CMakeFiles/sci_hpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sci_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/sci_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/sci_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sci_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sci_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/sci_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

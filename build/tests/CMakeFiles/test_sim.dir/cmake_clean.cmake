@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_allreduce_v.cpp.o"
+  "CMakeFiles/test_sim.dir/test_allreduce_v.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_benchmarks_sim.cpp.o"
+  "CMakeFiles/test_sim.dir/test_benchmarks_sim.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_collective_algebra.cpp.o"
+  "CMakeFiles/test_sim.dir/test_collective_algebra.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_collectives.cpp.o"
+  "CMakeFiles/test_sim.dir/test_collectives.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_collectives_extended.cpp.o"
+  "CMakeFiles/test_sim.dir/test_collectives_extended.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_comm.cpp.o"
+  "CMakeFiles/test_sim.dir/test_comm.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_energy.cpp.o"
+  "CMakeFiles/test_sim.dir/test_energy.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_engine_task.cpp.o"
+  "CMakeFiles/test_sim.dir/test_engine_task.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_noise.cpp.o"
+  "CMakeFiles/test_sim.dir/test_noise.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_nonblocking.cpp.o"
+  "CMakeFiles/test_sim.dir/test_nonblocking.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_replay.cpp.o"
+  "CMakeFiles/test_sim.dir/test_replay.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_topology_network.cpp.o"
+  "CMakeFiles/test_sim.dir/test_topology_network.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bootstrap.cpp" "tests/CMakeFiles/test_stats.dir/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/test_compare.cpp" "tests/CMakeFiles/test_stats.dir/test_compare.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_compare.cpp.o.d"
+  "/root/repo/tests/test_confidence.cpp" "tests/CMakeFiles/test_stats.dir/test_confidence.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_confidence.cpp.o.d"
+  "/root/repo/tests/test_descriptive.cpp" "tests/CMakeFiles/test_stats.dir/test_descriptive.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_descriptive.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/test_stats.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_factorial.cpp" "tests/CMakeFiles/test_stats.dir/test_factorial.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_factorial.cpp.o.d"
+  "/root/repo/tests/test_histogram.cpp" "tests/CMakeFiles/test_stats.dir/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_histogram.cpp.o.d"
+  "/root/repo/tests/test_independence.cpp" "tests/CMakeFiles/test_stats.dir/test_independence.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_independence.cpp.o.d"
+  "/root/repo/tests/test_normality.cpp" "tests/CMakeFiles/test_stats.dir/test_normality.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_normality.cpp.o.d"
+  "/root/repo/tests/test_outliers_normalization.cpp" "tests/CMakeFiles/test_stats.dir/test_outliers_normalization.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_outliers_normalization.cpp.o.d"
+  "/root/repo/tests/test_quantile_regression.cpp" "tests/CMakeFiles/test_stats.dir/test_quantile_regression.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_quantile_regression.cpp.o.d"
+  "/root/repo/tests/test_ranktests.cpp" "tests/CMakeFiles/test_stats.dir/test_ranktests.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_ranktests.cpp.o.d"
+  "/root/repo/tests/test_regression.cpp" "tests/CMakeFiles/test_stats.dir/test_regression.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_regression.cpp.o.d"
+  "/root/repo/tests/test_special_functions.cpp" "tests/CMakeFiles/test_stats.dir/test_special_functions.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_special_functions.cpp.o.d"
+  "/root/repo/tests/test_stats_crosschecks.cpp" "tests/CMakeFiles/test_stats.dir/test_stats_crosschecks.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_stats_crosschecks.cpp.o.d"
+  "/root/repo/tests/test_summarize.cpp" "tests/CMakeFiles/test_stats.dir/test_summarize.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_summarize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sci_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/sci_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/sci_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpl/CMakeFiles/sci_hpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sci_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/sci_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/timer/CMakeFiles/sci_timer.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sci_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/sci_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/sci_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scibench_report.dir/scibench_report.cpp.o"
+  "CMakeFiles/scibench_report.dir/scibench_report.cpp.o.d"
+  "scibench_report"
+  "scibench_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scibench_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
