@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "hpl/lu.hpp"
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro.hpp"
 #include "sim/machine.hpp"
@@ -117,5 +118,51 @@ void BM_Xoshiro(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Xoshiro);
+
+void BM_TraceUnattachedBranch(benchmark::State& state) {
+  // The enabled-but-unattached cost of an instrumentation site: one
+  // thread-local load and a not-taken branch (the disabled-path overhead
+  // the tracing layer promises stays below timer resolution). Under
+  // SCIBENCH_TRACING=OFF the macro vanishes and this measures an empty
+  // loop.
+  sci::obs::detach();
+  for (auto _ : state) {
+    SCI_TRACE_COMPLETE(0, "site", "bench", 0.0, 1.0, {{"k", 1}});
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceUnattachedBranch);
+
+void BM_TraceAttachedAppend(benchmark::State& state) {
+  // The attached cost: an in-memory vector append per event.
+  sci::obs::TraceSink sink;
+  sci::obs::ScopedAttach attach(sink);
+  for (auto _ : state) {
+    SCI_TRACE_COMPLETE(0, "site", "bench", 0.0, 1.0, {{"k", 1}});
+    if (sink.size() > (1u << 20)) sink.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceAttachedAppend);
+
+void BM_SimulatedAllreduceTraced(benchmark::State& state) {
+  // Same workload as BM_SimulatedAllreduce with a sink attached: the
+  // delta is the full tracing overhead of a simulated collective.
+  const auto machine = sci::sim::make_daint();
+  const int ranks = static_cast<int>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    sci::obs::TraceSink sink;
+    sci::obs::ScopedAttach attach(sink);
+    sci::simmpi::World world(machine, ranks, ++seed);
+    world.launch([](sci::simmpi::Comm& c) -> sci::sim::Task<void> {
+      (void)co_await sci::simmpi::allreduce(c, 1.0);
+    });
+    benchmark::DoNotOptimize(world.run());
+    benchmark::DoNotOptimize(sink.size());
+  }
+}
+BENCHMARK(BM_SimulatedAllreduceTraced)->Arg(8)->Arg(64);
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "stats/confidence.hpp"
 #include "stats/descriptive.hpp"
 
@@ -29,6 +31,12 @@ AdaptiveResult measure_adaptive(const std::function<double()>& measure,
   if (options.max_samples < options.min_samples)
     throw std::invalid_argument("measure_adaptive: max_samples >= min_samples");
 
+  static obs::Counter& samples_ctr = obs::counter(obs::keys::kHarnessSamples);
+  static obs::Counter& overhead_ctr = obs::counter(obs::keys::kHarnessOverheadNs);
+  static obs::Counter& ci_ctr = obs::counter(obs::keys::kCiRecomputes);
+
+  SCI_TRACE_HOST_SPAN(adaptive_span, "measure_adaptive", "harness");
+
   AdaptiveResult result;
   result.warmup_discarded = options.warmup;
   for (std::size_t i = 0; i < options.warmup; ++i) (void)measure();
@@ -36,15 +44,30 @@ AdaptiveResult measure_adaptive(const std::function<double()>& measure,
   result.samples.reserve(options.min_samples);
   const std::size_t cadence = std::max<std::size_t>(options.check_every, 1);
   while (result.samples.size() < options.max_samples) {
+#if SCIBENCH_TRACING
+    const double sample_t0 = obs::host_now_s();
+#endif
     result.samples.push_back(measure());
+    samples_ctr.add(1);
     const std::size_t n = result.samples.size();
+    SCI_TRACE_COMPLETE(obs::kHarnessTrack, "sample", "harness", sample_t0,
+                       obs::host_now_s() - sample_t0, {{"n", n}});
     if (n < options.min_samples || n % cadence != 0) continue;
 
+    // Everything from here to loop bottom is harness time the
+    // measurement itself never sees -- tally it so reports can show the
+    // collection mechanism stayed cheap (Section 6 / Rule 9).
+    const double check_t0 = obs::host_now_s();
     const bool ok =
         options.use_mean
             ? mean_ci_converged(result.samples, options.relative_error, options.confidence)
             : stats::quantile_ci_converged(result.samples, options.quantile,
                                            options.relative_error, options.confidence);
+    const double check_t1 = obs::host_now_s();
+    ci_ctr.add(1);
+    overhead_ctr.add(static_cast<std::uint64_t>((check_t1 - check_t0) * 1e9));
+    SCI_TRACE_INSTANT(obs::kHarnessTrack, "ci_check", "harness", check_t1,
+                      {{"n", n}, {"converged", ok ? 1 : 0}});
     if (ok) {
       result.converged = true;
       result.stop_reason = "converged";

@@ -10,12 +10,33 @@ namespace sci::core {
 Dataset::Dataset(Experiment experiment, std::vector<std::string> columns)
     : experiment_(std::move(experiment)), columns_(std::move(columns)) {
   if (columns_.empty()) throw std::invalid_argument("Dataset: at least one column");
+  base_columns_ = columns_.size();
 }
 
 void Dataset::add_row(const std::vector<double>& row) {
   if (row.size() != columns_.size())
     throw std::invalid_argument("Dataset::add_row: arity mismatch");
   data_.push_back(row);
+}
+
+void Dataset::enable_provenance() {
+  if (provenance_) return;
+  if (!data_.empty())
+    throw std::logic_error("Dataset::enable_provenance: call before the first row");
+  const auto& extra = obs::provenance_columns();
+  columns_.insert(columns_.end(), extra.begin(), extra.end());
+  provenance_ = true;
+}
+
+void Dataset::add_row(const std::vector<double>& row, const obs::SampleProvenance& prov) {
+  if (!provenance_)
+    throw std::logic_error("Dataset::add_row(prov): enable_provenance() first");
+  if (row.size() != base_columns_)
+    throw std::invalid_argument("Dataset::add_row: arity mismatch");
+  std::vector<double> full = row;
+  const auto cells = obs::provenance_row(prov);
+  full.insert(full.end(), cells.begin(), cells.end());
+  data_.push_back(std::move(full));
 }
 
 std::vector<double> Dataset::column(const std::string& name) const {

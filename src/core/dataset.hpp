@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/provenance.hpp"
 
 namespace sci::core {
 
@@ -22,6 +23,17 @@ class Dataset {
 
   /// Appends one observation; size must match the column count.
   void add_row(const std::vector<double>& row);
+
+  /// Widens the schema with obs::provenance_columns() (trace id +
+  /// counter deltas). Call before the first row; rows added afterwards
+  /// must use the provenance overload of add_row.
+  void enable_provenance();
+  [[nodiscard]] bool provenance_enabled() const noexcept { return provenance_; }
+
+  /// Appends one observation plus its provenance cells. `row` carries
+  /// only the measurement columns; the provenance columns are filled
+  /// from `prov`.
+  void add_row(const std::vector<double>& row, const obs::SampleProvenance& prov);
 
   [[nodiscard]] std::size_t rows() const noexcept { return data_.size(); }
   [[nodiscard]] const std::vector<std::string>& columns() const noexcept { return columns_; }
@@ -42,6 +54,8 @@ class Dataset {
   Experiment experiment_;
   std::vector<std::string> columns_;
   std::vector<std::vector<double>> data_;
+  bool provenance_ = false;
+  std::size_t base_columns_ = 0;  ///< column count before provenance widening
 };
 
 }  // namespace sci::core

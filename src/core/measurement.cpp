@@ -6,11 +6,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace sci::core {
 
 MeasurementSummary summarize_series(std::span<const double> xs,
                                     const SummaryOptions& options) {
   if (xs.empty()) throw std::invalid_argument("summarize_series: empty series");
+  SCI_TRACE_HOST_SPAN(span, "summarize_series", "harness");
 
   MeasurementSummary s;
   s.n = xs.size();

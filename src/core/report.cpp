@@ -49,6 +49,11 @@ ReportBuilder& ReportBuilder::add_comparison(const std::string& a, const std::st
   return *this;
 }
 
+ReportBuilder& ReportBuilder::set_counter_summary(obs::CounterSnapshot counters) {
+  counters_ = std::move(counters);
+  return *this;
+}
+
 std::string ReportBuilder::render() const {
   std::ostringstream os;
   os << "==== " << experiment_.name << " ====\n";
@@ -109,6 +114,12 @@ std::string ReportBuilder::render() const {
        << "): p=" << fmt(cmp.p_value) << ", effect size=" << fmt(cmp.effect) << '\n';
   }
   for (const auto& plot : plots_) os << '\n' << plot;
+  if (!counters_.empty()) {
+    os << "\nprovenance counters (how these numbers were produced):\n";
+    for (const auto& [name, value] : counters_) {
+      os << "  " << name << " = " << value << '\n';
+    }
+  }
   return os.str();
 }
 
@@ -189,6 +200,13 @@ std::string ReportBuilder::render_markdown() const {
     if (!check.applicable) os << " *(n/a)*";
     if (!check.note.empty()) os << " -- " << check.note;
     os << '\n';
+  }
+  if (!counters_.empty()) {
+    os << "\n### Provenance counters (Rule 9)\n\n";
+    os << "| counter | value |\n|---|---|\n";
+    for (const auto& [name, value] : counters_) {
+      os << "| `" << name << "` | " << value << " |\n";
+    }
   }
   return os.str();
 }

@@ -16,6 +16,7 @@
 #include "core/bounds.hpp"
 #include "core/experiment.hpp"
 #include "core/measurement.hpp"
+#include "obs/counters.hpp"
 
 namespace sci::core {
 
@@ -54,6 +55,11 @@ class ReportBuilder {
                                 const std::string& method, double p_value,
                                 double effect_size);
 
+  /// Rule 9 footer: embed the obs counter registry snapshot (messages,
+  /// bytes, noise draws, harness overhead, ...) taken after the run, so
+  /// the report records how its numbers were produced.
+  ReportBuilder& set_counter_summary(obs::CounterSnapshot counters);
+
   /// Full text report.
   [[nodiscard]] std::string render() const;
 
@@ -88,6 +94,7 @@ class ReportBuilder {
   std::vector<Comparison> comparisons_;
   std::vector<Bound> bounds_;
   std::vector<std::string> plots_;
+  obs::CounterSnapshot counters_;
   bool units_declared_ = false;
 };
 

@@ -1,0 +1,39 @@
+#include "obs/provenance.hpp"
+
+#include "obs/counters.hpp"
+
+namespace sci::obs {
+
+void SampleProbe::begin(std::uint64_t trace_id) {
+  trace_id_ = trace_id;
+  messages0_ = counter(keys::kNetMessages).value();
+  bytes0_ = counter(keys::kNetBytes).value();
+  draws0_ = counter(keys::kNoiseDraws).value();
+  overhead_ns0_ = counter(keys::kHarnessOverheadNs).value();
+}
+
+SampleProvenance SampleProbe::end() const {
+  SampleProvenance p;
+  p.trace_id = trace_id_;
+  p.messages = counter(keys::kNetMessages).value() - messages0_;
+  p.bytes = counter(keys::kNetBytes).value() - bytes0_;
+  p.noise_draws = counter(keys::kNoiseDraws).value() - draws0_;
+  p.harness_overhead_s =
+      static_cast<double>(counter(keys::kHarnessOverheadNs).value() - overhead_ns0_) * 1e-9;
+  return p;
+}
+
+const std::vector<std::string>& provenance_columns() {
+  static const std::vector<std::string> columns = {
+      "prov_trace_id", "prov_messages", "prov_bytes", "prov_noise_draws",
+      "prov_harness_overhead_s"};
+  return columns;
+}
+
+std::vector<double> provenance_row(const SampleProvenance& p) {
+  return {static_cast<double>(p.trace_id), static_cast<double>(p.messages),
+          static_cast<double>(p.bytes), static_cast<double>(p.noise_draws),
+          p.harness_overhead_s};
+}
+
+}  // namespace sci::obs

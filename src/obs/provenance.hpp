@@ -1,0 +1,45 @@
+// Per-sample provenance: the counter deltas and trace identity of one
+// measurement. core::Dataset can append these as extra CSV columns so a
+// data file carries, per row, *how* that number was produced -- which
+// messages, bytes, and noise draws went into it and what the harness
+// itself cost (Rules 5 and 9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sci::obs {
+
+struct SampleProvenance {
+  std::uint64_t trace_id = 0;          ///< caller-chosen id linking to a trace span
+  std::uint64_t messages = 0;          ///< messages delivered during the sample
+  std::uint64_t bytes = 0;             ///< payload bytes moved during the sample
+  std::uint64_t noise_draws = 0;       ///< noise-model invocations during the sample
+  double harness_overhead_s = 0.0;     ///< harness bookkeeping charged to the sample
+};
+
+/// Brackets one sample: begin() pins the counter baseline, end()
+/// returns the deltas. Cheap enough to wrap every measurement (four
+/// relaxed atomic loads per call).
+class SampleProbe {
+ public:
+  void begin(std::uint64_t trace_id);
+  [[nodiscard]] SampleProvenance end() const;
+
+ private:
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t messages0_ = 0;
+  std::uint64_t bytes0_ = 0;
+  std::uint64_t draws0_ = 0;
+  std::uint64_t overhead_ns0_ = 0;
+};
+
+/// Column names Dataset appends when provenance is enabled, in the
+/// order provenance_row() produces.
+[[nodiscard]] const std::vector<std::string>& provenance_columns();
+
+/// The provenance rendered as CSV cells (doubles, matching the columns).
+[[nodiscard]] std::vector<double> provenance_row(const SampleProvenance& p);
+
+}  // namespace sci::obs

@@ -1,0 +1,155 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sci::obs {
+namespace {
+
+/// Deterministic number rendering: fixed microsecond timestamps with
+/// picosecond resolution, shortest-roundtrip args. printf-family output
+/// for a given double is stable within one libc, which is what the
+/// byte-identical-trace guarantee needs.
+std::string fmt_us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", seconds * 1e6);
+  return buf;
+}
+
+std::string fmt_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void write_args(std::ostream& os, const std::vector<TraceArg>& args) {
+  os << "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ',';
+    os << '"';
+    write_escaped(os, args[i].key);
+    os << "\":" << fmt_value(args[i].value);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+void TraceSink::complete(int tid, const char* name, const char* cat, double start_s,
+                         double dur_s, std::initializer_list<TraceArg> args) {
+  events_.push_back(Event{'X', tid, name, cat, start_s, dur_s, std::vector<TraceArg>(args)});
+}
+
+void TraceSink::complete(int tid, const char* name, const char* cat, double start_s,
+                         double dur_s, std::vector<TraceArg> args) {
+  events_.push_back(Event{'X', tid, name, cat, start_s, dur_s, std::move(args)});
+}
+
+void TraceSink::instant(int tid, const char* name, const char* cat, double t_s,
+                        std::initializer_list<TraceArg> args) {
+  events_.push_back(Event{'i', tid, name, cat, t_s, 0.0, std::vector<TraceArg>(args)});
+}
+
+void TraceSink::counter(int tid, const char* name, double t_s, double value) {
+  events_.push_back(Event{'C', tid, name, "counter", t_s, 0.0, {TraceArg{"value", value}}});
+}
+
+void TraceSink::set_track_name(int tid, std::string name) {
+  track_names_[tid] = std::move(name);
+}
+
+void TraceSink::clear() {
+  events_.clear();
+  track_names_.clear();
+}
+
+void TraceSink::write_json(std::ostream& os, const WriteOptions& options) const {
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"metadata\": {\"tool\": \"scibench\", "
+        "\"format_version\": 1";
+  if (options.wallclock_metadata) {
+    const auto unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::system_clock::now().time_since_epoch())
+                             .count();
+    os << ", \"captured_unix_ms\": " << unix_ms;
+  }
+  os << "},\n\"traceEvents\": [\n";
+
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  sep();
+  os << R"({"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":")";
+  write_escaped(os, process_name_);
+  os << "\"}}";
+  for (const auto& [tid, name] : track_names_) {
+    sep();
+    os << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << tid
+       << R"(,"args":{"name":")";
+    write_escaped(os, name);
+    os << "\"}}";
+  }
+
+  for (const Event& e : events_) {
+    sep();
+    os << "{\"name\":\"";
+    write_escaped(os, e.name);
+    os << "\",\"cat\":\"";
+    write_escaped(os, e.cat);
+    os << "\",\"ph\":\"" << e.phase << "\",\"pid\":1,\"tid\":" << e.tid
+       << ",\"ts\":" << fmt_us(e.ts_s);
+    if (e.phase == 'X') os << ",\"dur\":" << fmt_us(e.dur_s);
+    if (e.phase == 'i') os << ",\"s\":\"t\"";
+    if (!e.args.empty() || e.phase == 'C') {
+      os << ',';
+      write_args(os, e.args);
+    }
+    os << '}';
+  }
+  os << "\n]\n}\n";
+}
+
+std::string TraceSink::to_json(const WriteOptions& options) const {
+  std::ostringstream os;
+  write_json(os, options);
+  return os.str();
+}
+
+void TraceSink::save(const std::string& path, const WriteOptions& options) const {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("TraceSink::save: cannot open " + path);
+  write_json(os, options);
+}
+
+double host_now_s() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+}  // namespace sci::obs

@@ -3,38 +3,62 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace sci::sim {
 
 void Engine::schedule_at(double time, Callback fn) {
   if (time < now_) throw std::logic_error("Engine::schedule_at: time in the past");
   queue_.push(Event{time, next_seq_++, std::move(fn)});
+  if (queue_.size() > queue_hwm_) queue_hwm_ = queue_.size();
 }
 
-std::size_t Engine::run() {
+template <typename Bound>
+std::size_t Engine::drain(Bound may_fire) {
+  // A stopped engine restarts cleanly on the next run: stop() only ends
+  // the run it interrupts.
   stopped_ = false;
   std::size_t processed = 0;
-  while (!queue_.empty() && !stopped_) {
+  const double run_start = now_;
+  while (!queue_.empty() && !stopped_ && may_fire(queue_.top())) {
     // Move the callback out before popping: it may schedule new events.
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     now_ = ev.time;
+    SCI_TRACE_COUNTER(obs::kEngineTrack, "queue_depth", now_,
+                      static_cast<double>(queue_.size()));
     ev.fn();
     ++processed;
   }
+  dispatched_ += processed;
+  flush_observability(processed, run_start);
   return processed;
 }
 
+void Engine::flush_observability(std::size_t processed, double run_start) {
+  if (processed == 0) return;
+  // Counter updates happen once per run, not per event, so the hot loop
+  // stays branch-free with respect to the registry.
+  static obs::Counter& events = obs::counter(obs::keys::kEngineEvents);
+  static obs::Counter& hwm = obs::counter(obs::keys::kEngineQueueHwm);
+  events.add(processed);
+  hwm.set_max(queue_hwm_);
+  SCI_TRACE_COMPLETE(obs::kEngineTrack, "run", "engine", run_start, now_ - run_start,
+                     {{"events", static_cast<double>(processed)}});
+  (void)run_start;
+}
+
+std::size_t Engine::run() {
+  return drain([](const Event&) { return true; });
+}
+
 std::size_t Engine::run_until(double deadline) {
-  stopped_ = false;
-  std::size_t processed = 0;
-  while (!queue_.empty() && !stopped_ && queue_.top().time <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ev.fn();
-    ++processed;
-  }
-  if (now_ < deadline) now_ = deadline;
+  const std::size_t processed =
+      drain([deadline](const Event& ev) { return ev.time <= deadline; });
+  // Advance to the deadline only when the run genuinely exhausted it; a
+  // stop() mid-run must not teleport the clock forward.
+  if (!stopped_ && now_ < deadline) now_ = deadline;
   return processed;
 }
 

@@ -42,6 +42,11 @@ class Engine {
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
+  /// Deepest the event queue has ever been (observability gauge).
+  [[nodiscard]] std::size_t queue_high_water() const noexcept { return queue_hwm_; }
+  /// Events dispatched over this engine's lifetime.
+  [[nodiscard]] std::uint64_t events_dispatched() const noexcept { return dispatched_; }
+
  private:
   struct Event {
     double time;
@@ -55,10 +60,18 @@ class Engine {
     }
   };
 
+  /// Shared drain loop; Bound is a predicate deciding whether the next
+  /// event may fire.
+  template <typename Bound>
+  std::size_t drain(Bound may_fire);
+  void flush_observability(std::size_t processed, double run_start);
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   bool stopped_ = false;
+  std::size_t queue_hwm_ = 0;
+  std::uint64_t dispatched_ = 0;
 };
 
 }  // namespace sci::sim

@@ -2,10 +2,23 @@
 
 #include <cmath>
 
+#include "obs/counters.hpp"
 #include "rng/distributions.hpp"
 
 namespace sci::sim {
 namespace {
+
+/// Tallies one perturbation into the observability registry: how often
+/// the noise models fire and how much time they inject (the raw
+/// material of the paper's Figures 5-6 variability).
+void record_noise(double pure, double perturbed) {
+  static obs::Counter& draws = obs::counter(obs::keys::kNoiseDraws);
+  static obs::Counter& injected = obs::counter(obs::keys::kNoiseInjectedNs);
+  draws.add(1);
+  if (perturbed > pure) {
+    injected.add(static_cast<std::uint64_t>((perturbed - pure) * 1e9));
+  }
+}
 
 /// Poisson count via inversion; rates here keep lambda small.
 unsigned poisson_count(double lambda, rng::Xoshiro256& gen) {
@@ -46,6 +59,7 @@ double ComputeNoise::perturb(double duration, rng::Xoshiro256& gen) const {
     const unsigned k = poisson_count(burst_rate * duration, gen);
     for (unsigned i = 0; i < k; ++i) out += rng::pareto(gen, burst_scale, burst_shape);
   }
+  record_noise(duration, out);
   return out;
 }
 
@@ -58,6 +72,7 @@ double NetworkNoise::perturb(double duration, rng::Xoshiro256& gen) const {
   if (rare_prob > 0.0 && rng::bernoulli(gen, rare_prob)) {
     out += rng::pareto(gen, rare_scale, rare_shape);
   }
+  record_noise(duration, out);
   return out;
 }
 

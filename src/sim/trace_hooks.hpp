@@ -1,0 +1,54 @@
+// Simulated-time tracing helpers: RAII spans whose clock is the event
+// engine, for instrumenting coroutine rank programs and collectives.
+// A local EngineSpan in a coroutine emits its span when the coroutine
+// body finishes (locals are destroyed at co_return), covering every
+// suspension in between -- exactly the collective's per-rank extent.
+//
+// Like the SCI_TRACE_* macros, SCI_SIM_SPAN vanishes entirely under
+// SCIBENCH_TRACING=OFF (no argument evaluation).
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace sci::sim {
+
+#if SCIBENCH_TRACING
+
+class EngineSpan {
+ public:
+  EngineSpan(const Engine& engine, int tid, const char* name, const char* cat,
+             std::initializer_list<obs::TraceArg> args = {})
+      : engine_(&engine), tid_(tid), name_(name), cat_(cat), t0_(engine.now()), args_(args) {}
+  ~EngineSpan() {
+    if (obs::TraceSink* s = obs::sink()) {
+      s->complete(tid_, name_, cat_, t0_, engine_->now() - t0_, std::move(args_));
+    }
+  }
+  EngineSpan(const EngineSpan&) = delete;
+  EngineSpan& operator=(const EngineSpan&) = delete;
+
+ private:
+  const Engine* engine_;
+  int tid_;
+  const char* name_;
+  const char* cat_;
+  double t0_;
+  std::vector<obs::TraceArg> args_;
+};
+
+#define SCI_SIM_SPAN(var, engine, tid, name, cat, ...) \
+  ::sci::sim::EngineSpan var{(engine), (tid), (name), (cat)__VA_OPT__(, ) __VA_ARGS__}
+
+#else  // !SCIBENCH_TRACING
+
+#define SCI_SIM_SPAN(var, engine, tid, name, cat, ...) \
+  do {                                                 \
+  } while (0)
+
+#endif  // SCIBENCH_TRACING
+
+}  // namespace sci::sim

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/trace_hooks.hpp"
+
 namespace sci::simmpi {
 namespace {
 
@@ -31,6 +33,7 @@ double apply(ReduceOp op, double a, double b) noexcept {
 sim::Task<void> barrier(Comm& comm) {
   const int p = comm.size();
   const int r = comm.rank();
+  SCI_SIM_SPAN(span, comm.world().engine(), r, "barrier", "coll", {{"p", p}});
   // Software entry cost of the collective call itself.
   co_await comm.compute(comm.world().machine().coll_entry_overhead_s);
   for (int k = 1, round = 0; k < p; k *= 2, ++round) {
@@ -48,6 +51,8 @@ sim::Task<double> reduce(Comm& comm, double value, int root, ReduceOp op) {
   // This models the well-known effect the paper's Figure 5 demonstrates
   // ("several implementations perform better with 2^k processes").
   const bool is_pow2 = (p & (p - 1)) == 0;
+  SCI_SIM_SPAN(span, comm.world().engine(), comm.rank(), "reduce", "coll",
+               {{"p", p}, {"root", root}, {"pow2", is_pow2 ? 1 : 0}});
   const double entry = comm.world().machine().coll_entry_overhead_s;
   co_await comm.compute(is_pow2 ? entry : 2.0 * entry);
   if (p == 1) co_return value;
@@ -84,6 +89,8 @@ sim::Task<double> reduce(Comm& comm, double value, int root, ReduceOp op) {
 
 sim::Task<double> bcast(Comm& comm, double value, int root) {
   const int p = comm.size();
+  SCI_SIM_SPAN(span, comm.world().engine(), comm.rank(), "bcast", "coll",
+               {{"p", p}, {"root", root}});
   co_await comm.compute(comm.world().machine().coll_entry_overhead_s);
   if (p == 1) co_return value;
 
@@ -116,6 +123,7 @@ sim::Task<double> bcast(Comm& comm, double value, int root) {
 
 sim::Task<double> allreduce(Comm& comm, double value, ReduceOp op) {
   const int p = comm.size();
+  SCI_SIM_SPAN(span, comm.world().engine(), comm.rank(), "allreduce", "coll", {{"p", p}});
   co_await comm.compute(comm.world().machine().coll_entry_overhead_s);
   if (p == 1) co_return value;
 
@@ -153,6 +161,8 @@ sim::Task<double> allreduce(Comm& comm, double value, ReduceOp op) {
 
 sim::Task<std::vector<double>> gather(Comm& comm, double value, int root) {
   const int p = comm.size();
+  SCI_SIM_SPAN(span, comm.world().engine(), comm.rank(), "gather", "coll",
+               {{"p", p}, {"root", root}});
   co_await comm.compute(comm.world().machine().coll_entry_overhead_s);
   if (p == 1) co_return std::vector<double>(1, value);
 
@@ -182,6 +192,8 @@ sim::Task<std::vector<double>> gather(Comm& comm, double value, int root) {
 
 sim::Task<double> scatter(Comm& comm, std::vector<double> values, int root) {
   const int p = comm.size();
+  SCI_SIM_SPAN(span, comm.world().engine(), comm.rank(), "scatter", "coll",
+               {{"p", p}, {"root", root}});
   co_await comm.compute(comm.world().machine().coll_entry_overhead_s);
   if (p == 1) co_return values.at(0);
   if (comm.rank() == root && static_cast<int>(values.size()) != p)
@@ -226,6 +238,7 @@ sim::Task<double> scatter(Comm& comm, std::vector<double> values, int root) {
 
 sim::Task<std::vector<double>> allgather(Comm& comm, double value) {
   const int p = comm.size();
+  SCI_SIM_SPAN(span, comm.world().engine(), comm.rank(), "allgather", "coll", {{"p", p}});
   co_await comm.compute(comm.world().machine().coll_entry_overhead_s);
   std::vector<double> out(static_cast<std::size_t>(p), 0.0);
   const int r = comm.rank();
@@ -248,6 +261,7 @@ sim::Task<std::vector<double>> allgather(Comm& comm, double value) {
 
 sim::Task<std::vector<double>> alltoall(Comm& comm, std::vector<double> to_each) {
   const int p = comm.size();
+  SCI_SIM_SPAN(span, comm.world().engine(), comm.rank(), "alltoall", "coll", {{"p", p}});
   co_await comm.compute(comm.world().machine().coll_entry_overhead_s);
   if (static_cast<int>(to_each.size()) != p)
     throw std::invalid_argument("alltoall: to_each.size() must equal comm.size()");
@@ -269,6 +283,7 @@ sim::Task<std::vector<double>> alltoall(Comm& comm, std::vector<double> to_each)
 
 sim::Task<double> scan(Comm& comm, double value, ReduceOp op) {
   const int p = comm.size();
+  SCI_SIM_SPAN(span, comm.world().engine(), comm.rank(), "scan", "coll", {{"p", p}});
   co_await comm.compute(comm.world().machine().coll_entry_overhead_s);
   const int r = comm.rank();
   double prefix = value;  // op over [r - (2^round - 1), r]
@@ -377,6 +392,8 @@ sim::Task<std::vector<double>> allreduce_v(Comm& comm, std::vector<double> value
                                            ReduceOp op, AllreduceAlgo algo,
                                            std::size_t auto_threshold_bytes) {
   const int p = comm.size();
+  SCI_SIM_SPAN(span, comm.world().engine(), comm.rank(), "allreduce_v", "coll",
+               {{"p", p}, {"n", values.size()}});
   co_await comm.compute(comm.world().machine().coll_entry_overhead_s);
   if (values.empty()) throw std::invalid_argument("allreduce_v: empty vector");
   if (p == 1) co_return values;
@@ -398,6 +415,8 @@ sim::Task<std::vector<double>> allreduce_v(Comm& comm, std::vector<double> value
 
 sim::Task<void> window_sync(Comm& comm, double window_s, int master, int rounds) {
   const int p = comm.size();
+  SCI_SIM_SPAN(span, comm.world().engine(), comm.rank(), "window_sync", "coll",
+               {{"p", p}, {"rounds", rounds}});
   if (p == 1) co_return;
 
   if (comm.rank() == master) {

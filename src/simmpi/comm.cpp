@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "rng/distributions.hpp"
 
 namespace sci::simmpi {
@@ -58,6 +61,7 @@ Request Comm::isend(int dst, int tag, std::size_t bytes, std::vector<double> pay
   msg.dst = dst;
   msg.tag = tag;
   msg.bytes = bytes;
+  msg.seq = w.next_msg_seq_++;
   msg.payload = std::move(payload);
 
   double arrival = w.engine_.now() + o + handshake + wire;
@@ -65,6 +69,22 @@ Request Comm::isend(int dst, int tag, std::size_t bytes, std::vector<double> pay
       w.fifo_clock_[static_cast<std::size_t>(rank_)][static_cast<std::size_t>(dst)];
   arrival = std::max(arrival, last);
   last = arrival;
+#if SCIBENCH_TRACING
+  if (obs::TraceSink* s = obs::sink()) {
+    const double t0 = w.engine_.now();
+    const double wire_start = t0 + o + handshake;
+    const double ideal = w.network_.ideal_transfer_time(src_node, dst_node, bytes);
+    s->complete(rank_, "isend", "p2p", t0, o + handshake,
+                {{"dst", dst}, {"tag", tag}, {"bytes", bytes}, {"mseq", msg.seq}});
+    s->complete(obs::kWireTrackBase + rank_, "wire", "net.wire", wire_start,
+                arrival - wire_start,
+                {{"src", rank_},
+                 {"dst", dst},
+                 {"bytes", bytes},
+                 {"mseq", msg.seq},
+                 {"noise_s", wire - ideal}});
+  }
+#endif
   w.engine_.schedule_at(arrival,
                         [&w, m = std::move(msg)]() mutable { w.deliver(std::move(m)); });
 
@@ -98,9 +118,16 @@ Request Comm::irecv(int src, int tag) {
   if (it != box.unexpected.end()) {
     Message msg = std::move(*it);
     box.unexpected.erase(it);
+    SCI_TRACE_COMPLETE(rank_, "irecv", "p2p", w.engine_.now(),
+                       w.machine_.loggp.overhead_s,
+                       {{"src", msg.src},
+                        {"tag", msg.tag},
+                        {"bytes", msg.bytes},
+                        {"mseq", msg.seq},
+                        {"wait_s", 0.0}});
     w.complete_request(req.state_, std::move(msg));
   } else {
-    box.posted_nb.push_back(World::PostedIrecv{src, tag, req.state_});
+    box.posted_nb.push_back(World::PostedIrecv{src, tag, req.state_, w.engine_.now()});
   }
   return req;
 }
@@ -144,6 +171,7 @@ void Comm::SendAwaitable::await_suspend(std::coroutine_handle<> h) {
   msg.dst = dst;
   msg.tag = tag;
   msg.bytes = bytes;
+  msg.seq = w.next_msg_seq_++;
   msg.payload = std::move(payload);
 
   // FIFO non-overtaking per (src, dst): a message may not arrive before
@@ -154,6 +182,22 @@ void Comm::SendAwaitable::await_suspend(std::coroutine_handle<> h) {
   arrival = std::max(arrival, last);
   last = arrival;
 
+#if SCIBENCH_TRACING
+  if (obs::TraceSink* s = obs::sink()) {
+    const double t0 = w.engine_.now();
+    const double wire_start = t0 + o + handshake;
+    const double ideal = w.network_.ideal_transfer_time(src_node, dst_node, bytes);
+    s->complete(comm->rank_, "send", "p2p", t0, o + gap + handshake,
+                {{"dst", dst}, {"tag", tag}, {"bytes", bytes}, {"mseq", msg.seq}});
+    s->complete(obs::kWireTrackBase + comm->rank_, "wire", "net.wire", wire_start,
+                arrival - wire_start,
+                {{"src", comm->rank_},
+                 {"dst", dst},
+                 {"bytes", bytes},
+                 {"mseq", msg.seq},
+                 {"noise_s", wire - ideal}});
+  }
+#endif
   w.engine_.schedule_at(arrival, [&w, m = std::move(msg)]() mutable { w.deliver(std::move(m)); });
 
   // The sender is blocked for its CPU overhead plus the inter-message
@@ -171,16 +215,24 @@ void Comm::RecvAwaitable::await_suspend(std::coroutine_handle<> h) {
   if (it != box.unexpected.end()) {
     result = std::move(*it);
     box.unexpected.erase(it);
+    SCI_TRACE_COMPLETE(comm->rank_, "recv", "p2p", w.engine_.now(), o,
+                       {{"src", result.src},
+                        {"tag", result.tag},
+                        {"bytes", result.bytes},
+                        {"mseq", result.seq},
+                        {"wait_s", 0.0}});
     w.engine_.schedule_after(o, [h] { h.resume(); });
     return;
   }
-  box.posted.push_back(World::PostedRecv{src, tag, h, &result});
+  box.posted.push_back(World::PostedRecv{src, tag, h, &result, w.engine_.now()});
 }
 
 void Comm::ComputeAwaitable::await_suspend(std::coroutine_handle<> h) {
   World& w = *comm->world_;
   const double duration = w.machine_.compute_noise.perturb(pure_seconds, comm->gen_);
   comm->busy_s_ += duration;
+  SCI_TRACE_COMPLETE(comm->rank_, "compute", "compute", w.engine_.now(), duration,
+                     {{"pure_s", pure_seconds}, {"noise_s", duration - pure_seconds}});
   w.engine_.schedule_after(duration, [h] { h.resume(); });
 }
 
@@ -263,10 +315,39 @@ double World::energy_joules() const noexcept {
   return joules;
 }
 
-std::size_t World::step() { return engine_.run(); }
+void World::flush_counters() {
+  // Watermark-based bulk publish: traffic totals are already exact in
+  // CommStats; the registry only needs the delta since the last flush,
+  // once per run rather than once per message.
+  static obs::Counter& msgs = obs::counter(obs::keys::kNetMessages);
+  static obs::Counter& bytes = obs::counter(obs::keys::kNetBytes);
+  std::uint64_t total_bytes = 0;
+  for (const auto& c : comms_) total_bytes += c->stats_.bytes_sent;
+  if (delivered_ > counted_msgs_) msgs.add(delivered_ - counted_msgs_);
+  if (total_bytes > counted_bytes_) bytes.add(total_bytes - counted_bytes_);
+  counted_msgs_ = delivered_;
+  counted_bytes_ = total_bytes;
+}
+
+void World::name_trace_tracks(obs::TraceSink& sink) const {
+  sink.set_process_name("scibench sim: " + machine_.name);
+  sink.set_track_name(obs::kHarnessTrack, "harness (host)");
+  sink.set_track_name(obs::kEngineTrack, "engine");
+  for (int r = 0; r < size(); ++r) {
+    sink.set_track_name(r, "rank " + std::to_string(r));
+    sink.set_track_name(obs::kWireTrackBase + r, "wire " + std::to_string(r));
+  }
+}
+
+std::size_t World::step() {
+  const std::size_t processed = engine_.run();
+  flush_counters();
+  return processed;
+}
 
 std::size_t World::run() {
   const std::size_t processed = engine_.run();
+  flush_counters();
   for (const auto& box : mailboxes_) {
     if (!box.posted.empty()) {
       throw std::runtime_error(
@@ -295,6 +376,16 @@ void World::deliver(Message msg) {
   if (it != box.posted.end()) {
     PostedRecv posted = *it;
     box.posted.erase(it);
+    // Recv span covers the full wait: from when the rank blocked to when
+    // the receive-side overhead finishes. `wait_s` is the late-sender
+    // time the trace CLI attributes back to sources.
+    SCI_TRACE_COMPLETE(msg.dst, "recv", "p2p", posted.posted_at,
+                       engine_.now() + o - posted.posted_at,
+                       {{"src", msg.src},
+                        {"tag", msg.tag},
+                        {"bytes", msg.bytes},
+                        {"mseq", msg.seq},
+                        {"wait_s", engine_.now() - posted.posted_at}});
     *posted.out = std::move(msg);
     engine_.schedule_after(o, [h = posted.waiter] { h.resume(); });
     return;
@@ -303,6 +394,13 @@ void World::deliver(Message msg) {
                          [&](const PostedIrecv& p) { return matches(p.src, p.tag, msg); });
   if (nb != box.posted_nb.end()) {
     auto state = nb->state;
+    SCI_TRACE_COMPLETE(msg.dst, "irecv", "p2p", nb->posted_at,
+                       engine_.now() + o - nb->posted_at,
+                       {{"src", msg.src},
+                        {"tag", msg.tag},
+                        {"bytes", msg.bytes},
+                        {"mseq", msg.seq},
+                        {"wait_s", engine_.now() - nb->posted_at}});
     box.posted_nb.erase(nb);
     complete_request(state, std::move(msg));
     return;

@@ -22,6 +22,10 @@
 #include "sim/task.hpp"
 #include "simmpi/clock.hpp"
 
+namespace sci::obs {
+class TraceSink;
+}
+
 namespace sci::simmpi {
 
 inline constexpr int kAnySource = -1;
@@ -32,6 +36,7 @@ struct Message {
   int dst = 0;
   int tag = 0;
   std::size_t bytes = 0;
+  std::uint64_t seq = 0;  ///< world-unique message id (trace correlation)
   std::vector<double> payload;  ///< optional data for correctness checks
 };
 
@@ -174,6 +179,11 @@ class World {
   /// Total messages delivered so far (observability / tests).
   [[nodiscard]] std::uint64_t messages_delivered() const noexcept { return delivered_; }
 
+  /// Labels this world's tracks in a trace sink -- "rank r" per rank,
+  /// plus wire and engine tracks -- so Perfetto shows one named lane
+  /// per rank. Call once after constructing the sink.
+  void name_trace_tracks(obs::TraceSink& sink) const;
+
   /// Job energy so far under the machine's power model (Joules): every
   /// allocated node idles for the whole makespan, compute adds its
   /// differential draw, and each message pays NIC + per-byte energy.
@@ -189,11 +199,13 @@ class World {
     int tag;
     std::coroutine_handle<> waiter;
     Message* out;
+    double posted_at = 0.0;  ///< when the rank blocked (late-sender attribution)
   };
   struct PostedIrecv {
     int src;
     int tag;
     std::shared_ptr<Request::State> state;
+    double posted_at = 0.0;
   };
   struct Mailbox {
     std::vector<Message> unexpected;
@@ -204,6 +216,8 @@ class World {
   void complete_request(const std::shared_ptr<Request::State>& state, Message msg);
 
   void deliver(Message msg);  // runs at arrival time
+  /// Publishes traffic deltas since the last flush to obs::counters().
+  void flush_counters();
   [[nodiscard]] static bool matches(int want_src, int want_tag, const Message& m) noexcept {
     return (want_src == kAnySource || want_src == m.src) &&
            (want_tag == kAnyTag || want_tag == m.tag);
@@ -218,6 +232,9 @@ class World {
   std::vector<std::vector<double>> fifo_clock_;  // last arrival per (src, dst)
   std::deque<sim::Task<void>> programs_;  // deque: stable addresses for the start lambdas
   std::uint64_t delivered_ = 0;
+  std::uint64_t next_msg_seq_ = 0;
+  std::uint64_t counted_msgs_ = 0;   // flushed-to-registry watermarks
+  std::uint64_t counted_bytes_ = 0;
 };
 
 struct Comm::SendAwaitable {

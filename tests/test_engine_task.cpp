@@ -60,6 +60,56 @@ TEST(Engine, StopHaltsProcessing) {
   EXPECT_EQ(engine.pending(), 1u);
 }
 
+TEST(Engine, StoppedEngineRunsAgain) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] {
+    ++fired;
+    engine.stop();
+  });
+  engine.schedule_at(2.0, [&] { ++fired; });
+  engine.run();
+  ASSERT_EQ(fired, 1);
+  // stop() only ends the run it interrupts: the next run() proceeds.
+  EXPECT_EQ(engine.run(), 1u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), 2.0);
+}
+
+TEST(Engine, StopDuringRunUntilDoesNotJumpToDeadline) {
+  Engine engine;
+  engine.schedule_at(1.0, [&] { engine.stop(); });
+  engine.schedule_at(2.0, [] {});
+  engine.run_until(100.0);
+  // A stop() mid-run must leave the clock at the stopping event, not
+  // teleport it to the deadline (that would strand the queued event in
+  // the past).
+  EXPECT_EQ(engine.now(), 1.0);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(engine.now(), 2.0);
+}
+
+TEST(Engine, StoppedRunUntilResumesToDeadline) {
+  Engine engine;
+  engine.schedule_at(1.0, [&] { engine.stop(); });
+  engine.run_until(5.0);
+  ASSERT_EQ(engine.now(), 1.0);
+  // With the stop consumed and the queue drained, the next bounded run
+  // advances to its deadline as usual.
+  engine.run_until(5.0);
+  EXPECT_EQ(engine.now(), 5.0);
+}
+
+TEST(Engine, TracksQueueHighWaterAndDispatchCount) {
+  Engine engine;
+  for (int i = 0; i < 4; ++i) engine.schedule_at(1.0 + i, [] {});
+  EXPECT_EQ(engine.queue_high_water(), 4u);
+  engine.run();
+  EXPECT_EQ(engine.events_dispatched(), 4u);
+  EXPECT_EQ(engine.queue_high_water(), 4u);
+}
+
 TEST(Engine, RunUntilLeavesLaterEventsQueued) {
   Engine engine;
   int fired = 0;

@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/dataset.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "obs/counters.hpp"
+#include "obs/provenance.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_read.hpp"
+#include "sim/machine.hpp"
+#include "simmpi/collectives.hpp"
+#include "simmpi/comm.hpp"
+
+namespace sci::obs {
+namespace {
+
+// ---------------------------------------------------------------- sink
+
+TEST(TraceSink, CollectsAndSerializesEvents) {
+  TraceSink sink;
+  sink.set_track_name(0, "rank 0");
+  sink.complete(0, "send", "p2p", 1e-6, 2e-6, {{"dst", 1}, {"bytes", 8}});
+  sink.instant(0, "noise", "noise", 2e-6);
+  sink.counter(990, "queue_depth", 0.0, 4.0);
+  EXPECT_EQ(sink.size(), 3u);
+
+  const ParsedTrace trace = parse_trace(sink.to_json());
+  ASSERT_EQ(trace.events.size(), 3u);
+  EXPECT_EQ(trace.events[0].phase, 'X');
+  EXPECT_EQ(trace.events[0].name, "send");
+  EXPECT_DOUBLE_EQ(trace.events[0].arg("dst"), 1.0);
+  EXPECT_NEAR(trace.events[0].ts_s, 1e-6, 1e-12);
+  EXPECT_NEAR(trace.events[0].dur_s, 2e-6, 1e-12);
+  EXPECT_EQ(trace.events[1].phase, 'i');
+  EXPECT_EQ(trace.events[2].phase, 'C');
+  EXPECT_EQ(trace.track_names.at(0), "rank 0");
+}
+
+TEST(TraceSink, UnattachedMacrosEmitNothing) {
+  detach();
+  EXPECT_FALSE(SCI_TRACE_ATTACHED());
+  // Must be a no-op, not a crash.
+  SCI_TRACE_COMPLETE(0, "x", "c", 0.0, 1.0);
+  SCI_TRACE_INSTANT(0, "x", "c", 0.0);
+  SCI_TRACE_COUNTER(0, "x", 0.0, 1.0);
+}
+
+#if SCIBENCH_TRACING
+TEST(TraceSink, ScopedAttachRestoresPrevious) {
+  TraceSink outer_sink;
+  ScopedAttach outer(outer_sink);
+  {
+    TraceSink inner_sink;
+    ScopedAttach inner(inner_sink);
+    SCI_TRACE_INSTANT(0, "inner", "t", 0.0);
+    EXPECT_EQ(inner_sink.size(), 1u);
+  }
+  SCI_TRACE_INSTANT(0, "outer", "t", 0.0);
+  EXPECT_EQ(outer_sink.size(), 1u);
+}
+#endif  // SCIBENCH_TRACING
+
+TEST(TraceSink, ParserRejectsMalformedJson) {
+  EXPECT_THROW((void)parse_trace(std::string("{")), std::runtime_error);
+  EXPECT_THROW((void)parse_trace(std::string("[1,2")), std::runtime_error);
+  // Schema: an X event without required keys is an error.
+  EXPECT_THROW((void)parse_trace(std::string(
+                   R"({"traceEvents":[{"ph":"X","name":"a"}]})")),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------------- counters
+
+TEST(Counters, RegistryAddsAndSnapshots) {
+  CounterRegistry::instance().reset_all();
+  counter("test.alpha").add(3);
+  counter("test.alpha").add(2);
+  counter("test.hwm").set_max(7);
+  counter("test.hwm").set_max(4);  // lower: no effect
+
+  const auto snap = CounterRegistry::instance().snapshot();
+  EXPECT_EQ(snapshot_value(snap, "test.alpha"), 5u);
+  EXPECT_EQ(snapshot_value(snap, "test.hwm"), 7u);
+  EXPECT_EQ(snapshot_value(snap, "test.missing"), 0u);
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+}
+
+TEST(Counters, SnapshotDeltaDropsZeroEntries) {
+  CounterRegistry::instance().reset_all();
+  const auto before = CounterRegistry::instance().snapshot();
+  counter("test.delta").add(4);
+  const auto delta = snapshot_delta(before, CounterRegistry::instance().snapshot());
+  EXPECT_EQ(snapshot_value(delta, "test.delta"), 4u);
+  for (const auto& [name, value] : delta) EXPECT_NE(value, 0u) << name;
+}
+
+// ----------------------------------------------- simulator integration
+
+simmpi::World make_reduce_world(int ranks, std::uint64_t seed) {
+  return simmpi::World(sim::make_dora(), ranks, seed);
+}
+
+std::string traced_reduce_json(int ranks, std::uint64_t seed) {
+  TraceSink sink;
+  simmpi::World world = make_reduce_world(ranks, seed);
+  world.name_trace_tracks(sink);
+  ScopedAttach attach(sink);
+  world.launch([](simmpi::Comm& c) -> sim::Task<void> {
+    (void)co_await simmpi::reduce(c, static_cast<double>(c.rank() + 1), 0);
+  });
+  world.run();
+  TraceSink::WriteOptions options;
+  options.wallclock_metadata = false;  // byte-stable output
+  return sink.to_json(options);
+}
+
+// The remaining SimTrace/HarnessTrace cases assert on *emitted* spans,
+// which only exist when the instrumentation is compiled in.
+#if SCIBENCH_TRACING
+TEST(SimTrace, SixteenRankReduceEmitsSchemaValidTrace) {
+  const int p = 16;
+  const ParsedTrace trace = parse_trace(traced_reduce_json(p, 42));
+
+  // One named track per rank.
+  const auto ranks = trace.rank_tracks();
+  ASSERT_EQ(ranks.size(), static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    EXPECT_EQ(trace.track_names.at(ranks[static_cast<std::size_t>(r)]),
+              "rank " + std::to_string(r));
+  }
+
+  // Every rank has a reduce span; every non-root rank sent exactly once
+  // in a binomial tree, and each send has a matching recv (paired by
+  // mseq) plus a wire span.
+  int reduce_spans = 0, sends = 0, recvs = 0, wires = 0;
+  std::vector<double> send_seqs, recv_seqs;
+  for (const auto& ev : trace.events) {
+    if (ev.phase != 'X') continue;
+    if (ev.name == "reduce") ++reduce_spans;
+    if (ev.name == "send") {
+      ++sends;
+      send_seqs.push_back(ev.arg("mseq", -1.0));
+    }
+    if (ev.name == "recv") {
+      ++recvs;
+      recv_seqs.push_back(ev.arg("mseq", -1.0));
+      EXPECT_TRUE(ev.has_arg("wait_s"));
+      EXPECT_TRUE(ev.has_arg("src"));
+    }
+    if (ev.name == "wire") ++wires;
+  }
+  EXPECT_EQ(reduce_spans, p);
+  EXPECT_EQ(sends, p - 1);  // binomial tree: every rank but the root sends once
+  EXPECT_EQ(recvs, p - 1);
+  EXPECT_EQ(wires, p - 1);
+  std::sort(send_seqs.begin(), send_seqs.end());
+  std::sort(recv_seqs.begin(), recv_seqs.end());
+  EXPECT_EQ(send_seqs, recv_seqs);  // exact send<->recv correlation
+
+  // The engine contributed its run span and queue-depth samples.
+  bool engine_run = false, queue_counter = false;
+  for (const auto& ev : trace.events) {
+    if (ev.phase == 'X' && ev.name == "run") engine_run = true;
+    if (ev.phase == 'C' && ev.name == "queue_depth") queue_counter = true;
+  }
+  EXPECT_TRUE(engine_run);
+  EXPECT_TRUE(queue_counter);
+}
+
+TEST(SimTrace, SeededRunsAreByteIdentical) {
+  const std::string a = traced_reduce_json(16, 7);
+  const std::string b = traced_reduce_json(16, 7);
+  EXPECT_EQ(a, b);
+  // A different seed perturbs the noise draws and must show up.
+  const std::string c = traced_reduce_json(16, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(SimTrace, BreakdownCoversEveryRank) {
+  const ParsedTrace trace = parse_trace(traced_reduce_json(8, 3));
+  const auto ranks = per_rank_breakdown(trace);
+  ASSERT_GE(ranks.size(), 8u);
+  for (const auto& r : ranks) {
+    EXPECT_GE(r.makespan_s, r.busy_s - 1e-12);
+    EXPECT_NEAR(r.makespan_s - r.busy_s, r.idle_s, 1e-9);
+    EXPECT_FALSE(r.by_name.empty());
+  }
+}
+
+TEST(SimTrace, CriticalPathEndsAtMakespanAndHopsAcrossRanks) {
+  const ParsedTrace trace = parse_trace(traced_reduce_json(16, 5));
+  const auto path = critical_path(trace);
+  ASSERT_FALSE(path.empty());
+
+  double last_p2p_end = 0.0;
+  for (const auto& ev : trace.events) {
+    if (ev.phase == 'X' && ev.cat == "p2p") last_p2p_end = std::max(last_p2p_end, ev.end_s());
+  }
+  EXPECT_NEAR(path.back().end_s, last_p2p_end, 1e-12);
+
+  // Completion times are monotone along the dependence chain (a recv
+  // span can *start* before its matching send -- that is the late-sender
+  // wait -- but can only finish after it). The reduce tree also forces
+  // the path through more than one rank.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_LE(path[i - 1].end_s, path[i].end_s + 1e-12);
+  }
+  std::vector<int> tids;
+  for (const auto& seg : path) tids.push_back(seg.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_GT(tids.size(), 1u);
+}
+
+TEST(SimTrace, LateSendersAttributeReceiverBlockTime) {
+  const ParsedTrace trace = parse_trace(traced_reduce_json(16, 11));
+  const auto senders = late_senders(trace);
+  // In a reduce over a noisy machine some receiver blocks on some sender.
+  ASSERT_FALSE(senders.empty());
+  double prev = senders.front().blocked_s;
+  for (const auto& s : senders) {
+    EXPECT_GE(s.src_rank, 0);
+    EXPECT_GT(s.waits, 0u);
+    EXPECT_LE(s.blocked_s, prev + 1e-12);  // sorted, worst offender first
+    prev = s.blocked_s;
+  }
+}
+
+#endif  // SCIBENCH_TRACING
+
+// Counters are compiled unconditionally -- they must tally even in a
+// tracing-off build.
+TEST(SimTrace, CountersTallyTrafficAndNoise) {
+  CounterRegistry::instance().reset_all();
+  const auto before = CounterRegistry::instance().snapshot();
+  (void)traced_reduce_json(16, 42);
+  const auto delta =
+      snapshot_delta(before, CounterRegistry::instance().snapshot());
+  EXPECT_EQ(snapshot_value(delta, keys::kNetMessages), 15u);
+  EXPECT_GT(snapshot_value(delta, keys::kNetBytes), 0u);
+  EXPECT_GT(snapshot_value(delta, keys::kEngineEvents), 0u);
+  EXPECT_GT(snapshot_value(delta, keys::kEngineQueueHwm), 0u);
+  EXPECT_GT(snapshot_value(delta, keys::kNoiseDraws), 0u);
+}
+
+// ------------------------------------------------- harness integration
+
+#if SCIBENCH_TRACING
+TEST(HarnessTrace, MeasureAdaptiveEmitsSampleSpansAndCiChecks) {
+  TraceSink sink;
+  ScopedAttach attach(sink);
+  core::AdaptiveOptions options;
+  options.min_samples = 10;
+  options.max_samples = 20;
+  options.warmup = 0;
+  options.check_every = 5;
+  int calls = 0;
+  const auto result = core::measure_adaptive([&] { return 1.0 + 1e-4 * (++calls % 3); },
+                                             options);
+  ASSERT_FALSE(result.samples.empty());
+
+  const ParsedTrace trace = parse_trace(sink.to_json());
+  int samples = 0, ci_checks = 0, adaptive_spans = 0;
+  for (const auto& ev : trace.events) {
+    if (ev.tid != kHarnessTrack) continue;
+    if (ev.phase == 'X' && ev.name == "sample") ++samples;
+    if (ev.phase == 'X' && ev.name == "measure_adaptive") ++adaptive_spans;
+    if (ev.phase == 'i' && ev.name == "ci_check") ++ci_checks;
+  }
+  EXPECT_EQ(samples, static_cast<int>(result.samples.size()));
+  EXPECT_EQ(adaptive_spans, 1);
+  EXPECT_GE(ci_checks, 1);
+}
+#endif  // SCIBENCH_TRACING
+
+TEST(HarnessTrace, AdaptiveBumpsHarnessCounters) {
+  CounterRegistry::instance().reset_all();
+  const auto before = CounterRegistry::instance().snapshot();
+  core::AdaptiveOptions options;
+  options.min_samples = 10;
+  options.max_samples = 15;
+  options.warmup = 0;
+  (void)core::measure_adaptive([] { return 1.0; }, options);
+  const auto delta =
+      snapshot_delta(before, CounterRegistry::instance().snapshot());
+  EXPECT_GE(snapshot_value(delta, keys::kHarnessSamples), 10u);
+  EXPECT_GE(snapshot_value(delta, keys::kCiRecomputes), 1u);
+}
+
+// ------------------------------------------------------------ provenance
+
+TEST(Provenance, ProbeDeltasAndDatasetRoundtrip) {
+  CounterRegistry::instance().reset_all();
+  core::Experiment e;
+  e.name = "prov-test";
+  core::Dataset ds(e, {"time_s"});
+  ds.enable_provenance();
+  ASSERT_TRUE(ds.provenance_enabled());
+
+  SampleProbe probe;
+  probe.begin(/*trace_id=*/7);
+  counter(keys::kNetMessages).add(3);
+  counter(keys::kNetBytes).add(24);
+  const SampleProvenance prov = probe.end();
+  EXPECT_EQ(prov.trace_id, 7u);
+  EXPECT_EQ(prov.messages, 3u);
+  EXPECT_EQ(prov.bytes, 24u);
+  ds.add_row({0.5}, prov);
+
+  std::ostringstream os;
+  ds.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("prov_trace_id"), std::string::npos);
+  EXPECT_NE(csv.find("prov_messages"), std::string::npos);
+
+  EXPECT_EQ(ds.column("prov_trace_id").at(0), 7.0);
+  EXPECT_EQ(ds.column("prov_messages").at(0), 3.0);
+  EXPECT_EQ(ds.column("prov_bytes").at(0), 24.0);
+}
+
+TEST(Provenance, MixedAddRowArityIsChecked) {
+  core::Experiment e;
+  e.name = "prov-arity";
+  core::Dataset ds(e, {"a", "b"});
+  ds.enable_provenance();
+  EXPECT_THROW(ds.add_row({1.0, 2.0}), std::invalid_argument);  // needs prov cells
+  EXPECT_THROW(ds.add_row({1.0}, SampleProvenance{}), std::invalid_argument);
+  ds.add_row({1.0, 2.0}, SampleProvenance{});
+  EXPECT_EQ(ds.rows(), 1u);
+
+  core::Dataset plain(e, {"a"});
+  plain.add_row({1.0});
+  EXPECT_THROW(plain.enable_provenance(), std::logic_error);
+  EXPECT_THROW(plain.add_row({1.0}, SampleProvenance{}), std::logic_error);
+}
+
+TEST(Provenance, ReportEmbedsCounterSummary) {
+  core::Experiment e;
+  e.name = "ctr-report";
+  core::ReportBuilder report(e);
+  report.add_series({"t", "s", {1.0, 1.1, 1.2, 1.05, 1.15, 1.08}});
+  report.set_counter_summary({{"net.messages", 15}, {"net.bytes", 120}});
+  const std::string text = report.render();
+  EXPECT_NE(text.find("provenance counters"), std::string::npos);
+  EXPECT_NE(text.find("net.messages = 15"), std::string::npos);
+  const std::string md = report.render_markdown();
+  EXPECT_NE(md.find("Provenance counters"), std::string::npos);
+  EXPECT_NE(md.find("`net.bytes` | 120"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sci::obs

@@ -16,6 +16,7 @@
 #include "core/measurement.hpp"
 #include "core/plots.hpp"
 #include "core/report.hpp"
+#include "obs/counters.hpp"
 #include "stats/descriptive.hpp"
 
 namespace {
@@ -76,6 +77,27 @@ int main(int argc, char** argv) {
   e.set("source", path);
   sci::core::ReportBuilder report(e);
   report.add_series({column, "(file units)", values});
+
+  // Provenance footer: datasets written with Dataset::enable_provenance
+  // carry per-row counter deltas; sum them back into run totals so the
+  // report keeps its production story (Rule 9). Live registry counters
+  // (nonzero only when this process itself measured) ride along.
+  sci::obs::CounterSnapshot counters;
+  for (const auto& c : ds.columns()) {
+    if (c.rfind("prov_", 0) != 0 || c == "prov_trace_id") continue;
+    double sum = 0.0;
+    for (double v : ds.column(c)) sum += v;
+    if (c == "prov_harness_overhead_s") {
+      counters.emplace_back("csv.harness_overhead_ns",
+                            static_cast<std::uint64_t>(sum * 1e9 + 0.5));
+    } else {
+      counters.emplace_back("csv." + c.substr(5), static_cast<std::uint64_t>(sum + 0.5));
+    }
+  }
+  for (const auto& [name, value] : sci::obs::CounterRegistry::instance().snapshot()) {
+    if (value != 0) counters.emplace_back(name, value);
+  }
+  if (!counters.empty()) report.set_counter_summary(std::move(counters));
   if (markdown) {
     std::fputs(report.render_markdown().c_str(), stdout);
     return 0;
