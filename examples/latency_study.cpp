@@ -1,7 +1,11 @@
 // A complete two-system latency study on the simulated clusters: the
-// workflow a paper comparing interconnects should follow.
+// workflow a paper comparing interconnects should follow -- now phrased
+// as a sci::exec campaign, so the factorial design (Rule 9) is the
+// executable artifact instead of prose around hand-rolled loops.
 //
-//   measure   64 B / 4 KiB ping-pong on dora-sim and pilatus-sim
+//   declare   system x message_bytes grid + fixed environment
+//   measure   CampaignRunner shards the grid across workers; every cell
+//             is pingpong_latency on a fresh simulated machine
 //   analyze   normality diagnosis, median + CIs, Kruskal-Wallis,
 //             effect size, quantile regression for tail behaviour
 //   persist   CSV datasets with embedded experiment documentation
@@ -13,6 +17,8 @@
 #include "core/dataset.hpp"
 #include "core/plots.hpp"
 #include "core/report.hpp"
+#include "exec/runner.hpp"
+#include "exec/sim_backend.hpp"
 #include "sim/machine.hpp"
 #include "simmpi/benchmarks.hpp"
 #include "stats/compare.hpp"
@@ -21,45 +27,53 @@
 
 using namespace sci;
 
-namespace {
-
-std::vector<double> measure_us(const std::string& machine, std::size_t bytes,
-                               std::size_t samples) {
-  const auto series =
-      simmpi::pingpong_latency(sim::make_machine(machine), samples, bytes, 2024);
-  std::vector<double> us;
-  us.reserve(series.size());
-  for (double s : series) us.push_back(s * 1e6);
-  return us;
-}
-
-}  // namespace
-
 int main() {
   constexpr std::size_t kSamples = 50'000;
-  const std::vector<std::size_t> sizes = {64, 4096};
+  const std::vector<std::string> systems = {"dora", "pilatus"};
+  const std::vector<std::string> sizes = {"64", "4096"};
 
-  core::Experiment e;
-  e.name = "latency_study";
-  e.description = "two-system ping-pong latency comparison";
-  e.set("system.dora", "simulated Cray XC40, Aries dragonfly (see sim/machine.cpp)")
+  // The factorial design, declared once: it drives execution AND the
+  // Rule 9 documentation in every report/CSV produced below.
+  exec::CampaignSpec spec;
+  spec.name = "latency_study";
+  spec.description = "two-system ping-pong latency comparison";
+  spec.base.set("system.dora", "simulated Cray XC40, Aries dragonfly (see sim/machine.cpp)")
       .set("system.pilatus", "simulated InfiniBand FDR fat tree")
       .set("samples", std::to_string(kSamples) + " per configuration, 16 warmup")
       .set("placement", "two ranks on distinct nodes, scattered allocation");
-  e.add_factor("system", {"dora", "pilatus"});
-  e.add_factor("message_bytes", {"64", "4096"});
-  e.synchronization_method = "none (two-sided pingpong, rank-0 clock)";
-  e.summary_across_processes = "rank-0 half round-trip";
+  spec.base.synchronization_method = "none (two-sided pingpong, rank-0 clock)";
+  spec.base.summary_across_processes = "rank-0 half round-trip";
+  spec.factors.push_back({"system", systems});
+  spec.factors.push_back({"message_bytes", sizes});
+  // Reproduce the historical study: every cell ran with seed 2024.
+  spec.seed_override = [](const exec::Config&, std::size_t) { return 2024ULL; };
 
+  exec::SimBackendOptions bopts;
+  bopts.kernel = exec::SimKernel::kPingPong;
+  bopts.samples = kSamples;
+  bopts.scale = 1e6;  // report microseconds
+  bopts.unit = "us";
+  exec::SimBackend backend(bopts);
+
+  exec::CampaignRunner runner(backend, exec::Campaign(spec));
+  const exec::CampaignResult run = runner.run();
+
+  const core::Experiment e = run.experiment;
   core::Dataset ds(e, {"system", "bytes", "median_us", "q99_us", "kw_p"});
   core::ReportBuilder report(e);
   report.declare_units_convention();
 
-  for (std::size_t bytes : sizes) {
-    const auto dora = measure_us("dora", bytes, kSamples);
-    const auto pilatus = measure_us("pilatus", bytes, kSamples);
+  // Grid order is system-major; index cells as (system, size).
+  const auto cell = [&](std::size_t sys, std::size_t size) -> const std::vector<double>& {
+    return run.series(sys * sizes.size() + size);
+  };
 
-    const std::string tag = std::to_string(bytes) + "B";
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const std::size_t bytes = static_cast<std::size_t>(std::stoul(sizes[s]));
+    const auto& dora = cell(0, s);
+    const auto& pilatus = cell(1, s);
+
+    const std::string tag = sizes[s] + "B";
     report.add_series({"dora_" + tag, "us", dora});
     report.add_series({"pilatus_" + tag, "us", pilatus});
 
@@ -86,9 +100,17 @@ int main() {
   }
 
   // Tail behaviour via quantile regression on a thinned 64 B design
-  // (~500 points: the dense simplex is O(n^2) per pivot).
-  const auto dora64 = measure_us("dora", 64, 8000);
-  const auto pil64 = measure_us("pilatus", 64, 8000);
+  // (~500 points: the dense simplex is O(n^2) per pivot). Same seeds as
+  // the historical run: a dedicated 8000-sample campaign cell pair.
+  const auto thin_us = [](const sim::Machine& machine) {
+    const auto series = simmpi::pingpong_latency(machine, 8000, 64, 2024);
+    std::vector<double> us;
+    us.reserve(series.size());
+    for (double v : series) us.push_back(v * 1e6);
+    return us;
+  };
+  const auto dora64 = thin_us(sim::make_machine("dora"));
+  const auto pil64 = thin_us(sim::make_machine("pilatus"));
   std::vector<double> y;
   std::vector<std::vector<double>> x;
   for (std::size_t i = 0; i < dora64.size(); i += 32) {
@@ -113,5 +135,9 @@ int main() {
   ds.save_csv(csv);
   std::printf("\nsummary dataset written to %s (R: read.csv(f, comment.char='#'))\n",
               csv.c_str());
+  // Full per-sample export in campaign layout; scibench_report regroups
+  // it per grid cell (exec::load_measurements).
+  run.samples_dataset().save_csv("latency_study_samples.csv");
+  std::printf("per-sample campaign dataset written to latency_study_samples.csv\n");
   return 0;
 }

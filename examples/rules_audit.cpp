@@ -76,7 +76,7 @@ int main() {
                  sim::make_dora().make_network().ideal_transfer_time(0, 60, 64) * 1e6);
   good.add_plot(core::render_box(
       std::vector<core::NamedSeries>{{"dora", dora_us}, {"pilatus", pilatus_us}},
-      {.width = 60, .title = "latency (us)"}));
+      {.width = 60, .title = "latency (us)", .x_label = ""}));
   core::SpeedupReport good_speedup = bad_speedup;
   good_speedup.base_absolute = stats::median(dora_us);
   good_speedup.base_unit = "us median latency";

@@ -1,5 +1,6 @@
 #include "core/dataset.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -10,6 +11,14 @@ namespace sci::core {
 Dataset::Dataset(Experiment experiment, std::vector<std::string> columns)
     : experiment_(std::move(experiment)), columns_(std::move(columns)) {
   if (columns_.empty()) throw std::invalid_argument("Dataset: at least one column");
+  for (const auto& c : columns_) {
+    // A separator or newline inside a column name would silently shift
+    // every subsequent column on re-import; refuse it up front.
+    if (c.find_first_of(",\n\r") != std::string::npos) {
+      throw std::invalid_argument("Dataset: column name '" + c +
+                                  "' contains a comma or newline");
+    }
+  }
   base_columns_ = columns_.size();
 }
 
@@ -75,7 +84,35 @@ void Dataset::save_csv(const std::string& path) const {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("Dataset::save_csv: cannot open " + path);
   write_csv(os);
+  os.flush();
+  // A full disk or revoked permission surfaces here, not as a silently
+  // truncated data file.
+  if (!os) throw std::runtime_error("Dataset::save_csv: write failed for " + path);
 }
+
+namespace {
+
+/// Strict numeric cell parse; accepts what write_csv emits (decimal
+/// doubles, inf, nan). Positions are 1-based for error messages.
+double parse_cell(const std::string& cell, const std::string& path, std::size_t lineno,
+                  std::size_t column) {
+  double value = 0.0;
+  const char* begin = cell.data();
+  const char* end = begin + cell.size();
+  // Tolerate surrounding spaces (hand-edited files) but nothing else.
+  while (begin < end && (*begin == ' ' || *begin == '\t')) ++begin;
+  while (end > begin && (end[-1] == ' ' || end[-1] == '\t' || end[-1] == '\r')) --end;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || begin == end) {
+    throw std::runtime_error("Dataset::load_csv: " + path + ":" +
+                             std::to_string(lineno) + ": column " +
+                             std::to_string(column) + ": malformed numeric cell '" +
+                             cell + "'");
+  }
+  return value;
+}
+
+}  // namespace
 
 Dataset Dataset::load_csv(const std::string& path) {
   std::ifstream is(path);
@@ -83,11 +120,13 @@ Dataset Dataset::load_csv(const std::string& path) {
 
   Experiment exp;
   std::string line;
+  std::size_t lineno = 0;
   std::vector<std::string> cols;
   // Header comments are provenance for humans/R; keep the raw text in
   // the description so round-trips do not silently drop it.
   std::string header_text;
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.empty()) continue;
     if (line.front() == '#') {
       header_text += line.substr(line.size() > 1 && line[1] == ' ' ? 2 : 1) + "\n";
@@ -96,7 +135,10 @@ Dataset Dataset::load_csv(const std::string& path) {
     // First non-comment line: column names.
     std::istringstream ls(line);
     std::string cell;
-    while (std::getline(ls, cell, ',')) cols.push_back(cell);
+    while (std::getline(ls, cell, ',')) {
+      if (!cell.empty() && cell.back() == '\r') cell.pop_back();
+      cols.push_back(cell);
+    }
     break;
   }
   exp.name = "loaded:" + path;
@@ -104,11 +146,20 @@ Dataset Dataset::load_csv(const std::string& path) {
 
   Dataset ds(std::move(exp), std::move(cols));
   while (std::getline(is, line)) {
+    ++lineno;
     if (line.empty() || line.front() == '#') continue;
     std::istringstream ls(line);
     std::string cell;
     std::vector<double> row;
-    while (std::getline(ls, cell, ',')) row.push_back(std::stod(cell));
+    while (std::getline(ls, cell, ',')) {
+      row.push_back(parse_cell(cell, path, lineno, row.size() + 1));
+    }
+    if (row.size() != ds.columns().size()) {
+      throw std::runtime_error("Dataset::load_csv: " + path + ":" +
+                               std::to_string(lineno) + ": expected " +
+                               std::to_string(ds.columns().size()) + " cells, got " +
+                               std::to_string(row.size()));
+    }
     ds.add_row(row);
   }
   return ds;

@@ -13,29 +13,69 @@ const char* to_string(ScalingMode m) noexcept {
   return "unknown";
 }
 
+std::string escape_header_text(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_header_text(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 == text.size()) {
+      out += text[i];
+      continue;
+    }
+    switch (text[++i]) {
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case '\\': out += '\\'; break;
+      default:
+        out += '\\';
+        out += text[i];
+    }
+  }
+  return out;
+}
+
 std::string Experiment::to_header() const {
   std::ostringstream os;
-  os << "experiment: " << name << '\n';
-  if (!description.empty()) os << "description: " << description << '\n';
-  for (const auto& [key, value] : environment) os << "env." << key << ": " << value << '\n';
+  os << "experiment: " << escape_header_text(name) << '\n';
+  if (!description.empty())
+    os << "description: " << escape_header_text(description) << '\n';
+  for (const auto& [key, value] : environment) {
+    os << "env." << escape_header_text(key) << ": " << escape_header_text(value) << '\n';
+  }
   for (const auto& factor : factors) {
-    os << "factor." << factor.name << ":";
-    for (const auto& level : factor.levels) os << ' ' << level;
+    os << "factor." << escape_header_text(factor.name) << ":";
+    for (const auto& level : factor.levels) os << ' ' << escape_header_text(level);
     os << '\n';
   }
   if (scaling != ScalingMode::kNotApplicable) {
     os << "scaling: " << to_string(scaling);
     if (scaling == ScalingMode::kWeak && !weak_scaling_function.empty()) {
-      os << " (" << weak_scaling_function << ")";
+      os << " (" << escape_header_text(weak_scaling_function) << ")";
     }
     os << '\n';
   }
   if (uses_subset) {
-    os << "subset: " << (subset_reason.empty() ? "(no reason given!)" : subset_reason) << '\n';
+    os << "subset: "
+       << (subset_reason.empty() ? "(no reason given!)" : escape_header_text(subset_reason))
+       << '\n';
   }
-  if (!synchronization_method.empty()) os << "sync: " << synchronization_method << '\n';
+  if (!synchronization_method.empty())
+    os << "sync: " << escape_header_text(synchronization_method) << '\n';
   if (!summary_across_processes.empty())
-    os << "process-summary: " << summary_across_processes << '\n';
+    os << "process-summary: " << escape_header_text(summary_across_processes) << '\n';
   return os.str();
 }
 

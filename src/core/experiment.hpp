@@ -26,6 +26,15 @@ struct Factor {
 enum class ScalingMode { kNotApplicable, kStrong, kWeak };
 [[nodiscard]] const char* to_string(ScalingMode m) noexcept;
 
+/// Escapes text for one logical line of an experiment header: backslash
+/// -> "\\", newline -> "\n", carriage return -> "\r" (literal two-char
+/// sequences). Values that once silently corrupted CSV headers -- an
+/// environment value with an embedded newline spills into a line the
+/// parser reads as its own header entry -- now round-trip.
+[[nodiscard]] std::string escape_header_text(const std::string& text);
+/// Inverse of escape_header_text.
+[[nodiscard]] std::string unescape_header_text(const std::string& text);
+
 struct Experiment {
   std::string name;
   std::string description;
@@ -62,7 +71,10 @@ struct Experiment {
   }
 
   /// Multi-line human-readable header, used verbatim in reports and as
-  /// '#'-prefixed comments in CSV exports.
+  /// '#'-prefixed comments in CSV exports. Names, descriptions, and
+  /// environment/factor text are escaped with escape_header_text so
+  /// embedded newlines cannot forge extra header lines and the header
+  /// round-trips losslessly.
   [[nodiscard]] std::string to_header() const;
 
   /// Issues found by the documentation audit (missing factor levels,

@@ -32,8 +32,14 @@ struct RegisteredBenchmark {
 
 struct RunnerOptions {
   std::string filter;        ///< substring filter on names; empty = all
-  bool write_csv = false;    ///< dump <name>.csv next to the binary
+  bool write_csv = false;    ///< dump <name>.csv into csv_directory
+  /// Created (with parents) when missing; export failures throw instead
+  /// of silently dropping data.
   std::string csv_directory = ".";
+  /// Campaign worker threads (run_all executes through sci::exec).
+  /// Default 1: host measurements sharing cores perturb each other
+  /// (Rule 4); raise it only when idle cores are available.
+  std::size_t workers = 1;
 };
 
 class Registry {

@@ -1,0 +1,140 @@
+#include "exec/campaign.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace sci::exec {
+
+const std::string* Config::find_level(const std::string& factor) const noexcept {
+  for (const auto& [name, value] : levels) {
+    if (name == factor) return &value;
+  }
+  return nullptr;
+}
+
+const std::string& Config::level(const std::string& factor) const {
+  if (const std::string* v = find_level(factor)) return *v;
+  throw std::out_of_range("Config::level: no factor '" + factor + "' in " + to_string());
+}
+
+double Config::level_double(const std::string& factor) const {
+  const std::string& text = level(factor);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("Config::level_double: factor '" + factor +
+                                "' level '" + text + "' is not numeric");
+  }
+  return value;
+}
+
+long long Config::level_int(const std::string& factor) const {
+  const std::string& text = level(factor);
+  long long value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("Config::level_int: factor '" + factor + "' level '" +
+                                text + "' is not an integer");
+  }
+  return value;
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  for (const auto& [name, value] : levels) {
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += '=';
+    out += value;
+  }
+  return out.empty() ? std::string("(no factors)") : out;
+}
+
+std::uint64_t Config::hash(std::uint64_t salt) const noexcept {
+  // splitmix64 absorb: mix each byte-run of every name/value plus
+  // separators, so "a"+"bc" and "ab"+"c" hash differently.
+  std::uint64_t state = salt ^ 0x9e3779b97f4a7c15ULL;
+  const auto absorb = [&state](const std::string& s) {
+    state = rng::splitmix64_next(state) ^ s.size();
+    for (unsigned char c : s) state = rng::splitmix64_next(state) ^ c;
+  };
+  for (const auto& [name, value] : levels) {
+    absorb(name);
+    absorb(value);
+  }
+  return rng::splitmix64_next(state);
+}
+
+Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) {
+  if (spec_.name.empty()) throw std::invalid_argument("Campaign: empty name");
+  if (spec_.replications == 0)
+    throw std::invalid_argument("Campaign: replications must be >= 1");
+  if (!spec_.base.factors.empty()) {
+    throw std::invalid_argument(
+        "Campaign: declare factors in CampaignSpec::factors, not in the base "
+        "Experiment (the grid is the single source of truth)");
+  }
+  config_count_ = 1;
+  for (std::size_t i = 0; i < spec_.factors.size(); ++i) {
+    const auto& f = spec_.factors[i];
+    if (f.name.empty()) throw std::invalid_argument("Campaign: unnamed factor");
+    if (f.levels.empty())
+      throw std::invalid_argument("Campaign: factor '" + f.name + "' has no levels");
+    for (std::size_t j = 0; j < i; ++j) {
+      if (spec_.factors[j].name == f.name)
+        throw std::invalid_argument("Campaign: duplicate factor '" + f.name + "'");
+    }
+    config_count_ *= f.levels.size();
+  }
+}
+
+Config Campaign::config(std::size_t index) const {
+  if (index >= config_count_)
+    throw std::out_of_range("Campaign::config: index " + std::to_string(index) +
+                            " >= " + std::to_string(config_count_));
+  Config c;
+  c.index = index;
+  c.levels.reserve(spec_.factors.size());
+  c.level_indices.resize(spec_.factors.size());
+  // Row-major decode, first factor slowest-varying.
+  std::size_t remainder = index;
+  for (std::size_t f = spec_.factors.size(); f-- > 0;) {
+    const auto& factor = spec_.factors[f];
+    c.level_indices[f] = remainder % factor.levels.size();
+    remainder /= factor.levels.size();
+  }
+  for (std::size_t f = 0; f < spec_.factors.size(); ++f) {
+    c.levels.emplace_back(spec_.factors[f].name,
+                          spec_.factors[f].levels[c.level_indices[f]]);
+  }
+  return c;
+}
+
+std::vector<Config> Campaign::configs() const {
+  std::vector<Config> out;
+  out.reserve(config_count_);
+  for (std::size_t i = 0; i < config_count_; ++i) out.push_back(config(i));
+  return out;
+}
+
+std::uint64_t Campaign::seed_for(const Config& config, std::size_t rep) const {
+  if (spec_.seed_override) return spec_.seed_override(config, rep);
+  return derive_seed(spec_.seed, config.index, rep);
+}
+
+core::Experiment Campaign::experiment(const Backend* backend) const {
+  core::Experiment e = spec_.base;
+  if (e.name.empty()) e.name = spec_.name;
+  if (e.description.empty()) e.description = spec_.description;
+  e.factors = spec_.factors;
+  e.set("campaign.replications", std::to_string(spec_.replications));
+  e.set("campaign.seed", std::to_string(spec_.seed));
+  e.set("campaign.seed_derivation",
+        spec_.seed_override
+            ? "caller-provided override(config, rep)"
+            : "splitmix64 chain over (campaign_seed, config_index, rep)");
+  if (backend != nullptr) e.set("campaign.backend", backend->describe());
+  return e;
+}
+
+}  // namespace sci::exec

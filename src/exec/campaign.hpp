@@ -1,0 +1,83 @@
+// Campaign: the executable factorial design (Rule 9 made runnable).
+//
+// A CampaignSpec declares the factors and their levels, the number of
+// replications per cell, the campaign seed, and the fixed-environment
+// documentation. Campaign compiles the spec into
+//   - the enumerated grid of Configs (row-major, first factor slowest),
+//   - per-cell seeds via exec::derive_seed (or a caller override for
+//     reproducing historical runs), and
+//   - a core::Experiment whose factor list IS the executed grid, so the
+//     Rule 9 metadata in reports and CSV headers can no longer drift
+//     from what actually ran.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "exec/backend.hpp"
+
+namespace sci::exec {
+
+struct CampaignSpec {
+  std::string name;
+  std::string description;
+
+  /// Fixed-environment documentation (environment map, scaling mode,
+  /// synchronization method, subset declaration...). Its factor list
+  /// must be empty -- factors below are the single source of truth.
+  core::Experiment base;
+
+  /// The varying factors and their levels; the grid is their cross
+  /// product. Factor names must be unique and each needs >= 1 level.
+  std::vector<core::Factor> factors;
+
+  /// Replications per grid cell (paper Sec. 4.2.2: one measurement is
+  /// not a result). Each replication gets its own derived seed.
+  std::size_t replications = 1;
+
+  /// Campaign seed; cell seeds derive from it (see exec::derive_seed).
+  std::uint64_t seed = 0x5c1b3ac4d2e9f107ULL;
+
+  /// Optional seed override, e.g. to reproduce a historical study that
+  /// hand-picked seeds. When set it replaces derive_seed entirely; the
+  /// mapping is recorded as opaque in the compiled Experiment.
+  std::function<std::uint64_t(const Config&, std::size_t rep)> seed_override;
+};
+
+class Campaign {
+ public:
+  /// Validates and freezes the spec; throws std::invalid_argument on an
+  /// empty name, duplicate/empty factors, zero replications, or a base
+  /// Experiment that already declares factors.
+  explicit Campaign(CampaignSpec spec);
+
+  [[nodiscard]] const CampaignSpec& spec() const noexcept { return spec_; }
+
+  /// Number of grid cells (product of level counts; 1 when no factors).
+  [[nodiscard]] std::size_t config_count() const noexcept { return config_count_; }
+  /// config_count() * replications.
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return config_count_ * spec_.replications;
+  }
+
+  /// Decodes grid position `index` (row-major) into a Config.
+  [[nodiscard]] Config config(std::size_t index) const;
+  [[nodiscard]] std::vector<Config> configs() const;
+
+  /// The seed replication `rep` of `config` runs with.
+  [[nodiscard]] std::uint64_t seed_for(const Config& config, std::size_t rep) const;
+
+  /// Compiles the executed design into Rule 9 documentation: base
+  /// experiment + the factor grid + campaign.{seed, replications,
+  /// seed_derivation, backend} environment entries.
+  [[nodiscard]] core::Experiment experiment(const Backend* backend = nullptr) const;
+
+ private:
+  CampaignSpec spec_;
+  std::size_t config_count_ = 1;
+};
+
+}  // namespace sci::exec

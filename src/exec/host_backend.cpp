@@ -1,0 +1,47 @@
+#include "exec/host_backend.hpp"
+
+#include <stdexcept>
+
+namespace sci::exec {
+
+HostBackend::HostBackend(std::vector<HostBenchmark> benchmarks)
+    : benchmarks_(std::move(benchmarks)) {
+  if (benchmarks_.empty())
+    throw std::invalid_argument("HostBackend: no benchmarks");
+  for (const auto& b : benchmarks_) {
+    if (b.name.empty()) throw std::invalid_argument("HostBackend: unnamed benchmark");
+    if (!b.measure) {
+      throw std::invalid_argument("HostBackend: benchmark '" + b.name +
+                                  "' has no measurement function");
+    }
+  }
+}
+
+std::string HostBackend::describe() const {
+  return "host clock + adaptive sampling (" + std::to_string(benchmarks_.size()) +
+         " registered benchmarks)";
+}
+
+std::vector<std::string> HostBackend::benchmark_names() const {
+  std::vector<std::string> out;
+  out.reserve(benchmarks_.size());
+  for (const auto& b : benchmarks_) out.push_back(b.name);
+  return out;
+}
+
+CellResult HostBackend::run(const Config& config, std::uint64_t /*seed*/) {
+  const std::string& which = config.level(kBenchmarkFactor);
+  for (const auto& b : benchmarks_) {
+    if (b.name != which) continue;
+    const auto adaptive = core::measure_adaptive(b.measure, b.sampling);
+    CellResult result;
+    result.samples = adaptive.samples;
+    result.unit = b.unit;
+    result.stop_reason = adaptive.stop_reason;
+    result.warmup_discarded = adaptive.warmup_discarded;
+    return result;
+  }
+  throw std::out_of_range("HostBackend: no benchmark named '" + which + "'");
+}
+
+}  // namespace sci::exec

@@ -1,0 +1,49 @@
+// HostBackend: real host-clock measurements behind the Backend
+// interface. Wraps the Registry-style (name, lambda, sampling policy)
+// triple and runs core::measure_adaptive per cell, so the adaptive
+// CI-driven stopping machinery of Section 4.2.2 keeps doing the
+// sampling. The campaign factor "benchmark" selects which registered
+// measurement a cell runs.
+//
+// Host clocks are not seedable: the `seed` argument is ignored and the
+// byte-determinism contract of CampaignRunner applies only to simulated
+// backends. Host cells are still safe to shard across workers, but
+// measuring CPU-bound kernels on more workers than idle cores perturbs
+// the measurement itself (Rule 4) -- prefer workers = 1 for those.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "exec/backend.hpp"
+
+namespace sci::exec {
+
+struct HostBenchmark {
+  std::string name;
+  std::function<double()> measure;  ///< one measurement per call, any unit
+  std::string unit = "ns";
+  core::AdaptiveOptions sampling;
+};
+
+class HostBackend : public Backend {
+ public:
+  /// The factor whose level names the benchmark to run.
+  static constexpr const char* kBenchmarkFactor = "benchmark";
+
+  explicit HostBackend(std::vector<HostBenchmark> benchmarks);
+
+  [[nodiscard]] std::string name() const override { return "host"; }
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] CellResult run(const Config& config, std::uint64_t seed) override;
+
+  /// The "benchmark" factor levels, in registration order.
+  [[nodiscard]] std::vector<std::string> benchmark_names() const;
+
+ private:
+  std::vector<HostBenchmark> benchmarks_;
+};
+
+}  // namespace sci::exec

@@ -1,0 +1,78 @@
+#include "exec/ingest.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace sci::exec {
+
+namespace {
+
+bool has_column(const std::vector<std::string>& cols, const std::string& name) {
+  return std::find(cols.begin(), cols.end(), name) != cols.end();
+}
+
+std::size_t column_index(const std::vector<std::string>& cols, const std::string& name) {
+  return static_cast<std::size_t>(
+      std::find(cols.begin(), cols.end(), name) - cols.begin());
+}
+
+}  // namespace
+
+Ingested load_measurements(const std::string& path) {
+  Ingested out{core::Dataset::load_csv(path), false, {}};
+  const auto& cols = out.dataset.columns();
+  out.campaign = has_column(cols, "config") && has_column(cols, "rep") &&
+                 has_column(cols, "value") && has_column(cols, "sample");
+  if (!out.campaign) return out;
+
+  const std::size_t config_col = column_index(cols, "config");
+  const std::size_t rep_col = column_index(cols, "rep");
+  const std::size_t value_col = column_index(cols, "value");
+  std::vector<std::size_t> factor_cols;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].rfind("f_", 0) == 0) factor_cols.push_back(i);
+  }
+
+  // Regroup long-form rows per (config, rep). Rows are in export order,
+  // but a map keeps ingestion robust to externally sorted files.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> index;
+  for (std::size_t r = 0; r < out.dataset.rows(); ++r) {
+    const auto& row = out.dataset.row(r);
+    const auto key = std::make_pair(static_cast<std::size_t>(row[config_col]),
+                                    static_cast<std::size_t>(row[rep_col]));
+    auto it = index.find(key);
+    if (it == index.end()) {
+      IngestedSeries series;
+      series.config = key.first;
+      series.rep = key.second;
+      std::string label =
+          "config " + std::to_string(key.first) + " rep " + std::to_string(key.second);
+      if (!factor_cols.empty()) {
+        label += " (";
+        for (std::size_t f = 0; f < factor_cols.size(); ++f) {
+          if (f) label += ' ';
+          char buf[32];
+          std::snprintf(buf, sizeof buf, "%g", row[factor_cols[f]]);
+          label += cols[factor_cols[f]] + "=" + buf;
+        }
+        label += ')';
+      }
+      series.label = std::move(label);
+      it = index.emplace(key, out.cells.size()).first;
+      out.cells.push_back(std::move(series));
+    }
+    out.cells[it->second].values.push_back(row[value_col]);
+  }
+  // Cells were appended in first-appearance order; normalize to
+  // (config, rep) order to match CampaignResult::cells.
+  std::sort(out.cells.begin(), out.cells.end(),
+            [](const IngestedSeries& a, const IngestedSeries& b) {
+              return std::tie(a.config, a.rep) < std::tie(b.config, b.rep);
+            });
+  return out;
+}
+
+}  // namespace sci::exec

@@ -1,0 +1,39 @@
+// exec::ingest -- bring external measurement CSVs back into the exec
+// world. tools/scibench_report feeds on this: it loads any Dataset CSV
+// (with the hardened, position-reporting parser in core::Dataset), and
+// when the file is a campaign export (samples_dataset layout: config /
+// rep / f_* / sample / value columns) it regroups the long-form rows
+// into one series per grid cell so the report shows the factorial
+// structure instead of one undifferentiated column.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace sci::exec {
+
+struct IngestedSeries {
+  std::size_t config = 0;
+  std::size_t rep = 0;
+  /// "config 3 rep 0 (f_system=1 f_message_bytes=2)" -- level indices;
+  /// the dataset's experiment header documents the index -> level map.
+  std::string label;
+  std::vector<double> values;
+};
+
+struct Ingested {
+  core::Dataset dataset;
+  /// True when the CSV follows the campaign samples_dataset layout.
+  bool campaign = false;
+  /// Per-cell series in (config, rep) order; empty unless `campaign`.
+  std::vector<IngestedSeries> cells;
+};
+
+/// Loads `path` via core::Dataset::load_csv and detects/regroups
+/// campaign exports. Throws (with file/line/column positions) on
+/// malformed input.
+[[nodiscard]] Ingested load_measurements(const std::string& path);
+
+}  // namespace sci::exec

@@ -1,0 +1,116 @@
+// core::Registry implementation, ported onto sci::exec (this file lives
+// in src/exec because run_all executes through the backend/campaign
+// machinery; the public interface stays core/registry.hpp).
+//
+// run_all() compiles the registered benchmarks into a one-factor
+// campaign ("benchmark" x registration order) over a HostBackend and
+// executes it with a CampaignRunner, so registry runs get the same
+// sharding, caching, and per-worker tracing as any other campaign. The
+// rendered text is unchanged from the pre-exec runner.
+#include "core/registry.hpp"
+
+#include <filesystem>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/dataset.hpp"
+#include "core/report.hpp"
+#include "exec/host_backend.hpp"
+#include "exec/runner.hpp"
+
+namespace sci::core {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(RegisteredBenchmark benchmark) {
+  if (benchmark.name.empty()) throw std::invalid_argument("Registry: empty name");
+  if (!benchmark.measure) throw std::invalid_argument("Registry: null measurement");
+  for (const auto& b : benchmarks_) {
+    if (b.name == benchmark.name) {
+      throw std::invalid_argument("Registry: duplicate benchmark '" + benchmark.name +
+                                  "'");
+    }
+  }
+  if (benchmark.experiment.name.empty()) benchmark.experiment.name = benchmark.name;
+  benchmarks_.push_back(std::move(benchmark));
+}
+
+void Registry::add(std::string name, std::function<double()> measure) {
+  RegisteredBenchmark b;
+  b.name = std::move(name);
+  b.measure = std::move(measure);
+  add(std::move(b));
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(benchmarks_.size());
+  for (const auto& b : benchmarks_) out.push_back(b.name);
+  return out;
+}
+
+std::size_t Registry::run_all(std::ostream& os, const RunnerOptions& options) {
+  // Select in registration order; the selection becomes the campaign's
+  // "benchmark" factor levels.
+  std::vector<const RegisteredBenchmark*> selected;
+  std::vector<exec::HostBenchmark> host;
+  for (const auto& b : benchmarks_) {
+    if (!options.filter.empty() && b.name.find(options.filter) == std::string::npos) {
+      continue;
+    }
+    selected.push_back(&b);
+    host.push_back({b.name, b.measure, b.unit, b.sampling});
+  }
+  if (selected.empty()) return 0;
+
+  exec::HostBackend backend(std::move(host));
+  exec::CampaignSpec spec;
+  spec.name = "registry";
+  spec.description = "core::Registry::run_all";
+  spec.factors.push_back({exec::HostBackend::kBenchmarkFactor, backend.benchmark_names()});
+  exec::CampaignRunnerOptions runner_options;
+  runner_options.workers = options.workers == 0 ? 1 : options.workers;
+  exec::CampaignRunner runner(backend, exec::Campaign(std::move(spec)), runner_options);
+  const exec::CampaignResult result = runner.run();
+
+  if (options.write_csv) {
+    // Surface export problems instead of silently dropping data: create
+    // the target directory if missing, fail loudly when that (or any
+    // later write) is impossible.
+    std::error_code ec;
+    std::filesystem::create_directories(options.csv_directory, ec);
+    if (ec) {
+      throw std::runtime_error("Registry::run_all: cannot create csv_directory '" +
+                               options.csv_directory + "': " + ec.message());
+    }
+  }
+
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const RegisteredBenchmark& b = *selected[i];
+    const exec::CampaignCell& cell = result.cell(i);
+    if (!cell.result.error.empty()) {
+      throw std::runtime_error("Registry::run_all: benchmark '" + b.name +
+                               "' failed: " + cell.result.error);
+    }
+
+    ReportBuilder report(b.experiment);
+    report.add_series({b.name, b.unit, cell.result.samples});
+    os << report.render();
+    os << "sampling: " << cell.result.samples.size() << " samples, "
+       << cell.result.stop_reason << " (warmup " << cell.result.warmup_discarded
+       << ")\n";
+    os << ReportBuilder::render_audit(report.audit()) << '\n';
+
+    if (options.write_csv) {
+      Dataset ds(b.experiment, {b.name + "_" + b.unit});
+      for (double v : cell.result.samples) ds.add_row({v});
+      ds.save_csv(options.csv_directory + "/" + b.name + ".csv");
+    }
+  }
+  return selected.size();
+}
+
+}  // namespace sci::core

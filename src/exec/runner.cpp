@@ -1,0 +1,260 @@
+#include "exec/runner.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/trace.hpp"
+
+namespace sci::exec {
+
+namespace {
+
+/// Result-cache key: backend identity + factor/level assignment + cell
+/// seed. Deliberately excludes config.index so a cell keeps its cache
+/// entry when the same levels reappear at another grid position (as
+/// long as its seed matches, i.e. under a seed_override).
+std::uint64_t cell_key(const std::string& backend_name, const Config& config,
+                       std::uint64_t seed) {
+  std::uint64_t state = seed ^ 0xa0761d6478bd642fULL;
+  state = rng::splitmix64_next(state) ^ backend_name.size();
+  for (unsigned char c : backend_name) state = rng::splitmix64_next(state) ^ c;
+  return config.hash(rng::splitmix64_next(state));
+}
+
+}  // namespace
+
+const CampaignCell& CampaignResult::cell(std::size_t config_index, std::size_t rep) const {
+  if (rep >= replications)
+    throw std::out_of_range("CampaignResult::cell: rep out of range");
+  const std::size_t flat = config_index * replications + rep;
+  return cells.at(flat);
+}
+
+const std::vector<double>& CampaignResult::series(std::size_t config_index,
+                                                  std::size_t rep) const {
+  const CampaignCell& c = cell(config_index, rep);
+  if (!c.result.error.empty()) {
+    throw std::runtime_error("CampaignResult::series: cell " + c.config.to_string() +
+                             " rep " + std::to_string(rep) + " failed: " + c.result.error);
+  }
+  return c.result.samples;
+}
+
+std::vector<double> CampaignResult::merged_series(std::size_t config_index) const {
+  std::vector<double> out;
+  for (std::size_t r = 0; r < replications; ++r) {
+    const auto& s = series(config_index, r);
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  return out;
+}
+
+core::MeasurementSummary CampaignResult::summary(std::size_t config_index,
+                                                 std::size_t rep) const {
+  return core::summarize_series(series(config_index, rep));
+}
+
+namespace {
+
+std::vector<std::string> cell_columns(const std::vector<CampaignCell>& cells) {
+  std::vector<std::string> cols = {"config", "rep"};
+  if (!cells.empty()) {
+    for (const auto& [factor, level] : cells.front().config.levels) {
+      cols.push_back("f_" + factor);
+    }
+  }
+  return cols;
+}
+
+std::vector<double> cell_prefix(const CampaignCell& cell) {
+  std::vector<double> row = {static_cast<double>(cell.config.index),
+                             static_cast<double>(cell.rep)};
+  for (std::size_t idx : cell.config.level_indices) {
+    row.push_back(static_cast<double>(idx));
+  }
+  return row;
+}
+
+}  // namespace
+
+core::Dataset CampaignResult::samples_dataset() const {
+  auto cols = cell_columns(cells);
+  cols.push_back("sample");
+  cols.push_back("value");
+  core::Dataset ds(experiment, std::move(cols));
+  for (const auto& cell : cells) {
+    if (!cell.result.error.empty()) continue;
+    const auto prefix = cell_prefix(cell);
+    for (std::size_t i = 0; i < cell.result.samples.size(); ++i) {
+      auto row = prefix;
+      row.push_back(static_cast<double>(i));
+      row.push_back(cell.result.samples[i]);
+      ds.add_row(row);
+    }
+  }
+  return ds;
+}
+
+core::Dataset CampaignResult::summary_dataset() const {
+  auto cols = cell_columns(cells);
+  for (const char* c : {"n", "median", "ci_lo", "ci_hi", "mean", "min", "max"}) {
+    cols.emplace_back(c);
+  }
+  core::Dataset ds(experiment, std::move(cols));
+  constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const auto& cell : cells) {
+    if (!cell.result.error.empty()) continue;
+    const auto s = core::summarize_series(cell.result.samples);
+    auto row = cell_prefix(cell);
+    row.push_back(static_cast<double>(s.n));
+    row.push_back(s.median);
+    row.push_back(s.median_ci ? s.median_ci->lower : nan);
+    row.push_back(s.median_ci ? s.median_ci->upper : nan);
+    row.push_back(s.mean);
+    row.push_back(s.min);
+    row.push_back(s.max);
+    ds.add_row(row);
+  }
+  return ds;
+}
+
+CampaignRunner::CampaignRunner(Backend& backend, Campaign campaign,
+                               CampaignRunnerOptions options)
+    : backend_(backend), campaign_(std::move(campaign)), options_(options) {}
+
+std::size_t CampaignRunner::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+void CampaignRunner::clear_cache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.clear();
+}
+
+CampaignResult CampaignRunner::run() {
+  const std::size_t reps = campaign_.spec().replications;
+
+  CampaignResult result;
+  result.experiment = campaign_.experiment(&backend_);
+  result.replications = reps;
+
+  // Flatten the grid into cells in (config, rep) order. The vector is
+  // pre-sized and every worker writes only its claimed slots, so the
+  // assembled order never depends on scheduling.
+  result.cells.resize(campaign_.cell_count());
+  for (std::size_t c = 0; c < campaign_.config_count(); ++c) {
+    const Config config = campaign_.config(c);
+    for (std::size_t r = 0; r < reps; ++r) {
+      CampaignCell& cell = result.cells[c * reps + r];
+      cell.config = config;
+      cell.rep = r;
+      cell.seed = campaign_.seed_for(config, r);
+    }
+  }
+
+  std::size_t workers = options_.workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  if (workers > result.cells.size()) workers = result.cells.size();
+  if (workers == 0) workers = 1;
+
+  const std::string backend_name = backend_.name();
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> executed{0};
+  std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> failed{0};
+
+  // Per-worker trace sinks, merged into the caller's sink after the
+  // join (TraceSink is deliberately single-threaded). Only pay for
+  // tracing when the caller attached a sink.
+  obs::TraceSink* parent_sink = obs::sink();
+  std::vector<obs::TraceSink> worker_sinks(parent_sink != nullptr ? workers : 0);
+
+  const auto worker_body = [&](std::size_t worker_id) {
+    std::optional<obs::ScopedAttach> attach;
+    if (parent_sink != nullptr) {
+      attach.emplace(worker_sinks[worker_id]);
+      worker_sinks[worker_id].set_track_name(
+          obs::kHarnessTrack, "campaign worker " + std::to_string(worker_id));
+    }
+
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= result.cells.size()) break;
+      CampaignCell& cell = result.cells[i];
+      const std::uint64_t key = cell_key(backend_name, cell.config, cell.seed);
+
+      if (options_.use_cache) {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+          cell.result = it->second;
+          cell.result.from_cache = true;
+          cache_hits.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+      }
+
+      [[maybe_unused]] const double t0 = obs::host_now_s();
+      try {
+        cell.result = backend_.run(cell.config, cell.seed);
+        cell.result.from_cache = false;
+      } catch (const std::exception& e) {
+        cell.result = CellResult{};
+        cell.result.error = e.what();
+      } catch (...) {
+        cell.result = CellResult{};
+        cell.result.error = "unknown backend exception";
+      }
+      SCI_TRACE_COMPLETE(obs::kHarnessTrack, "campaign.cell", "exec", t0,
+                         obs::host_now_s() - t0,
+                         {obs::TraceArg{"config", cell.config.index},
+                          obs::TraceArg{"rep", cell.rep},
+                          obs::TraceArg{"samples", cell.result.samples.size()},
+                          obs::TraceArg{"failed", cell.result.error.empty() ? 0 : 1}});
+
+      if (cell.result.error.empty()) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        if (options_.use_cache) {
+          std::lock_guard<std::mutex> lock(cache_mutex_);
+          cache_.emplace(key, cell.result);
+        }
+      } else {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+  };
+
+  if (workers == 1) {
+    // In-thread execution keeps single-worker runs trivially debuggable
+    // (and lets HostBackend cells inherit the caller's thread state).
+    worker_body(0);
+    if (parent_sink != nullptr) parent_sink->merge(worker_sinks[0], kWorkerTrackBase);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_body, w);
+    for (auto& t : pool) t.join();
+    if (parent_sink != nullptr) {
+      for (std::size_t w = 0; w < workers; ++w) {
+        parent_sink->merge(worker_sinks[w],
+                           kWorkerTrackBase + static_cast<int>(w) * kWorkerTrackStride);
+      }
+    }
+  }
+
+  result.executed = executed.load();
+  result.cache_hits = cache_hits.load();
+  result.failed = failed.load();
+  return result;
+}
+
+}  // namespace sci::exec

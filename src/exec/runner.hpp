@@ -1,0 +1,116 @@
+// CampaignRunner: deterministic parallel execution of a Campaign.
+//
+// The runner flattens the grid into cells (config x replication),
+// shards them across a std::thread worker pool, and reassembles the
+// results in grid order. Because every cell is a pure function of its
+// (config, seed) pair -- seeds derive from (campaign_seed, config_index,
+// rep), never from execution order -- the assembled CampaignResult and
+// every CSV exported from it are byte-identical for ANY worker count.
+// That contract is enforced by tests/test_exec.cpp.
+//
+// An in-memory result cache keyed by (backend name, config levels,
+// seed) lets a partially-completed campaign resume without repeating
+// finished cells: re-running the same runner (or a larger campaign that
+// shares cells with an earlier one) only executes what is missing.
+//
+// Observability: when a trace sink is attached on the calling thread,
+// each worker records its cells on its own track
+// (kWorkerTrackBase + worker * kWorkerTrackStride, in host seconds) and
+// any simulator spans emitted inside the cell land on that worker's
+// track block; all worker sinks are merged back into the caller's sink
+// after the join, so a campaign renders as parallel swimlanes in the
+// PR-1 tracing layer.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dataset.hpp"
+#include "core/measurement.hpp"
+#include "exec/backend.hpp"
+#include "exec/campaign.hpp"
+
+namespace sci::exec {
+
+/// Trace-track layout: worker w owns the half-open tid block
+/// [kWorkerTrackBase + w*kWorkerTrackStride, +kWorkerTrackStride).
+/// The stride leaves room for the simulator's per-rank (0..), wire
+/// (1000+rank), and engine (990) tracks inside each block.
+inline constexpr int kWorkerTrackBase = 100000;
+inline constexpr int kWorkerTrackStride = 10000;
+
+/// One executed cell: replication `rep` of `config` with `seed`.
+struct CampaignCell {
+  Config config;
+  std::size_t rep = 0;
+  std::uint64_t seed = 0;
+  CellResult result;
+};
+
+struct CampaignResult {
+  /// Compiled Rule 9 documentation of what ran (grid + environment).
+  core::Experiment experiment;
+  /// Cells ordered by (config.index, rep), independent of worker count.
+  std::vector<CampaignCell> cells;
+  std::size_t replications = 1;
+  /// Backend calls actually made / served from the result cache.
+  std::size_t executed = 0;
+  std::size_t cache_hits = 0;
+  /// Cells whose backend call threw (their CellResult::error is set).
+  std::size_t failed = 0;
+
+  [[nodiscard]] std::size_t config_count() const {
+    return replications == 0 ? 0 : cells.size() / replications;
+  }
+  [[nodiscard]] const CampaignCell& cell(std::size_t config_index,
+                                         std::size_t rep = 0) const;
+  /// Samples of one cell (throws when the cell failed).
+  [[nodiscard]] const std::vector<double>& series(std::size_t config_index,
+                                                  std::size_t rep = 0) const;
+  /// All replications of one config concatenated in rep order.
+  [[nodiscard]] std::vector<double> merged_series(std::size_t config_index) const;
+  /// Rule 5/6 summary of one cell's samples.
+  [[nodiscard]] core::MeasurementSummary summary(std::size_t config_index,
+                                                 std::size_t rep = 0) const;
+
+  /// Long-form dataset: one row per sample with columns
+  ///   config, rep, f_<factor> (level index), sample, value.
+  /// Factor levels are recorded as indices so the table stays numeric;
+  /// the embedded experiment header documents the index -> level map.
+  [[nodiscard]] core::Dataset samples_dataset() const;
+  /// One row per cell: config, rep, f_<factor>..., n, median, ci_lo,
+  /// ci_hi, mean, min, max (CI cells are NaN when n is too small).
+  [[nodiscard]] core::Dataset summary_dataset() const;
+};
+
+struct CampaignRunnerOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). Results
+  /// do not depend on this value (the determinism contract).
+  std::size_t workers = 0;
+  /// Serve repeated cells from the in-memory result cache.
+  bool use_cache = true;
+};
+
+class CampaignRunner {
+ public:
+  CampaignRunner(Backend& backend, Campaign campaign, CampaignRunnerOptions options = {});
+
+  /// Executes every cell not already cached; byte-deterministic output.
+  [[nodiscard]] CampaignResult run();
+
+  [[nodiscard]] const Campaign& campaign() const noexcept { return campaign_; }
+  [[nodiscard]] std::size_t cache_size() const;
+  void clear_cache();
+
+ private:
+  Backend& backend_;
+  Campaign campaign_;
+  CampaignRunnerOptions options_;
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<std::uint64_t, CellResult> cache_;
+};
+
+}  // namespace sci::exec

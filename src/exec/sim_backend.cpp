@@ -1,0 +1,80 @@
+#include "exec/sim_backend.hpp"
+
+#include <stdexcept>
+
+#include "sim/machine.hpp"
+#include "simmpi/benchmarks.hpp"
+
+namespace sci::exec {
+
+const char* to_string(SimKernel kernel) noexcept {
+  switch (kernel) {
+    case SimKernel::kPingPong: return "pingpong";
+    case SimKernel::kReduce: return "reduce";
+    case SimKernel::kPiScaling: return "pi_scaling";
+  }
+  return "unknown";
+}
+
+SimBackend::SimBackend(SimBackendOptions options) : options_(std::move(options)) {
+  if (options_.samples == 0) throw std::invalid_argument("SimBackend: samples >= 1");
+  if (options_.scale == 0.0) throw std::invalid_argument("SimBackend: zero scale");
+}
+
+std::string SimBackend::name() const {
+  return std::string("sim.") + to_string(options_.kernel);
+}
+
+std::string SimBackend::describe() const {
+  return "simulated cluster (sim::make_machine), kernel " +
+         std::string(to_string(options_.kernel));
+}
+
+CellResult SimBackend::run(const Config& config, std::uint64_t seed) {
+  const std::string* machine_name = config.find_level("system");
+  if (machine_name == nullptr) machine_name = config.find_level("machine");
+  const sim::Machine machine =
+      sim::make_machine(machine_name != nullptr ? *machine_name : options_.machine);
+
+  const auto ranks = [&]() -> int {
+    if (config.find_level("processes") != nullptr)
+      return static_cast<int>(config.level_int("processes"));
+    if (config.find_level("ranks") != nullptr)
+      return static_cast<int>(config.level_int("ranks"));
+    return options_.ranks;
+  };
+
+  CellResult result;
+  result.unit = options_.unit;
+  result.stop_reason = "fixed";
+  switch (options_.kernel) {
+    case SimKernel::kPingPong: {
+      const std::size_t bytes =
+          config.find_level("message_bytes") != nullptr
+              ? static_cast<std::size_t>(config.level_int("message_bytes"))
+              : options_.message_bytes;
+      result.samples = simmpi::pingpong_latency(machine, options_.samples, bytes, seed,
+                                                options_.warmup);
+      result.warmup_discarded = options_.warmup;
+      break;
+    }
+    case SimKernel::kReduce: {
+      result.samples = simmpi::reduce_bench(machine, ranks(), options_.iterations, seed,
+                                            options_.sync_window_s)
+                           .max_across_ranks();
+      break;
+    }
+    case SimKernel::kPiScaling: {
+      result.samples =
+          simmpi::pi_scaling_run(machine, ranks(), options_.base_seconds,
+                                 options_.serial_fraction, options_.repetitions, seed);
+      break;
+    }
+  }
+  if (options_.scale != 1.0) {
+    for (double& v : result.samples) v *= options_.scale;
+  }
+  return result;
+}
+
+}  // namespace sci::exec

@@ -1,0 +1,39 @@
+#include "exec/threaded_backend.hpp"
+
+#include <stdexcept>
+
+namespace sci::exec {
+
+ThreadedBackend::ThreadedBackend(ThreadedBackendOptions options)
+    : options_(std::move(options)) {
+  if (!options_.kernel) throw std::invalid_argument("ThreadedBackend: null kernel");
+}
+
+std::string ThreadedBackend::describe() const {
+  return "host thread team, spin barrier + delay window (" +
+         std::to_string(options_.measure.threads) + " threads default)";
+}
+
+CellResult ThreadedBackend::run(const Config& config, std::uint64_t /*seed*/) {
+  threads::ThreadedMeasurementOptions opts = options_.measure;
+  if (config.find_level("threads") != nullptr) {
+    opts.threads = static_cast<std::size_t>(config.level_int("threads"));
+  }
+  const auto m = threads::measure_threaded(options_.kernel, opts);
+
+  CellResult result;
+  result.unit = options_.unit;
+  result.stop_reason = "fixed";
+  result.warmup_discarded = opts.warmup;
+  if (options_.max_across_threads) {
+    result.samples = m.max_across_threads();
+  } else {
+    result.samples.reserve(m.times_ns.size() * opts.threads);
+    for (const auto& row : m.times_ns) {
+      result.samples.insert(result.samples.end(), row.begin(), row.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace sci::exec

@@ -81,6 +81,17 @@ void TraceSink::set_track_name(int tid, std::string name) {
   track_names_[tid] = std::move(name);
 }
 
+void TraceSink::merge(const TraceSink& other, int tid_offset) {
+  events_.reserve(events_.size() + other.events_.size());
+  for (Event e : other.events_) {
+    e.tid += tid_offset;
+    events_.push_back(std::move(e));
+  }
+  for (const auto& [tid, name] : other.track_names_) {
+    track_names_[tid + tid_offset] = name;
+  }
+}
+
 void TraceSink::clear() {
   events_.clear();
   track_names_.clear();

@@ -73,6 +73,12 @@ class TraceSink {
   void set_track_name(int tid, std::string name);
   void set_process_name(std::string name) { process_name_ = std::move(name); }
 
+  /// Appends every event and track name of `other`, shifting its track
+  /// ids by `tid_offset`. Lets a parallel harness collect per-worker
+  /// sinks (TraceSink is single-threaded by design) and merge them into
+  /// one trace with disjoint per-worker track blocks after the join.
+  void merge(const TraceSink& other, int tid_offset = 0);
+
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
   [[nodiscard]] const std::map<int, std::string>& track_names() const noexcept {

@@ -52,12 +52,12 @@ INSTANTIATE_TEST_SUITE_P(
                       VCase{13, 64, AllreduceAlgo::kRing},
                       VCase{16, 4096, AllreduceAlgo::kAuto},
                       VCase{7, 3, AllreduceAlgo::kRing} /* falls back: n < p */),
-    [](const auto& info) {
-      const char* algo = info.param.algo == AllreduceAlgo::kRing ? "ring"
-                         : info.param.algo == AllreduceAlgo::kAuto ? "auto"
+    [](const auto& tpi) {
+      const char* algo = tpi.param.algo == AllreduceAlgo::kRing ? "ring"
+                         : tpi.param.algo == AllreduceAlgo::kAuto ? "auto"
                                                                    : "rd";
-      return std::string(algo) + "_p" + std::to_string(info.param.p) + "_n" +
-             std::to_string(info.param.n);
+      return std::string(algo) + "_p" + std::to_string(tpi.param.p) + "_n" +
+             std::to_string(tpi.param.n);
     });
 
 TEST(AllreduceVAlgo, AlgorithmsAgreeBitExactlyOnMinMax) {

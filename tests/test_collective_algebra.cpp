@@ -113,8 +113,8 @@ TEST_P(CollectiveAlgebra, ReduceMatchesSerialFold) {
 
 INSTANTIATE_TEST_SUITE_P(ProcessCounts, CollectiveAlgebra,
                          ::testing::Values(2, 3, 5, 8, 13, 16, 32),
-                         [](const auto& info) {
-                           return "p" + std::to_string(info.param);
+                         [](const auto& tpi) {
+                           return "p" + std::to_string(tpi.param);
                          });
 
 }  // namespace

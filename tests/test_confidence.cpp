@@ -80,7 +80,7 @@ TEST(MedianCI, BoundsAreObservedValues) {
 
 TEST(QuantileCI, RequiresEnoughSamples) {
   const std::vector<double> v = {1, 2, 3, 4, 5};
-  EXPECT_THROW(quantile_confidence_interval(v, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile_confidence_interval(v, 0.5), std::invalid_argument);
 }
 
 TEST(QuantileCI, TailQuantileAsymmetric) {

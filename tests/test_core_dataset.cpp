@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/dataset.hpp"
@@ -77,6 +79,111 @@ TEST(Dataset, FullPrecisionRoundTrip) {
 
 TEST(Dataset, LoadMissingFileThrows) {
   EXPECT_THROW(Dataset::load_csv("/nonexistent/nope.csv"), std::runtime_error);
+}
+
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream os(path);
+  os << body;
+  return path;
+}
+
+std::string load_error(const std::string& path) {
+  try {
+    (void)Dataset::load_csv(path);
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+}  // namespace
+
+TEST(Dataset, MalformedCellReportsFileLineAndColumn) {
+  const std::string path =
+      write_temp("scibench_malformed.csv", "# comment\na,b\n1,2\n3,oops\n");
+  const std::string what = load_error(path);
+  std::remove(path.c_str());
+  EXPECT_NE(what.find(path), std::string::npos) << what;
+  EXPECT_NE(what.find(":4:"), std::string::npos) << what;  // 1-based line
+  EXPECT_NE(what.find("column 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("'oops'"), std::string::npos) << what;
+}
+
+TEST(Dataset, TrailingGarbageAfterNumberIsMalformed) {
+  const std::string path = write_temp("scibench_trailing.csv", "a\n1.5x\n");
+  const std::string what = load_error(path);
+  std::remove(path.c_str());
+  EXPECT_NE(what.find("'1.5x'"), std::string::npos) << what;
+}
+
+TEST(Dataset, RowArityMismatchReportsLine) {
+  const std::string path = write_temp("scibench_arity.csv", "a,b\n1,2\n3\n");
+  const std::string what = load_error(path);
+  std::remove(path.c_str());
+  EXPECT_NE(what.find(":3:"), std::string::npos) << what;
+  EXPECT_NE(what.find("expected 2 cells, got 1"), std::string::npos) << what;
+}
+
+TEST(Dataset, AcceptsInfNanAndWhitespaceAndCrlf) {
+  const std::string path =
+      write_temp("scibench_lenient.csv", "a,b\r\n 1 ,\tinf\r\n-2,nan\r\n");
+  const auto loaded = Dataset::load_csv(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.rows(), 2u);
+  EXPECT_EQ(loaded.column("a"), (std::vector<double>{1.0, -2.0}));
+  EXPECT_TRUE(std::isinf(loaded.column("b")[0]));
+  EXPECT_TRUE(std::isnan(loaded.column("b")[1]));
+}
+
+TEST(Dataset, RejectsColumnNamesThatBreakCsv) {
+  EXPECT_THROW(Dataset(make_experiment(), {"a,b"}), std::invalid_argument);
+  EXPECT_THROW(Dataset(make_experiment(), {"a\nb"}), std::invalid_argument);
+}
+
+TEST(HeaderEscaping, RoundTripsControlCharacters) {
+  const std::string nasty = "path\\x, with, commas\nand a\rCR";
+  EXPECT_EQ(unescape_header_text(escape_header_text(nasty)), nasty);
+  EXPECT_EQ(escape_header_text(nasty).find('\n'), std::string::npos);
+  EXPECT_EQ(escape_header_text(nasty).find('\r'), std::string::npos);
+  EXPECT_EQ(escape_header_text("plain"), "plain");
+}
+
+TEST(HeaderEscaping, EnvValuesWithNewlinesSurviveCsvRoundTrip) {
+  Experiment e;
+  e.name = "escaped";
+  // Once upon a time this newline spilled into an unprefixed CSV line
+  // and the file came back unreadable.
+  e.set("cmdline", "./bench --flags=a,b\n--second-line");
+  const std::string path = ::testing::TempDir() + "/scibench_escaped.csv";
+  {
+    Dataset ds(e, {"v"});
+    ds.add_row({1.0});
+    ds.save_csv(path);
+  }
+  // Every header line is '#'-prefixed; the data parses.
+  std::ifstream is(path);
+  std::string line;
+  std::size_t header_lines = 0;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '#') ++header_lines;
+    EXPECT_TRUE(line.empty() || line[0] == '#' || line.find("cmdline") == std::string::npos)
+        << "unescaped header spill: " << line;
+  }
+  EXPECT_GT(header_lines, 0u);
+  const auto loaded = Dataset::load_csv(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.rows(), 1u);
+  EXPECT_NE(loaded.experiment().description.find("\\n--second-line"), std::string::npos)
+      << loaded.experiment().description;
+}
+
+TEST(Dataset, SaveCsvToUnwritablePathThrows) {
+  Dataset ds(make_experiment(), {"v"});
+  ds.add_row({1.0});
+  EXPECT_THROW(ds.save_csv("/nonexistent-dir/out.csv"), std::runtime_error);
 }
 
 }  // namespace

@@ -41,10 +41,10 @@ TEST(Means, MeanInequalityChain) {
 
 TEST(Means, RejectEmptyAndNonPositive) {
   const std::vector<double> empty;
-  EXPECT_THROW(arithmetic_mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)arithmetic_mean(empty), std::invalid_argument);
   const std::vector<double> with_zero = {1.0, 0.0};
-  EXPECT_THROW(harmonic_mean(with_zero), std::domain_error);
-  EXPECT_THROW(geometric_mean(with_zero), std::domain_error);
+  EXPECT_THROW((void)harmonic_mean(with_zero), std::domain_error);
+  EXPECT_THROW((void)geometric_mean(with_zero), std::domain_error);
 }
 
 TEST(Variance, MatchesHandComputation) {

@@ -81,8 +81,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(LuCase{16, 4}, LuCase{33, 8}, LuCase{64, 16}, LuCase{100, 32},
                       LuCase{128, 64}, LuCase{150, 150} /* unblocked */,
                       LuCase{150, 1} /* fully unblocked columns */),
-    [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "_b" + std::to_string(info.param.block);
+    [](const auto& tpi) {
+      return "n" + std::to_string(tpi.param.n) + "_b" + std::to_string(tpi.param.block);
     });
 
 TEST(Lu, BlockSizeDoesNotChangeResult) {
@@ -151,11 +151,11 @@ TEST(SimHpl, ConfigValidation) {
   const auto machine = sim::make_daint();
   SimHplConfig bad_grid;
   bad_grid.grid_p = 7;  // 7*8 != 64
-  EXPECT_THROW(simulate_hpl_run(machine, bad_grid, 1), std::invalid_argument);
+  EXPECT_THROW((void)simulate_hpl_run(machine, bad_grid, 1), std::invalid_argument);
   SimHplConfig bad_n;
   bad_n.n = 100;
   bad_n.block = 1024;
-  EXPECT_THROW(simulate_hpl_run(machine, bad_n, 1), std::invalid_argument);
+  EXPECT_THROW((void)simulate_hpl_run(machine, bad_n, 1), std::invalid_argument);
 }
 
 TEST(SimHpl, FlopFormula) {

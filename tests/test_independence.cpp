@@ -94,12 +94,12 @@ TEST(EffectiveSampleSize, Ar1Shrinks) {
 
 TEST(Independence, Validation) {
   const std::vector<double> tiny = {1.0, 2.0};
-  EXPECT_THROW(autocorrelation(tiny, 5), std::invalid_argument);
-  EXPECT_THROW(ljung_box(tiny), std::invalid_argument);
-  EXPECT_THROW(runs_test(tiny), std::invalid_argument);
-  EXPECT_THROW(effective_sample_size(tiny), std::invalid_argument);
+  EXPECT_THROW((void)autocorrelation(tiny, 5), std::invalid_argument);
+  EXPECT_THROW((void)ljung_box(tiny), std::invalid_argument);
+  EXPECT_THROW((void)runs_test(tiny), std::invalid_argument);
+  EXPECT_THROW((void)effective_sample_size(tiny), std::invalid_argument);
   const std::vector<double> same(20, 3.0);
-  EXPECT_THROW(runs_test(same), std::invalid_argument);  // all tie the median
+  EXPECT_THROW((void)runs_test(same), std::invalid_argument);  // all tie the median
 }
 
 TEST(SummarizeSeries, FlagsAutocorrelatedMeasurements) {

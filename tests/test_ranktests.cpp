@@ -80,10 +80,10 @@ TEST(Wilcoxon, AcceptsNoEffect) {
 TEST(Wilcoxon, Validation) {
   const std::vector<double> x = {1, 2, 3};
   const std::vector<double> y = {1, 2};
-  EXPECT_THROW(wilcoxon_signed_rank(x, y), std::invalid_argument);
+  EXPECT_THROW((void)wilcoxon_signed_rank(x, y), std::invalid_argument);
   // All differences zero: nothing to test.
   const std::vector<double> same = {1, 2, 3, 4, 5, 6, 7};
-  EXPECT_THROW(wilcoxon_signed_rank(same, same), std::invalid_argument);
+  EXPECT_THROW((void)wilcoxon_signed_rank(same, same), std::invalid_argument);
 }
 
 TEST(Spearman, PerfectMonotoneRelations) {
@@ -137,8 +137,8 @@ TEST(Spearman, ConstantSeriesInconclusive) {
 TEST(RankTests, Validation) {
   const std::vector<double> tiny = {1.0};
   const std::vector<double> ok = {1.0, 2.0, 3.0};
-  EXPECT_THROW(mann_whitney_u(tiny, ok), std::invalid_argument);
-  EXPECT_THROW(spearman(tiny, tiny), std::invalid_argument);
+  EXPECT_THROW((void)mann_whitney_u(tiny, ok), std::invalid_argument);
+  EXPECT_THROW((void)spearman(tiny, tiny), std::invalid_argument);
 }
 
 }  // namespace

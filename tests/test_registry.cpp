@@ -77,6 +77,32 @@ TEST_F(RegistryTest, CsvExportWritesFiles) {
   std::remove((::testing::TempDir() + "/csvbench.csv").c_str());
 }
 
+TEST_F(RegistryTest, CsvExportCreatesMissingDirectory) {
+  registry_.add("nested", [] { return 5.0; });
+  RunnerOptions opts;
+  opts.write_csv = true;
+  opts.csv_directory = ::testing::TempDir() + "/scibench_new/deeper";
+  std::ostringstream os;
+  registry_.run_all(os, opts);
+  std::ifstream check(opts.csv_directory + "/nested.csv");
+  EXPECT_TRUE(check.good());
+  std::remove((opts.csv_directory + "/nested.csv").c_str());
+}
+
+TEST_F(RegistryTest, RunAllIsStableAcrossWorkerCounts) {
+  registry_.add("one", [] { return 1.0; });
+  registry_.add("two", [] { return 2.0; });
+  registry_.add("three", [] { return 3.0; });
+  std::ostringstream serial, sharded;
+  RunnerOptions opts;
+  opts.workers = 1;
+  registry_.run_all(serial, opts);
+  opts.workers = 3;
+  registry_.run_all(sharded, opts);
+  // Reports render in registration order regardless of worker count.
+  EXPECT_EQ(serial.str(), sharded.str());
+}
+
 TEST_F(RegistryTest, ClearEmptiesRegistry) {
   registry_.add("gone", [] { return 1.0; });
   registry_.clear();

@@ -129,7 +129,7 @@ INSTANTIATE_TEST_SUITE_P(
         // Gamma(0.5, 2): mean 1, var 2 (shape < 1 branch)
         MomentCase{"gamma_half", 1.0, 2.0,
                    [](Xoshiro256& g) { return gamma(g, 0.5, 2.0); }}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& tpi) { return tpi.param.name; });
 
 TEST(Bernoulli, FrequencyMatchesP) {
   Xoshiro256 gen(11);

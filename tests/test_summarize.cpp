@@ -43,10 +43,10 @@ TEST(RateFromTotals, WeightsByWork) {
 }
 
 TEST(RateFromTotals, Validation) {
-  EXPECT_THROW(rate_from_totals({}, {}), std::invalid_argument);
-  EXPECT_THROW(rate_from_totals(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+  EXPECT_THROW((void)rate_from_totals({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)rate_from_totals(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
                std::invalid_argument);
-  EXPECT_THROW(rate_from_totals(std::vector<double>{1.0}, std::vector<double>{0.0}),
+  EXPECT_THROW((void)rate_from_totals(std::vector<double>{1.0}, std::vector<double>{0.0}),
                std::domain_error);
 }
 

@@ -2,13 +2,17 @@
 //
 //   scibench_report [--markdown] data.csv [column]
 //
-// Reads a CSV (as written by core::Dataset or any plain numeric CSV with
-// a header row; '#' comment lines are ignored), summarizes the selected
-// column per the paper's rules -- deterministic check, Shapiro-Wilk,
-// Ljung-Box iid diagnostic, median + rank CI, tail percentiles -- and
-// renders density and Q-Q plots. Exit code 0 on success, 1 on usage or
-// I/O errors. This is the "analyze my existing numbers soundly" entry
-// point for users who measured elsewhere.
+// Reads a CSV (as written by core::Dataset or any plain numeric CSV
+// with a header row; '#' comment lines are ignored) through
+// exec::load_measurements, summarizes the selected column per the
+// paper's rules -- deterministic check, Shapiro-Wilk, Ljung-Box iid
+// diagnostic, median + rank CI, tail percentiles -- and renders density
+// and Q-Q plots. Campaign exports (exec samples_dataset layout) are
+// regrouped automatically: one summarized series per grid cell instead
+// of one undifferentiated column. Exit code 0 on success, 1 on usage or
+// I/O errors (malformed cells are reported with file/line/column). This
+// is the "analyze my existing numbers soundly" entry point for users
+// who measured elsewhere.
 #include <cstdio>
 #include <string>
 
@@ -16,6 +20,7 @@
 #include "core/measurement.hpp"
 #include "core/plots.hpp"
 #include "core/report.hpp"
+#include "exec/ingest.hpp"
 #include "obs/counters.hpp"
 #include "stats/descriptive.hpp"
 
@@ -42,20 +47,22 @@ int main(int argc, char** argv) {
   if (argc - arg < 1 || argc - arg > 2) return usage(argv[0]);
   const std::string path = argv[arg];
 
-  sci::core::Dataset ds = [&] {
+  const sci::exec::Ingested ingested = [&] {
     try {
-      return sci::core::Dataset::load_csv(path);
+      return sci::exec::load_measurements(path);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       std::exit(1);
     }
   }();
+  const sci::core::Dataset& ds = ingested.dataset;
 
   if (ds.rows() == 0) {
     std::fprintf(stderr, "error: %s holds no data rows\n", path.c_str());
     return 1;
   }
 
+  const bool campaign = ingested.campaign && argc - arg == 1;
   const std::string column =
       (argc - arg == 2) ? argv[arg + 1] : ds.columns().back();
   std::vector<double> values;
@@ -68,15 +75,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("%s: column '%s', %zu observations\n\n", path.c_str(), column.c_str(),
-              values.size());
+  if (campaign) {
+    std::printf("%s: campaign export, %zu cells, %zu observations\n\n", path.c_str(),
+                ingested.cells.size(), values.size());
+  } else {
+    std::printf("%s: column '%s', %zu observations\n\n", path.c_str(), column.c_str(),
+                values.size());
+  }
 
   sci::core::Experiment e;
   e.name = path + ":" + column;
   e.description = "external dataset analyzed by scibench_report";
   e.set("source", path);
   sci::core::ReportBuilder report(e);
-  report.add_series({column, "(file units)", values});
+  if (campaign) {
+    // One rule-conforming summary per grid cell, in (config, rep) order.
+    for (const auto& cell : ingested.cells) {
+      report.add_series({cell.label, "(file units)", cell.values});
+    }
+  } else {
+    report.add_series({column, "(file units)", values});
+  }
 
   // Provenance footer: datasets written with Dataset::enable_provenance
   // carry per-row counter deltas; sum them back into run totals so the
