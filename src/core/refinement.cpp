@@ -4,15 +4,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "stats/confidence.hpp"
 #include "stats/descriptive.hpp"
 
 namespace sci::core {
 namespace {
 
 void resummarize(RefinedLevel& lvl, double confidence) {
-  lvl.median = stats::median(lvl.samples);
-  if (lvl.samples.size() > 5) {
-    lvl.ci = stats::median_confidence_interval(lvl.samples, confidence);
+  // Runs after every refinement batch; one sort serves both the median
+  // and the rank-based CI.
+  const auto sorted = stats::sorted_copy(lvl.samples);
+  lvl.median = stats::quantile_sorted(sorted, 0.5);
+  if (sorted.size() > 5) {
+    lvl.ci = stats::quantile_confidence_interval_sorted(sorted, 0.5, confidence);
   } else {
     lvl.ci = {lvl.median, lvl.median, confidence};
   }

@@ -79,6 +79,9 @@ inline Counter& counter(std::string_view name) { return CounterRegistry::instanc
 namespace keys {
 inline constexpr const char* kEngineEvents = "engine.events";        ///< events dispatched
 inline constexpr const char* kEngineQueueHwm = "engine.queue_hwm";   ///< queue depth high water
+inline constexpr const char* kEngineCallbackHeapAllocs =
+    "engine.callback_heap_allocs";  ///< InlineCallback oversize spills (0 = zero-alloc contract)
+inline constexpr const char* kEngineArenaSlots = "engine.arena_slots";  ///< event pool high water
 inline constexpr const char* kNetMessages = "net.messages";          ///< messages delivered
 inline constexpr const char* kNetBytes = "net.bytes";                ///< payload bytes on the wire
 inline constexpr const char* kNoiseDraws = "sim.noise_draws";        ///< perturb() invocations

@@ -144,6 +144,15 @@ class ScopedAttach {
 /// the time base for harness-side (non-simulated) spans.
 [[nodiscard]] double host_now_s() noexcept;
 
+/// Marks values as used regardless of SCIBENCH_TRACING, for locals whose
+/// only consumer is a trace macro. One shared spelling instead of ad hoc
+/// `(void)x;` casts scattered next to each instrumentation site. Note
+/// the arguments ARE evaluated (unlike disabled SCI_TRACE_* macros), so
+/// only pass plain locals.
+template <typename... Ts>
+constexpr void unused(const Ts&... /*values*/) noexcept {}
+#define SCI_TRACE_UNUSED(...) ::sci::obs::unused(__VA_ARGS__)
+
 #if SCIBENCH_TRACING
 
 /// Host-time RAII span on kHarnessTrack; emits on destruction if a sink
@@ -182,6 +191,15 @@ class HostSpan {
       sci_obs_sink_->counter((tid), (name), (t_s), (value));                             \
   } while (0)
 #define SCI_TRACE_HOST_SPAN(var, name, cat) ::sci::obs::HostSpan var{(name), (cat)}
+// Hoisted-sink variants for hot loops: SCI_TRACE_SINK_HOIST reads the
+// thread-local sink pointer once into `var`; the SINK_* emitters branch
+// on that local instead of reloading per event. A sink attached while
+// the loop runs is observed on the next hoist.
+#define SCI_TRACE_SINK_HOIST(var) ::sci::obs::TraceSink* const var = ::sci::obs::sink()
+#define SCI_TRACE_SINK_COUNTER(var, tid, name, t_s, value)      \
+  do {                                                          \
+    if ((var) != nullptr) (var)->counter((tid), (name), (t_s), (value)); \
+  } while (0)
 
 #else  // !SCIBENCH_TRACING
 
@@ -197,6 +215,12 @@ class HostSpan {
   } while (0)
 #define SCI_TRACE_HOST_SPAN(var, name, cat) \
   do {                                      \
+  } while (0)
+#define SCI_TRACE_SINK_HOIST(var) \
+  do {                            \
+  } while (0)
+#define SCI_TRACE_SINK_COUNTER(var, tid, name, t_s, value) \
+  do {                                                     \
   } while (0)
 
 #endif  // SCIBENCH_TRACING

@@ -1,18 +1,9 @@
 #include "sim/engine.hpp"
 
-#include <stdexcept>
-#include <utility>
-
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 
 namespace sci::sim {
-
-void Engine::schedule_at(double time, Callback fn) {
-  if (time < now_) throw std::logic_error("Engine::schedule_at: time in the past");
-  queue_.push(Event{time, next_seq_++, std::move(fn)});
-  if (queue_.size() > queue_hwm_) queue_hwm_ = queue_.size();
-}
 
 template <typename Bound>
 std::size_t Engine::drain(Bound may_fire) {
@@ -21,14 +12,19 @@ std::size_t Engine::drain(Bound may_fire) {
   stopped_ = false;
   std::size_t processed = 0;
   const double run_start = now_;
+  // The sink check is hoisted out of the loop (one thread-local load per
+  // run, not per event); a sink attached mid-run is picked up by the
+  // next run, which is when measurement scopes attach anyway.
+  SCI_TRACE_SINK_HOIST(trace_sink);
   while (!queue_.empty() && !stopped_ && may_fire(queue_.top())) {
-    // Move the callback out before popping: it may schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    SCI_TRACE_COUNTER(obs::kEngineTrack, "queue_depth", now_,
-                      static_cast<double>(queue_.size()));
-    ev.fn();
+    now_ = queue_.top().time;
+    // The node leaves the heap first, then the callback runs in place in
+    // its (stable) arena slot: no copy out, and the slot is recycled the
+    // moment the callback returns.
+    const std::uint32_t slot = queue_.pop_slot();
+    SCI_TRACE_SINK_COUNTER(trace_sink, obs::kEngineTrack, "queue_depth", now_,
+                           static_cast<double>(queue_.size()));
+    queue_.invoke_and_release(slot);
     ++processed;
   }
   dispatched_ += processed;
@@ -42,20 +38,22 @@ void Engine::flush_observability(std::size_t processed, double run_start) {
   // stays branch-free with respect to the registry.
   static obs::Counter& events = obs::counter(obs::keys::kEngineEvents);
   static obs::Counter& hwm = obs::counter(obs::keys::kEngineQueueHwm);
+  static obs::Counter& arena = obs::counter(obs::keys::kEngineArenaSlots);
   events.add(processed);
   hwm.set_max(queue_hwm_);
+  arena.set_max(queue_.arena_slots());
   SCI_TRACE_COMPLETE(obs::kEngineTrack, "run", "engine", run_start, now_ - run_start,
                      {{"events", static_cast<double>(processed)}});
-  (void)run_start;
+  SCI_TRACE_UNUSED(run_start);
 }
 
 std::size_t Engine::run() {
-  return drain([](const Event&) { return true; });
+  return drain([](const EventQueue::Node&) { return true; });
 }
 
 std::size_t Engine::run_until(double deadline) {
   const std::size_t processed =
-      drain([deadline](const Event& ev) { return ev.time <= deadline; });
+      drain([deadline](const EventQueue::Node& ev) { return ev.time <= deadline; });
   // Advance to the deadline only when the run genuinely exhausted it; a
   // stop() mid-run must not teleport the clock forward.
   if (!stopped_ && now_ < deadline) now_ = deadline;

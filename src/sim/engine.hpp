@@ -7,12 +7,20 @@
 // for a fixed seed, which makes every "measurement" taken inside the
 // simulator exactly reproducible -- the property the paper wishes real
 // machines had.
+//
+// The hot path is allocation-free in steady state: callbacks live in
+// sim::InlineCallback's inline buffer (no per-event std::function heap
+// node) and events are pooled in EventQueue's arena (no per-event queue
+// node). See DESIGN.md "Hot path & allocation discipline".
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+
+#include "sim/callback.hpp"
+#include "sim/event_queue.hpp"
 
 namespace sci::sim {
 
@@ -20,13 +28,25 @@ namespace sci::sim {
 /// (a strict tiebreaker keeps runs deterministic).
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
-  /// Schedules `fn` at absolute simulated time `time` (>= now()).
-  void schedule_at(double time, Callback fn);
+  /// Schedules `fn` at absolute simulated time `time` (>= now()). A
+  /// forwarding template so the callable is type-erased exactly once,
+  /// directly into the event arena (no intermediate Callback move).
+  template <typename F, typename = std::enable_if_t<std::is_invocable_r_v<
+                            void, std::remove_reference_t<F>&>>>
+  void schedule_at(double time, F&& fn) {
+    if (time < now_) throw std::logic_error("Engine::schedule_at: time in the past");
+    queue_.push(time, next_seq_++, std::forward<F>(fn));
+    if (queue_.size() > queue_hwm_) queue_hwm_ = queue_.size();
+  }
 
   /// Schedules `fn` after a relative delay (>= 0).
-  void schedule_after(double delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+  template <typename F, typename = std::enable_if_t<std::is_invocable_r_v<
+                            void, std::remove_reference_t<F>&>>>
+  void schedule_after(double delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Runs until the event queue drains or stop() is called.
   /// Returns the number of events processed.
@@ -46,27 +66,17 @@ class Engine {
   [[nodiscard]] std::size_t queue_high_water() const noexcept { return queue_hwm_; }
   /// Events dispatched over this engine's lifetime.
   [[nodiscard]] std::uint64_t events_dispatched() const noexcept { return dispatched_; }
+  /// Pooled event slots ever allocated (== queue high water once warm).
+  [[nodiscard]] std::size_t arena_slots() const noexcept { return queue_.arena_slots(); }
 
  private:
-  struct Event {
-    double time;
-    std::uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   /// Shared drain loop; Bound is a predicate deciding whether the next
   /// event may fire.
   template <typename Bound>
   std::size_t drain(Bound may_fire);
   void flush_observability(std::size_t processed, double run_start);
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   bool stopped_ = false;

@@ -1,0 +1,183 @@
+// Pooled event storage for the engine's pending-event set.
+//
+// The previous implementation kept a std::priority_queue<Event> whose
+// binary-heap sift operations moved whole Event structs -- each one
+// dragging a std::function along -- and whose only mutable access to
+// the minimum was the classic const_cast-move-from-top() smell. Here
+// the two concerns are split:
+//
+//   - callbacks live in a chunked slab arena recycled through a free
+//     list. Chunks never move, so a callback is type-erased exactly
+//     once, invoked in place, and destroyed in place -- the capture
+//     bytes are written and read once each, with no per-event
+//     allocation and no relocation copies;
+//   - ordering lives in a 4-ary implicit min-heap of 24-byte Nodes
+//     (time, seq, slot). Sift operations compare and move plain PODs
+//     through contiguous memory and never touch the arena, so a deep
+//     queue stays cache-resident where index-indirection (or whole-
+//     event moves) would thrash.
+//
+// Once the arena chunks and the heap vector reach their high-water
+// capacity the queue performs no allocations at all.
+//
+// Ordering is strict (time, then insertion sequence), so equal-time
+// events fire in insertion order exactly as before -- the property the
+// byte-determinism contract rests on.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sim/callback.hpp"
+
+namespace sci::sim {
+
+class EventQueue {
+ public:
+  /// Heap node: ordering key plus the arena slot holding the callback,
+  /// packed to 16 bytes so a 4-ary level's four children share a cache
+  /// line. `key` holds (seq << kSlotBits) | slot: comparing keys on a
+  /// time tie compares seq, because the slot bits can only decide
+  /// between equal seqs, which cannot occur.
+  struct Node {
+    double time = 0.0;
+    std::uint64_t key = 0;
+
+    [[nodiscard]] std::uint64_t seq() const noexcept { return key >> kSlotBits; }
+    [[nodiscard]] std::uint32_t slot() const noexcept {
+      return static_cast<std::uint32_t>(key & (kMaxSlots - 1));
+    }
+  };
+
+  /// Arena capacity bound from the packed node layout: 2^24 pending
+  /// events (~1.6 GB of callbacks) before push() throws.
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kMaxSlots = std::uint64_t{1} << kSlotBits;
+  /// Sequence bound: 2^40 events over one queue's lifetime (weeks of
+  /// wall-clock at simulator rates) before push() throws.
+  static constexpr std::uint64_t kMaxSeq = std::uint64_t{1} << (64 - kSlotBits);
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Earliest pending event (min by time, then seq). Precondition: !empty().
+  [[nodiscard]] const Node& top() const noexcept { return heap_.front(); }
+
+  /// Schedules `fn`, erasing it straight into a pooled arena slot.
+  template <typename F>
+  void push(double time, std::uint64_t seq, F&& fn) {
+    if (seq >= kMaxSeq) throw std::length_error("EventQueue: sequence space exhausted");
+    std::uint32_t slot;
+    if (free_head_ != kNull) {
+      slot = free_head_;
+      free_head_ = at(slot).next_free;
+    } else {
+      if (slots_used_ == kMaxSlots) throw std::length_error("EventQueue: arena full");
+      slot = slots_used_++;
+      if ((slot >> kChunkShift) == chunks_.size()) {
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+      }
+    }
+    at(slot).fn.assign(std::forward<F>(fn));
+    heap_.push_back(Node{time, (seq << kSlotBits) | slot});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Removes the minimum node from the heap and returns its (still
+  /// busy) arena slot, to be passed to invoke_and_release(). Splitting
+  /// the two lets the caller observe the shrunken queue between pop and
+  /// dispatch. Precondition: !empty().
+  [[nodiscard]] std::uint32_t pop_slot() noexcept {
+    const std::uint32_t slot = heap_.front().slot();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return slot;
+  }
+
+  /// Invokes the callback in `slot` in place (chunks are stable, so the
+  /// callback may schedule new events freely) and recycles the slot --
+  /// even if the callback throws.
+  void invoke_and_release(std::uint32_t slot) {
+    Slot& s = at(slot);
+    ReleaseGuard guard{this, &s, slot};
+    s.fn();
+  }
+
+  /// Arena slots ever allocated (pool high water; observability gauge).
+  [[nodiscard]] std::size_t arena_slots() const noexcept { return slots_used_; }
+
+ private:
+  static constexpr std::uint32_t kNull = 0xffffffffu;
+  static constexpr std::size_t kArity = 4;
+  static constexpr std::uint32_t kChunkShift = 8;  ///< 256 slots per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static_assert(kMaxSlots - 1 <= kNull, "slot indices must fit the free-list links");
+
+  /// Pooled callback storage; `next_free` links idle slots.
+  struct Slot {
+    InlineCallback fn;
+    std::uint32_t next_free = kNull;
+  };
+
+  struct ReleaseGuard {
+    EventQueue* queue;
+    Slot* s;
+    std::uint32_t slot;
+    ~ReleaseGuard() {
+      s->fn.reset();
+      s->next_free = queue->free_head_;
+      queue->free_head_ = slot;
+    }
+  };
+
+  [[nodiscard]] Slot& at(std::uint32_t slot) noexcept {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  [[nodiscard]] static bool before(const Node& a, const Node& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.key < b.key;
+  }
+
+  void sift_up(std::size_t pos) noexcept {
+    const Node moving = heap_[pos];
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / kArity;
+      if (!before(moving, heap_[parent])) break;
+      heap_[pos] = heap_[parent];
+      pos = parent;
+    }
+    heap_[pos] = moving;
+  }
+
+  void sift_down(std::size_t pos) noexcept {
+    const Node moving = heap_[pos];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = kArity * pos + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + kArity, n);
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], moving)) break;
+      heap_[pos] = heap_[best];
+      pos = best;
+    }
+    heap_[pos] = moving;
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;  // stable callback storage
+  std::vector<Node> heap_;  // 4-ary implicit min-heap of (key, slot)
+  std::uint32_t slots_used_ = 0;
+  std::uint32_t free_head_ = kNull;
+};
+
+}  // namespace sci::sim

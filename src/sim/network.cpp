@@ -2,11 +2,14 @@
 
 namespace sci::sim {
 
+double Network::route_base(std::size_t src, std::size_t dst) const {
+  const unsigned h = topology_->hops(src, dst);
+  return params_.latency_s + params_.hop_latency_s * h;
+}
+
 double Network::ideal_transfer_time(std::size_t src, std::size_t dst,
                                     std::size_t bytes) const {
-  const unsigned h = topology_->hops(src, dst);
-  const double payload = (bytes > 0) ? static_cast<double>(bytes - 1) : 0.0;
-  return params_.latency_s + params_.hop_latency_s * h + params_.gap_per_byte_s * payload;
+  return ideal_transfer_on_route(route_base(src, dst), bytes);
 }
 
 double Network::transfer_time(std::size_t src, std::size_t dst, std::size_t bytes,

@@ -44,6 +44,26 @@ class Network {
   [[nodiscard]] double ideal_transfer_time(std::size_t src, std::size_t dst,
                                            std::size_t bytes) const;
 
+  /// Byte-independent cost of the (src, dst) route: L + hop_latency *
+  /// hops. Hot callers (simmpi's p2p path) precompute this per route
+  /// pair so steady-state messages skip the topology hop query.
+  [[nodiscard]] double route_base(std::size_t src, std::size_t dst) const;
+
+  /// Noise-free transfer time given a precomputed route_base(). Same
+  /// arithmetic, term for term, as ideal_transfer_time -- callers may
+  /// mix the two freely without perturbing a single bit.
+  [[nodiscard]] double ideal_transfer_on_route(double base, std::size_t bytes) const noexcept {
+    const double payload = (bytes > 0) ? static_cast<double>(bytes - 1) : 0.0;
+    return base + params_.gap_per_byte_s * payload;
+  }
+
+  /// transfer_time() over a precomputed route, with batched noise
+  /// tallies. Identical RNG draw sequence to transfer_time().
+  [[nodiscard]] double transfer_time_on_route(double base, std::size_t bytes,
+                                              rng::Xoshiro256& gen, NoiseTally& tally) const {
+    return noise_.perturb(ideal_transfer_on_route(base, bytes), gen, tally);
+  }
+
   [[nodiscard]] const LogGPParams& params() const noexcept { return params_; }
   [[nodiscard]] const Topology& topology() const noexcept { return *topology_; }
 

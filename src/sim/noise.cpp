@@ -37,7 +37,17 @@ unsigned poisson_count(double lambda, rng::Xoshiro256& gen) {
 
 }  // namespace
 
-double ComputeNoise::perturb(double duration, rng::Xoshiro256& gen) const {
+void NoiseTally::flush() noexcept {
+  if (draws == 0) return;
+  static obs::Counter& draws_counter = obs::counter(obs::keys::kNoiseDraws);
+  static obs::Counter& injected_counter = obs::counter(obs::keys::kNoiseInjectedNs);
+  draws_counter.add(draws);
+  if (injected_ns > 0) injected_counter.add(injected_ns);
+  draws = 0;
+  injected_ns = 0;
+}
+
+double ComputeNoise::apply(double duration, rng::Xoshiro256& gen) const {
   double out = duration;
   if (rel_jitter > 0.0) out *= 1.0 + std::fabs(rng::normal(gen, 0.0, rel_jitter));
   if (detour_rate > 0.0 && detour_mean > 0.0) {
@@ -59,11 +69,22 @@ double ComputeNoise::perturb(double duration, rng::Xoshiro256& gen) const {
     const unsigned k = poisson_count(burst_rate * duration, gen);
     for (unsigned i = 0; i < k; ++i) out += rng::pareto(gen, burst_scale, burst_shape);
   }
+  return out;
+}
+
+double ComputeNoise::perturb(double duration, rng::Xoshiro256& gen) const {
+  const double out = apply(duration, gen);
   record_noise(duration, out);
   return out;
 }
 
-double NetworkNoise::perturb(double duration, rng::Xoshiro256& gen) const {
+double ComputeNoise::perturb(double duration, rng::Xoshiro256& gen, NoiseTally& tally) const {
+  const double out = apply(duration, gen);
+  tally.record(duration, out);
+  return out;
+}
+
+double NetworkNoise::apply(double duration, rng::Xoshiro256& gen) const {
   double out = duration;
   if (rel_jitter > 0.0) out *= 1.0 + std::fabs(rng::normal(gen, 0.0, rel_jitter));
   if (congestion_prob > 0.0 && rng::bernoulli(gen, congestion_prob)) {
@@ -72,7 +93,18 @@ double NetworkNoise::perturb(double duration, rng::Xoshiro256& gen) const {
   if (rare_prob > 0.0 && rng::bernoulli(gen, rare_prob)) {
     out += rng::pareto(gen, rare_scale, rare_shape);
   }
+  return out;
+}
+
+double NetworkNoise::perturb(double duration, rng::Xoshiro256& gen) const {
+  const double out = apply(duration, gen);
   record_noise(duration, out);
+  return out;
+}
+
+double NetworkNoise::perturb(double duration, rng::Xoshiro256& gen, NoiseTally& tally) const {
+  const double out = apply(duration, gen);
+  tally.record(duration, out);
   return out;
 }
 

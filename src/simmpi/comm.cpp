@@ -48,12 +48,11 @@ Request Comm::isend(int dst, int tag, std::size_t bytes, std::vector<double> pay
   World& w = *world_;
   const double o = w.machine_.loggp.overhead_s;
 
-  const std::size_t src_node = node_;
-  const std::size_t dst_node = w.nodes_[static_cast<std::size_t>(dst)];
-  const double wire = w.network_.transfer_time(src_node, dst_node, bytes, gen_);
+  const double base = w.route_base(rank_, dst);
+  const double wire = w.network_.transfer_time_on_route(base, bytes, gen_, w.noise_tally_);
   double handshake = 0.0;
   if (bytes > w.machine_.loggp.eager_threshold_bytes) {
-    handshake = 2.0 * (o + w.network_.transfer_time(src_node, dst_node, 8, gen_));
+    handshake = 2.0 * (o + w.network_.transfer_time_on_route(base, 8, gen_, w.noise_tally_));
   }
 
   Message msg;
@@ -73,7 +72,7 @@ Request Comm::isend(int dst, int tag, std::size_t bytes, std::vector<double> pay
   if (obs::TraceSink* s = obs::sink()) {
     const double t0 = w.engine_.now();
     const double wire_start = t0 + o + handshake;
-    const double ideal = w.network_.ideal_transfer_time(src_node, dst_node, bytes);
+    const double ideal = w.network_.ideal_transfer_on_route(base, bytes);
     s->complete(rank_, "isend", "p2p", t0, o + handshake,
                 {{"dst", dst}, {"tag", tag}, {"bytes", bytes}, {"mseq", msg.seq}});
     s->complete(obs::kWireTrackBase + rank_, "wire", "net.wire", wire_start,
@@ -153,17 +152,20 @@ void Comm::SendAwaitable::await_suspend(std::coroutine_handle<> h) {
   const double gap = w.machine_.loggp.gap_per_msg_s;
 
   // Wire time including this network's noise; drawn from the *sender's*
-  // stream so runs stay deterministic.
-  const std::size_t src_node = comm->node_;
-  const std::size_t dst_node = w.nodes_[static_cast<std::size_t>(dst)];
-  const double wire = w.network_.transfer_time(src_node, dst_node, bytes, comm->gen_);
+  // stream so runs stay deterministic. The route base is precomputed per
+  // rank pair and the tallies are batched: nothing on this path touches
+  // the topology or the counter registry.
+  const double base = w.route_base(comm->rank_, dst);
+  const double wire =
+      w.network_.transfer_time_on_route(base, bytes, comm->gen_, w.noise_tally_);
 
   // Rendezvous: payloads above the eager limit pay a ready-to-send
   // handshake (one small-message round trip) before the data moves, and
   // the sender stays blocked through the handshake.
   double handshake = 0.0;
   if (bytes > w.machine_.loggp.eager_threshold_bytes) {
-    handshake = 2.0 * (o + w.network_.transfer_time(src_node, dst_node, 8, comm->gen_));
+    handshake =
+        2.0 * (o + w.network_.transfer_time_on_route(base, 8, comm->gen_, w.noise_tally_));
   }
 
   Message msg;
@@ -186,7 +188,7 @@ void Comm::SendAwaitable::await_suspend(std::coroutine_handle<> h) {
   if (obs::TraceSink* s = obs::sink()) {
     const double t0 = w.engine_.now();
     const double wire_start = t0 + o + handshake;
-    const double ideal = w.network_.ideal_transfer_time(src_node, dst_node, bytes);
+    const double ideal = w.network_.ideal_transfer_on_route(base, bytes);
     s->complete(comm->rank_, "send", "p2p", t0, o + gap + handshake,
                 {{"dst", dst}, {"tag", tag}, {"bytes", bytes}, {"mseq", msg.seq}});
     s->complete(obs::kWireTrackBase + comm->rank_, "wire", "net.wire", wire_start,
@@ -229,7 +231,8 @@ void Comm::RecvAwaitable::await_suspend(std::coroutine_handle<> h) {
 
 void Comm::ComputeAwaitable::await_suspend(std::coroutine_handle<> h) {
   World& w = *comm->world_;
-  const double duration = w.machine_.compute_noise.perturb(pure_seconds, comm->gen_);
+  const double duration =
+      w.machine_.compute_noise.perturb(pure_seconds, comm->gen_, w.noise_tally_);
   comm->busy_s_ += duration;
   SCI_TRACE_COMPLETE(comm->rank_, "compute", "compute", w.engine_.now(), duration,
                      {{"pure_s", pure_seconds}, {"noise_s", duration - pure_seconds}});
@@ -259,6 +262,15 @@ World::World(sim::Machine machine, int ranks, std::uint64_t seed,
 
   nodes_.resize(want);
   for (std::size_t r = 0; r < want; ++r) nodes_[r] = allocation[r % allocation.size()];
+
+  // Precompute the byte-independent route cost per rank pair once; the
+  // p2p path then never queries the topology again.
+  route_base_.resize(want * want);
+  for (std::size_t s = 0; s < want; ++s) {
+    for (std::size_t d = 0; d < want; ++d) {
+      route_base_[s * want + d] = network_.route_base(nodes_[s], nodes_[d]);
+    }
+  }
 
   comms_.reserve(want);
   mailboxes_.resize(want);
@@ -327,6 +339,9 @@ void World::flush_counters() {
   if (total_bytes > counted_bytes_) bytes.add(total_bytes - counted_bytes_);
   counted_msgs_ = delivered_;
   counted_bytes_ = total_bytes;
+  // Noise draw/injection tallies batch in the world for the same reason
+  // (totals identical to per-draw publishing; see sim::NoiseTally).
+  noise_tally_.flush();
 }
 
 void World::name_trace_tracks(obs::TraceSink& sink) const {

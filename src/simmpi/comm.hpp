@@ -19,6 +19,7 @@
 #include "rng/xoshiro.hpp"
 #include "sim/engine.hpp"
 #include "sim/machine.hpp"
+#include "sim/noise.hpp"
 #include "sim/task.hpp"
 #include "simmpi/clock.hpp"
 
@@ -218,6 +219,13 @@ class World {
   void deliver(Message msg);  // runs at arrival time
   /// Publishes traffic deltas since the last flush to obs::counters().
   void flush_counters();
+  /// Precomputed L + hop_latency * hops for the (src_rank, dst_rank)
+  /// pair: the p2p hot path pays one array load instead of a topology
+  /// hop query per message.
+  [[nodiscard]] double route_base(int src_rank, int dst_rank) const noexcept {
+    return route_base_[static_cast<std::size_t>(src_rank) * comms_.size() +
+                       static_cast<std::size_t>(dst_rank)];
+  }
   [[nodiscard]] static bool matches(int want_src, int want_tag, const Message& m) noexcept {
     return (want_src == kAnySource || want_src == m.src) &&
            (want_tag == kAnyTag || want_tag == m.tag);
@@ -227,6 +235,8 @@ class World {
   sim::Network network_;
   sim::Engine engine_;
   std::vector<std::size_t> nodes_;  // rank -> node id
+  std::vector<double> route_base_;  // (src_rank * ranks + dst_rank) -> L + hop cost
+  sim::NoiseTally noise_tally_;     // batched noise counters, published in flush_counters()
   std::vector<std::unique_ptr<Comm>> comms_;
   std::vector<Mailbox> mailboxes_;
   std::vector<std::vector<double>> fifo_clock_;  // last arrival per (src, dst)

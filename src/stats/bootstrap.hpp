@@ -2,25 +2,85 @@
 // as a "more advanced" technique beyond its scope; we include it as the
 // natural extension for CIs of statistics with no analytic error theory
 // (trimmed means, CoV, quantile-regression coefficients, ...).
+//
+// Two statistic interfaces coexist:
+//   - Statistic: an opaque callable, evaluated on a materialized
+//     resample vector per replicate. Fully general, O(n log n) per
+//     replicate for rank statistics.
+//   - ResampleStat: a structural description (mean / quantile / custom)
+//     that lets bootstrap_* dispatch to kernels which sort the sample
+//     once and select order statistics per replicate (nth_element on
+//     resampled ranks, O(n) per replicate) without materializing a
+//     resample at all. Same seed => bit-identical results to the
+//     callback path (tested seed-for-seed in test_bootstrap.cpp).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "stats/confidence.hpp"  // Interval
+#include "stats/descriptive.hpp"  // QuantileMethod
 
 namespace sci::stats {
 
 /// A statistic computed on a resampled series.
 using Statistic = std::function<double(std::span<const double>)>;
 
+/// Structural description of a bootstrap statistic. Naming the shape
+/// (mean, p-quantile) instead of hiding it behind a callable is what
+/// unlocks the selection fast path; custom() keeps full generality at
+/// callback-path speed.
+class ResampleStat {
+ public:
+  enum class Kind { kMean, kQuantile, kCustom };
+
+  [[nodiscard]] static ResampleStat mean() {
+    ResampleStat s;
+    s.kind_ = Kind::kMean;
+    return s;
+  }
+  [[nodiscard]] static ResampleStat median() { return quantile(0.5); }
+  [[nodiscard]] static ResampleStat quantile(double p,
+                                             QuantileMethod method = QuantileMethod::kR7Linear);
+  [[nodiscard]] static ResampleStat custom(Statistic fn) {
+    ResampleStat s;
+    s.kind_ = Kind::kCustom;
+    s.fn_ = std::move(fn);
+    return s;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] double prob() const noexcept { return p_; }
+  [[nodiscard]] QuantileMethod method() const noexcept { return method_; }
+
+  /// Full-sample evaluation; identical to calling the equivalent
+  /// Statistic on `xs`.
+  [[nodiscard]] double evaluate(std::span<const double> xs) const;
+
+ private:
+  ResampleStat() = default;
+  Kind kind_ = Kind::kCustom;
+  double p_ = 0.5;
+  QuantileMethod method_ = QuantileMethod::kR7Linear;
+  Statistic fn_;
+};
+
 /// Bootstrap distribution of `statistic` over `replicates` resamples
 /// with replacement. Deterministic for a fixed seed.
 [[nodiscard]] std::vector<double> bootstrap_distribution(std::span<const double> xs,
                                                          const Statistic& statistic,
+                                                         std::size_t replicates,
+                                                         std::uint64_t seed = 0xb00f);
+
+/// Fast-path overload: mean/quantile statistics skip the per-replicate
+/// resample vector and sort (see header comment). Bit-identical to the
+/// Statistic overload for the same seed.
+[[nodiscard]] std::vector<double> bootstrap_distribution(std::span<const double> xs,
+                                                         const ResampleStat& statistic,
                                                          std::size_t replicates,
                                                          std::uint64_t seed = 0xb00f);
 
@@ -31,11 +91,26 @@ using Statistic = std::function<double(std::span<const double>)>;
                                                double confidence = 0.95,
                                                std::uint64_t seed = 0xb00f);
 
+[[nodiscard]] Interval bootstrap_percentile_ci(std::span<const double> xs,
+                                               const ResampleStat& statistic,
+                                               std::size_t replicates = 1000,
+                                               double confidence = 0.95,
+                                               std::uint64_t seed = 0xb00f);
+
 /// BCa (bias-corrected and accelerated) CI; second-order accurate.
 /// Acceleration from jackknife influence values -- O(n^2) in statistic
 /// evaluations, so intended for small/medium n.
 [[nodiscard]] Interval bootstrap_bca_ci(std::span<const double> xs,
                                         const Statistic& statistic,
+                                        std::size_t replicates = 1000,
+                                        double confidence = 0.95,
+                                        std::uint64_t seed = 0xb00f);
+
+/// BCa with structural statistics: the jackknife drops from O(n^2 log n)
+/// to O(n) for quantiles (each leave-one-out order statistic is an index
+/// shift in the sorted sample) and O(n^2) adds for the mean.
+[[nodiscard]] Interval bootstrap_bca_ci(std::span<const double> xs,
+                                        const ResampleStat& statistic,
                                         std::size_t replicates = 1000,
                                         double confidence = 0.95,
                                         std::uint64_t seed = 0xb00f);

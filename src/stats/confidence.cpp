@@ -22,11 +22,16 @@ Interval mean_confidence_interval(std::span<const double> xs, double confidence)
 
 Interval quantile_confidence_interval(std::span<const double> xs, double p,
                                       double confidence) {
-  const std::size_t n = xs.size();
+  const auto sorted = sorted_copy(xs);
+  return quantile_confidence_interval_sorted(sorted, p, confidence);
+}
+
+Interval quantile_confidence_interval_sorted(std::span<const double> sorted, double p,
+                                             double confidence) {
+  const std::size_t n = sorted.size();
   if (n < 6) throw std::invalid_argument("quantile_confidence_interval: need n > 5");
   if (p <= 0.0 || p >= 1.0)
     throw std::domain_error("quantile_confidence_interval: p in (0,1)");
-  const auto sorted = sorted_copy(xs);
   const double alpha = 1.0 - confidence;
   const double z = inverse_normal_cdf(1.0 - alpha / 2.0);
   const auto nd = static_cast<double>(n);
@@ -62,8 +67,11 @@ std::size_t required_samples_mean(std::span<const double> pilot, double relative
 bool quantile_ci_converged(std::span<const double> xs, double p, double relative_error,
                            double confidence) {
   if (xs.size() < 6) return false;
-  const Interval ci = quantile_confidence_interval(xs, p, confidence);
-  const double center = quantile(xs, p);
+  // One sort feeds both the CI ranks and the center quantile; this runs
+  // after every adaptive sample (kCiRecomputes counts how often).
+  const auto sorted = sorted_copy(xs);
+  const Interval ci = quantile_confidence_interval_sorted(sorted, p, confidence);
+  const double center = quantile_sorted(sorted, p);
   if (center == 0.0) return ci.width() == 0.0;
   return ci.lower >= center * (1.0 - relative_error) &&
          ci.upper <= center * (1.0 + relative_error);

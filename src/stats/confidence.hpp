@@ -39,6 +39,13 @@ struct Interval {
 [[nodiscard]] Interval quantile_confidence_interval(std::span<const double> xs, double p,
                                                     double confidence = 0.95);
 
+/// Same CI for data already sorted ascending (no copy, no sort). Hot
+/// callers that also need a quantile of the same sample should sort
+/// once and pair this with quantile_sorted().
+[[nodiscard]] Interval quantile_confidence_interval_sorted(std::span<const double> sorted,
+                                                           double p,
+                                                           double confidence = 0.95);
+
 /// Shorthand for the median (p = 0.5).
 [[nodiscard]] Interval median_confidence_interval(std::span<const double> xs,
                                                   double confidence = 0.95);

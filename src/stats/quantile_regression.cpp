@@ -102,8 +102,9 @@ QuantRegCI quantile_regression_bootstrap_ci(std::span<const double> y,
   for (std::size_t j = 0; j < p; ++j) {
     if (coef_samples[j].size() < 10)
       throw std::runtime_error("quantile_regression_bootstrap_ci: too few converged refits");
-    ci.lower[j] = quantile(coef_samples[j], alpha / 2.0);
-    ci.upper[j] = quantile(coef_samples[j], 1.0 - alpha / 2.0);
+    const auto sorted = sorted_copy(coef_samples[j]);
+    ci.lower[j] = quantile_sorted(sorted, alpha / 2.0);
+    ci.upper[j] = quantile_sorted(sorted, 1.0 - alpha / 2.0);
   }
   return ci;
 }

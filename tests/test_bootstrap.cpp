@@ -80,6 +80,114 @@ TEST(Bootstrap, InputValidation) {
                std::invalid_argument);
   const std::vector<double> v = {1.0, 2.0, 3.0};
   EXPECT_THROW(bootstrap_distribution(v, mean_stat, 0), std::invalid_argument);
+  EXPECT_THROW(bootstrap_distribution(std::vector<double>{1.0}, ResampleStat::mean(), 10),
+               std::invalid_argument);
+  EXPECT_THROW(bootstrap_distribution(v, ResampleStat::median(), 0), std::invalid_argument);
+  EXPECT_THROW(ResampleStat::quantile(-0.1), std::domain_error);
+  EXPECT_THROW(ResampleStat::quantile(1.5), std::domain_error);
+}
+
+// ---------------------------------------------------------------------------
+// Selection fast path vs generic callback path: the contract is exact,
+// seed-for-seed, bit-for-bit equality -- not statistical closeness.
+// ---------------------------------------------------------------------------
+
+/// (fast statistic, equivalent opaque callback) pairs under test.
+struct StatPair {
+  const char* name;
+  ResampleStat fast;
+  Statistic generic;
+};
+
+std::vector<StatPair> stat_pairs() {
+  std::vector<StatPair> pairs;
+  pairs.push_back({"mean", ResampleStat::mean(),
+                   [](std::span<const double> xs) { return arithmetic_mean(xs); }});
+  pairs.push_back({"median", ResampleStat::median(),
+                   [](std::span<const double> xs) { return median(xs); }});
+  pairs.push_back({"q1", ResampleStat::quantile(0.25),
+                   [](std::span<const double> xs) { return quantile(xs, 0.25); }});
+  pairs.push_back({"q3", ResampleStat::quantile(0.75),
+                   [](std::span<const double> xs) { return quantile(xs, 0.75); }});
+  pairs.push_back({"q1_r1", ResampleStat::quantile(0.25, QuantileMethod::kR1InverseEcdf),
+                   [](std::span<const double> xs) {
+                     return quantile(xs, 0.25, QuantileMethod::kR1InverseEcdf);
+                   }});
+  pairs.push_back({"q90_r6", ResampleStat::quantile(0.9, QuantileMethod::kR6Weibull),
+                   [](std::span<const double> xs) {
+                     return quantile(xs, 0.9, QuantileMethod::kR6Weibull);
+                   }});
+  return pairs;
+}
+
+std::vector<std::vector<double>> equality_fixtures() {
+  std::vector<std::vector<double>> fixtures;
+  fixtures.push_back(normal_sample(37, 11));  // odd n
+  fixtures.push_back(normal_sample(64, 12));  // even n
+  // Tie-heavy: quantized timer readings, the worst case for rank tricks.
+  rng::Xoshiro256 gen(13);
+  std::vector<double> ties;
+  for (int i = 0; i < 48; ++i) {
+    ties.push_back(1e-3 * static_cast<double>(rng::uniform_below(gen, 6)));
+  }
+  fixtures.push_back(std::move(ties));
+  // Right-skewed, like real latency data.
+  std::vector<double> skewed;
+  for (int i = 0; i < 51; ++i) skewed.push_back(rng::lognormal(gen, 0.0, 1.0));
+  fixtures.push_back(std::move(skewed));
+  return fixtures;
+}
+
+TEST(BootstrapFastPath, DistributionBitIdenticalToGenericPath) {
+  for (const auto& xs : equality_fixtures()) {
+    for (const auto& pair : stat_pairs()) {
+      for (std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{0xb00f}}) {
+        const auto fast = bootstrap_distribution(xs, pair.fast, 300, seed);
+        const auto slow = bootstrap_distribution(xs, pair.generic, 300, seed);
+        ASSERT_EQ(fast, slow) << pair.name << " seed " << seed << " n " << xs.size();
+      }
+    }
+  }
+}
+
+TEST(BootstrapFastPath, PercentileCiBitIdenticalToGenericPath) {
+  for (const auto& xs : equality_fixtures()) {
+    for (const auto& pair : stat_pairs()) {
+      const auto fast = bootstrap_percentile_ci(xs, pair.fast, 400, 0.95, 21);
+      const auto slow = bootstrap_percentile_ci(xs, pair.generic, 400, 0.95, 21);
+      EXPECT_EQ(fast.lower, slow.lower) << pair.name;
+      EXPECT_EQ(fast.upper, slow.upper) << pair.name;
+    }
+  }
+}
+
+TEST(BootstrapFastPath, BcaCiBitIdenticalToGenericPath) {
+  for (const auto& xs : equality_fixtures()) {
+    for (const auto& pair : stat_pairs()) {
+      const auto fast = bootstrap_bca_ci(xs, pair.fast, 400, 0.95, 31);
+      const auto slow = bootstrap_bca_ci(xs, pair.generic, 400, 0.95, 31);
+      EXPECT_EQ(fast.lower, slow.lower) << pair.name;
+      EXPECT_EQ(fast.upper, slow.upper) << pair.name;
+    }
+  }
+}
+
+TEST(BootstrapFastPath, CustomKindMatchesStatisticOverloadExactly) {
+  const auto v = normal_sample(40, 17);
+  const Statistic cov = [](std::span<const double> xs) {
+    return coefficient_of_variation(xs);
+  };
+  const auto via_custom = bootstrap_bca_ci(v, ResampleStat::custom(cov), 300, 0.95, 5);
+  const auto via_statistic = bootstrap_bca_ci(v, cov, 300, 0.95, 5);
+  EXPECT_EQ(via_custom.lower, via_statistic.lower);
+  EXPECT_EQ(via_custom.upper, via_statistic.upper);
+}
+
+TEST(BootstrapFastPath, EvaluateMatchesDirectStatistics) {
+  const auto v = normal_sample(25, 19);
+  EXPECT_EQ(ResampleStat::mean().evaluate(v), arithmetic_mean(v));
+  EXPECT_EQ(ResampleStat::median().evaluate(v), median(v));
+  EXPECT_EQ(ResampleStat::quantile(0.25).evaluate(v), quantile(v, 0.25));
 }
 
 }  // namespace
