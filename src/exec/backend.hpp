@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -62,8 +63,30 @@ struct CellResult {
   std::size_t warmup_discarded = 0;
   /// Filled by the runner: true when served from the result cache.
   bool from_cache = false;
+  /// Hot-path allocation audit, filled by the runner per replication
+  /// (thread-local deltas around the backend call, so concurrent
+  /// workers never pollute each other's numbers). In steady state both
+  /// are zero from the second replication of a shape onward; excluded
+  /// from CSV exports, so they never affect byte-determinism.
+  std::uint64_t coro_frame_heap_allocs = 0;  ///< sim::FramePool misses
+  std::uint64_t callback_heap_spills = 0;    ///< InlineCallback SBO spills
   /// Non-empty when the backend threw; `samples` is then empty.
   std::string error;
+};
+
+/// Per-worker reusable state for a Backend: the runner creates one
+/// context per worker thread and feeds it that worker's cells
+/// sequentially, so a context may keep simulation worlds, sample
+/// buffers, and RNG state warm across replications. Contexts must obey
+/// the same determinism contract as Backend::run -- run() here must be
+/// byte-identical to the backend's stateless run() for every
+/// (config, seed) -- and need not be thread-safe (one worker each).
+class BackendContext {
+ public:
+  virtual ~BackendContext() = default;
+
+  /// Produces the samples of one (config, seed) cell replication.
+  [[nodiscard]] virtual CellResult run(const Config& config, std::uint64_t seed) = 0;
 };
 
 /// A measurement substrate. One call = one replication of one grid
@@ -78,6 +101,11 @@ class Backend {
 
   /// Produces the samples of one (config, seed) cell replication.
   [[nodiscard]] virtual CellResult run(const Config& config, std::uint64_t seed) = 0;
+
+  /// Creates per-worker reusable state (see BackendContext). Returning
+  /// nullptr (the default) tells the runner to call run() directly;
+  /// backends with expensive per-call setup override this.
+  [[nodiscard]] virtual std::unique_ptr<BackendContext> make_context() { return nullptr; }
 
   /// One-line description for Rule 9 documentation (defaults to name()).
   [[nodiscard]] virtual std::string describe() const { return name(); }

@@ -3,11 +3,14 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <thread>
 
 #include "obs/trace.hpp"
+#include "sim/callback.hpp"
+#include "sim/frame_pool.hpp"
 
 namespace sci::exec {
 
@@ -185,6 +188,12 @@ CampaignResult CampaignRunner::run() {
           obs::kHarnessTrack, "campaign worker " + std::to_string(worker_id));
     }
 
+    // Per-worker reusable backend state: worlds, buffers, and RNG
+    // scratch stay warm across every cell this worker claims. Results
+    // are byte-identical to stateless backend_.run() calls.
+    std::unique_ptr<BackendContext> context;
+    if (options_.reuse_contexts) context = backend_.make_context();
+
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= result.cells.size()) break;
@@ -202,9 +211,14 @@ CampaignResult CampaignRunner::run() {
         }
       }
 
+      // Replication-boundary audit baseline: thread-local tallies make
+      // the deltas exact even with every worker measuring at once.
+      const std::uint64_t frames0 = sim::FramePool::local().heap_allocs();
+      const std::uint64_t spills0 = sim::callback_heap_spills_local();
       [[maybe_unused]] const double t0 = obs::host_now_s();
       try {
-        cell.result = backend_.run(cell.config, cell.seed);
+        cell.result = context != nullptr ? context->run(cell.config, cell.seed)
+                                         : backend_.run(cell.config, cell.seed);
         cell.result.from_cache = false;
       } catch (const std::exception& e) {
         cell.result = CellResult{};
@@ -213,6 +227,9 @@ CampaignResult CampaignRunner::run() {
         cell.result = CellResult{};
         cell.result.error = "unknown backend exception";
       }
+      cell.result.coro_frame_heap_allocs =
+          sim::FramePool::local().heap_allocs() - frames0;
+      cell.result.callback_heap_spills = sim::callback_heap_spills_local() - spills0;
       SCI_TRACE_COMPLETE(obs::kHarnessTrack, "campaign.cell", "exec", t0,
                          obs::host_now_s() - t0,
                          {obs::TraceArg{"config", cell.config.index},

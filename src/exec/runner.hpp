@@ -92,6 +92,11 @@ struct CampaignRunnerOptions {
   std::size_t workers = 0;
   /// Serve repeated cells from the in-memory result cache.
   bool use_cache = true;
+  /// Give each worker a Backend::make_context() and run its cells
+  /// through it, reusing simulation state across replications. Results
+  /// are byte-identical either way (the BackendContext contract); OFF
+  /// exists for differential testing and allocation triage.
+  bool reuse_contexts = true;
 };
 
 class CampaignRunner {

@@ -1,8 +1,10 @@
 // SimBackend: simulated-cluster measurements behind the Backend
-// interface. Each run() builds a fresh sim::make_machine world for the
-// cell's configuration and executes one simmpi benchmark with the cell
-// seed, so a cell is a pure function of (config, seed) -- the property
-// the CampaignRunner byte-determinism contract rests on.
+// interface. Each run() executes one simmpi benchmark with the cell
+// seed on a machine chosen by the cell's configuration, so a cell is a
+// pure function of (config, seed) -- the property the CampaignRunner
+// byte-determinism contract rests on. run() builds a fresh world per
+// call; make_context() returns a per-worker context that reuses worlds
+// across replications (same results, no per-call setup).
 //
 // Factor conventions (all optional; options provide the fall-backs):
 //   "system" or "machine"  -> sim::make_machine name
@@ -61,9 +63,18 @@ class SimBackend : public Backend {
   [[nodiscard]] std::string describe() const override;
   [[nodiscard]] CellResult run(const Config& config, std::uint64_t seed) override;
 
+  /// Per-worker context that keeps one reusable simulation world (plus
+  /// sample buffers) per distinct cell shape -- (machine, bytes/ranks)
+  /// -- the worker encounters, and World::reset()s it per replication
+  /// instead of rebuilding. Byte-identical to run() (pinned by
+  /// test_exec_reuse); replications after a shape's first run
+  /// allocation-free simulation.
+  [[nodiscard]] std::unique_ptr<BackendContext> make_context() override;
+
   [[nodiscard]] const SimBackendOptions& options() const noexcept { return options_; }
 
  private:
+  class Context;
   SimBackendOptions options_;
 };
 

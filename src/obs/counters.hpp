@@ -81,6 +81,8 @@ inline constexpr const char* kEngineEvents = "engine.events";        ///< events
 inline constexpr const char* kEngineQueueHwm = "engine.queue_hwm";   ///< queue depth high water
 inline constexpr const char* kEngineCallbackHeapAllocs =
     "engine.callback_heap_allocs";  ///< InlineCallback oversize spills (0 = zero-alloc contract)
+inline constexpr const char* kCoroFrameHeapAllocs =
+    "simmpi.coro_frame_heap_allocs";  ///< coroutine-frame heap allocs (FramePool misses)
 inline constexpr const char* kEngineArenaSlots = "engine.arena_slots";  ///< event pool high water
 inline constexpr const char* kNetMessages = "net.messages";          ///< messages delivered
 inline constexpr const char* kNetBytes = "net.bytes";                ///< payload bytes on the wire

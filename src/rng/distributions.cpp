@@ -9,23 +9,6 @@ double uniform(Xoshiro256& gen, double lo, double hi) noexcept {
   return lo + (hi - lo) * uniform01(gen);
 }
 
-std::uint64_t uniform_below(Xoshiro256& gen, std::uint64_t bound) noexcept {
-  if (bound == 0) return 0;
-  // Lemire 2019: unbiased bounded integers without division in the hot path.
-  std::uint64_t x = gen();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  auto lo = static_cast<std::uint64_t>(m);
-  if (lo < bound) {
-    const std::uint64_t threshold = -bound % bound;
-    while (lo < threshold) {
-      x = gen();
-      m = static_cast<__uint128_t>(x) * bound;
-      lo = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
 double normal(Xoshiro256& gen) noexcept {
   // Box-Muller. u1 is nudged away from 0 so log() stays finite.
   const double u1 = uniform01(gen);
@@ -83,13 +66,6 @@ std::size_t discrete(Xoshiro256& gen, std::span<const double> weights) noexcept 
     if (r < 0.0) return i;
   }
   return weights.empty() ? 0 : weights.size() - 1;
-}
-
-void shuffle(Xoshiro256& gen, std::span<std::size_t> values) noexcept {
-  for (std::size_t i = values.size(); i > 1; --i) {
-    const std::size_t j = uniform_below(gen, i);
-    std::swap(values[i - 1], values[j]);
-  }
 }
 
 }  // namespace sci::rng

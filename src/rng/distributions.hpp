@@ -22,7 +22,25 @@ namespace sci::rng {
 [[nodiscard]] double uniform(Xoshiro256& gen, double lo, double hi) noexcept;
 
 /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
-[[nodiscard]] std::uint64_t uniform_below(Xoshiro256& gen, std::uint64_t bound) noexcept;
+/// Inline: shuffle-heavy paths (node allocation on every World reset)
+/// make one call per element, and the generator itself is inline.
+[[nodiscard]] inline std::uint64_t uniform_below(Xoshiro256& gen,
+                                                 std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire 2019: unbiased bounded integers without division in the hot path.
+  std::uint64_t x = gen();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = gen();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
 
 /// Standard normal via Box-Muller (always consumes 2 draws; the second
 /// deviate is intentionally discarded for replay stability).
@@ -50,8 +68,13 @@ namespace sci::rng {
 /// Samples an index according to non-negative `weights` (1 draw).
 [[nodiscard]] std::size_t discrete(Xoshiro256& gen, std::span<const double> weights) noexcept;
 
-/// Fisher-Yates shuffle.
-void shuffle(Xoshiro256& gen, std::span<std::size_t> values) noexcept;
+/// Fisher-Yates shuffle (size-1 draws, one uniform_below per step).
+inline void shuffle(Xoshiro256& gen, std::span<std::size_t> values) noexcept {
+  for (std::size_t i = values.size(); i > 1; --i) {
+    const std::size_t j = uniform_below(gen, i);
+    std::swap(values[i - 1], values[j]);
+  }
+}
 
 /// Convenience: n iid samples from `sampler(gen)`.
 template <typename Sampler>

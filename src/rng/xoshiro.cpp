@@ -1,23 +1,98 @@
 #include "rng/xoshiro.hpp"
 
 namespace sci::rng {
+namespace {
 
-void Xoshiro256::jump() noexcept {
-  // Jump polynomial from the reference implementation (2^128 steps).
-  constexpr std::array<std::uint64_t, 4> kJump = {
-      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
-      0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+using State = std::array<std::uint64_t, 4>;
 
-  std::array<std::uint64_t, 4> acc{};
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// One state transition of xoshiro256++. The output scrambler is the
+/// only nonlinear part of the generator; the transition itself is pure
+/// XOR/shift/rotate, i.e. linear over GF(2) -- the fact the jump table
+/// below rests on.
+constexpr void step(State& s) noexcept {
+  const std::uint64_t t = s[1] << 17;
+  s[2] ^= s[0];
+  s[3] ^= s[1];
+  s[1] ^= s[2];
+  s[0] ^= s[3];
+  s[2] ^= t;
+  s[3] = rotl(s[3], 45);
+}
+
+/// Reference jump from Blackman & Vigna: 256 transitions, XOR-folding
+/// the states selected by the jump polynomial (2^128 steps).
+constexpr void reference_jump(State& s) noexcept {
+  constexpr State kJump = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                           0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+  State acc{};
   for (std::uint64_t word : kJump) {
     for (int bit = 0; bit < 64; ++bit) {
       if (word & (std::uint64_t{1} << bit)) {
-        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= state_[i];
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= s[i];
       }
-      (*this)();
+      step(s);
     }
+  }
+  s = acc;
+}
+
+/// The jump is a fixed linear map J over GF(2)^256, so J(state) is the
+/// XOR of J's images of each state byte: row[p][v] = J(state whose p-th
+/// byte is v, all else zero). 32 table lookups replace 256 generator
+/// steps -- World::reset() calls split() per rank, which made the
+/// reference loop the single largest cost of reusing a world.
+struct JumpTable {
+  std::array<std::array<State, 256>, 32> row;
+};
+
+JumpTable build_jump_table() {
+  // Images of the 256 single-bit states...
+  std::array<State, 256> basis;
+  for (std::size_t bit = 0; bit < 256; ++bit) {
+    State s{};
+    s[bit / 64] = std::uint64_t{1} << (bit % 64);
+    reference_jump(s);
+    basis[bit] = s;
+  }
+  // ...folded into per-byte rows by linearity.
+  JumpTable table;
+  for (std::size_t p = 0; p < 32; ++p) {
+    for (std::size_t v = 0; v < 256; ++v) {
+      State acc{};
+      for (std::size_t bit = 0; bit < 8; ++bit) {
+        if (v & (std::size_t{1} << bit)) {
+          const State& b = basis[p * 8 + bit];
+          for (std::size_t i = 0; i < 4; ++i) acc[i] ^= b[i];
+        }
+      }
+      table.row[p][v] = acc;
+    }
+  }
+  return table;
+}
+
+const JumpTable& jump_table() {
+  static const JumpTable table = build_jump_table();
+  return table;
+}
+
+}  // namespace
+
+void Xoshiro256::jump() noexcept {
+  const JumpTable& table = jump_table();
+  State acc{};
+  for (std::size_t p = 0; p < 32; ++p) {
+    const auto byte = static_cast<std::size_t>((state_[p / 8] >> ((p % 8) * 8)) & 0xff);
+    const State& r = table.row[p][byte];
+    for (std::size_t i = 0; i < 4; ++i) acc[i] ^= r[i];
   }
   state_ = acc;
 }
+
+void Xoshiro256::jump_reference() noexcept { reference_jump(state_); }
 
 }  // namespace sci::rng

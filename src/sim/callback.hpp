@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -21,6 +22,24 @@
 #include "obs/counters.hpp"
 
 namespace sci::sim {
+
+/// Per-thread running count of InlineCallback heap spills. Mirrors the
+/// global obs counter `engine.callback_heap_allocs` but is private to
+/// the calling thread, so a campaign worker can take per-replication
+/// deltas without seeing other workers' spills (the global counter
+/// keeps the process total for report footers).
+[[nodiscard]] inline std::uint64_t callback_heap_spills_local() noexcept;
+
+namespace detail {
+inline std::uint64_t& callback_spill_tally() noexcept {
+  static thread_local std::uint64_t count = 0;
+  return count;
+}
+}  // namespace detail
+
+inline std::uint64_t callback_heap_spills_local() noexcept {
+  return detail::callback_spill_tally();
+}
 
 /// Move-only type-erased `void()` callable with an inline buffer large
 /// enough for the simulator's event captures (~64-byte payloads plus a
@@ -145,6 +164,7 @@ class InlineCallback {
       // contract is checkable, not aspirational.
       static obs::Counter& heap_allocs = obs::counter(obs::keys::kEngineCallbackHeapAllocs);
       heap_allocs.add(1);
+      ++detail::callback_spill_tally();
       ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
       vtable_ = &HeapOps<D>::kVTable;
       invoke_ = &HeapOps<D>::invoke;

@@ -58,6 +58,20 @@ class Engine {
 
   void stop() noexcept { stopped_ = true; }
 
+  /// Returns the engine to its just-constructed state -- time 0,
+  /// sequence 0, gauges zeroed -- while the event arena keeps its
+  /// chunks and the heap its capacity. Reusing one engine across
+  /// replications is therefore seed-for-seed indistinguishable from
+  /// constructing a fresh one, minus the allocations.
+  void reset() noexcept {
+    queue_.reset();
+    now_ = 0.0;
+    next_seq_ = 0;
+    stopped_ = false;
+    queue_hwm_ = 0;
+    dispatched_ = 0;
+  }
+
   [[nodiscard]] double now() const noexcept { return now_; }
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }

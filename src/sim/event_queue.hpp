@@ -112,6 +112,18 @@ class EventQueue {
   /// Arena slots ever allocated (pool high water; observability gauge).
   [[nodiscard]] std::size_t arena_slots() const noexcept { return slots_used_; }
 
+  /// Returns the queue to the just-constructed state while keeping the
+  /// arena chunks and the heap vector's capacity: pending callbacks are
+  /// destroyed, carving restarts at slot 0, and no memory is released
+  /// -- the world-reuse path performs no allocations until the queue
+  /// grows past its previous high water.
+  void reset() noexcept {
+    for (const Node& n : heap_) at(n.slot()).fn.reset();
+    heap_.clear();
+    slots_used_ = 0;
+    free_head_ = kNull;
+  }
+
  private:
   static constexpr std::uint32_t kNull = 0xffffffffu;
   static constexpr std::size_t kArity = 4;

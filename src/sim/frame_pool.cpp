@@ -1,0 +1,109 @@
+#include "sim/frame_pool.hpp"
+
+#include <atomic>
+#include <new>
+
+#include "obs/counters.hpp"
+
+namespace sci::sim {
+
+namespace {
+
+/// Per-block provenance, prepended to every frame. 16 bytes
+/// (max_align_t) so the frame behind it keeps the fundamental alignment
+/// operator new guarantees. `owner == nullptr` means the block came
+/// straight from the heap (oversized, pooling disabled, or allocated
+/// before the pool existed) and goes straight back.
+struct BlockHeader {
+  FramePool* owner;
+  std::uint32_t bucket;
+  std::uint32_t pad;
+};
+static_assert(sizeof(BlockHeader) <= alignof(std::max_align_t),
+              "header must preserve frame alignment");
+constexpr std::size_t kHeaderBytes = alignof(std::max_align_t);
+
+std::atomic<bool> g_default_enabled{SCIBENCH_POOLING != 0};
+
+void count_heap_alloc(std::uint64_t& local_tally) {
+  ++local_tally;
+  static obs::Counter& total = obs::counter(obs::keys::kCoroFrameHeapAllocs);
+  total.add(1);
+}
+
+}  // namespace
+
+FramePool::FramePool() noexcept : enabled_(default_enabled()) {}
+
+FramePool::~FramePool() { trim(); }
+
+FramePool& FramePool::local() noexcept {
+  static thread_local FramePool pool;
+  return pool;
+}
+
+void FramePool::set_default_enabled(bool on) noexcept {
+  g_default_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool FramePool::default_enabled() noexcept {
+  return g_default_enabled.load(std::memory_order_relaxed);
+}
+
+void* FramePool::allocate(std::size_t size) {
+  const std::size_t total = size + kHeaderBytes;
+  if (enabled_ && total <= kMaxPooledBytes) {
+    const std::size_t bucket = (total - 1) / kBucketBytes;
+    void* raw;
+    if (free_[bucket] != nullptr) {
+      raw = free_[bucket];
+      free_[bucket] = free_[bucket]->next;
+      --cached_blocks_;
+      ++pool_hits_;
+    } else {
+      raw = ::operator new((bucket + 1) * kBucketBytes);
+      count_heap_alloc(heap_allocs_);
+    }
+    auto* header = static_cast<BlockHeader*>(raw);
+    header->owner = this;
+    header->bucket = static_cast<std::uint32_t>(bucket);
+    return static_cast<std::byte*>(raw) + kHeaderBytes;
+  }
+  void* raw = ::operator new(total);
+  count_heap_alloc(heap_allocs_);
+  auto* header = static_cast<BlockHeader*>(raw);
+  header->owner = nullptr;
+  header->bucket = 0;
+  return static_cast<std::byte*>(raw) + kHeaderBytes;
+}
+
+void FramePool::deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  void* raw = static_cast<std::byte*>(p) - kHeaderBytes;
+  auto* header = static_cast<BlockHeader*>(raw);
+  // Every pooled block is an individual heap allocation, so a block
+  // owned by another thread's pool (or surfacing after its pool died)
+  // can be released directly instead of racing on a foreign free list.
+  if (header->owner != this) {
+    ::operator delete(raw);
+    return;
+  }
+  const std::size_t bucket = header->bucket;
+  auto* block = static_cast<FreeBlock*>(raw);
+  block->next = free_[bucket];
+  free_[bucket] = block;
+  ++cached_blocks_;
+}
+
+void FramePool::trim() noexcept {
+  for (FreeBlock*& head : free_) {
+    while (head != nullptr) {
+      FreeBlock* next = head->next;
+      ::operator delete(head);
+      head = next;
+      --cached_blocks_;
+    }
+  }
+}
+
+}  // namespace sci::sim

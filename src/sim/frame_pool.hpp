@@ -1,0 +1,100 @@
+// Pooled allocator for coroutine frames.
+//
+// Every rank program, collective, and trampoline in the simulator is a
+// C++20 coroutine whose frame the compiler allocates through the
+// promise's operator new. By default that is one malloc/free pair per
+// coroutine -- thousands per campaign replication once collectives nest
+// -- and it is the last per-replication allocation left after the event
+// arena (PR 3) removed the per-event ones.
+//
+// FramePool is a per-thread, size-bucketed free-list arena: frames are
+// rounded up to 64-byte classes and recycled on a per-class free list,
+// so from the second replication of a world shape onward every frame
+// allocation is a pop and every deallocation is a push -- the allocator
+// is never entered. Each block carries a 16-byte header naming its
+// origin (owning pool or direct heap), which keeps three awkward cases
+// correct without a flag-day contract: blocks freed on a different
+// thread than they were allocated on, blocks allocated while pooling
+// was disabled and freed after it was re-enabled (and vice versa), and
+// oversized frames that bypass the buckets entirely.
+//
+// Underlying heap allocations (bucket refills, oversized frames, and
+// every allocation when pooling is disabled) bump the obs counter
+// `simmpi.coro_frame_heap_allocs` plus a per-thread tally, mirroring
+// PR 3's `engine.callback_heap_allocs`: the zero-allocation contract is
+// a failing test, not an aspiration. Build with -DSCIBENCH_POOLING=OFF
+// (or call set_enabled(false)) to route every frame through the heap --
+// the differential path tests/test_exec_reuse.cpp pins byte-identical
+// results against, and the configuration the ASan CI job uses to keep
+// real frame lifetimes visible to the sanitizer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sci::sim {
+
+#ifndef SCIBENCH_POOLING
+#define SCIBENCH_POOLING 1
+#endif
+
+class FramePool {
+ public:
+  /// Size-class granularity and count: frames up to 4 KiB are pooled
+  /// (the deepest collective nest today is < 1 KiB); larger frames fall
+  /// through to the heap and are tallied.
+  static constexpr std::size_t kBucketBytes = 64;
+  static constexpr std::size_t kBucketCount = 64;
+  static constexpr std::size_t kMaxPooledBytes = kBucketBytes * kBucketCount;
+
+  FramePool() noexcept;
+  ~FramePool();
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  /// The calling thread's pool (one per thread, created on first use).
+  [[nodiscard]] static FramePool& local() noexcept;
+
+  [[nodiscard]] void* allocate(std::size_t size);
+  void deallocate(void* p) noexcept;
+
+  /// Underlying operator new calls made for frames on this thread:
+  /// bucket refills, oversized frames, and (when pooling is disabled)
+  /// every frame. Monotonic; per-replication audits take deltas, the
+  /// process-wide total accumulates in the obs counter
+  /// `simmpi.coro_frame_heap_allocs` for the report footer.
+  [[nodiscard]] std::uint64_t heap_allocs() const noexcept { return heap_allocs_; }
+  /// Frame allocations served from a free list (zero heap involvement).
+  [[nodiscard]] std::uint64_t pool_hits() const noexcept { return pool_hits_; }
+  /// Blocks currently cached on this thread's free lists.
+  [[nodiscard]] std::size_t cached_blocks() const noexcept { return cached_blocks_; }
+
+  /// Runtime kill switch for this thread's pool (differential tests).
+  /// Blocks already handed out are freed correctly either way (the
+  /// header remembers where each came from).
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Process-wide default for pools of threads created later (campaign
+  /// workers); compile-time default SCIBENCH_POOLING. Benchmarks flip
+  /// this around baseline runs so worker threads inherit the setting.
+  static void set_default_enabled(bool on) noexcept;
+  [[nodiscard]] static bool default_enabled() noexcept;
+
+  /// Returns every cached free block to the heap (keeps live frames
+  /// valid; they free themselves through their headers).
+  void trim() noexcept;
+
+ private:
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+
+  FreeBlock* free_[kBucketCount] = {};
+  std::uint64_t heap_allocs_ = 0;
+  std::uint64_t pool_hits_ = 0;
+  std::size_t cached_blocks_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace sci::sim

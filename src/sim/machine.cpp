@@ -1,5 +1,7 @@
 #include "sim/machine.hpp"
 
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
 namespace sci::sim {
@@ -148,6 +150,17 @@ Machine make_machine(const std::string& name) {
   if (name == "noiseless") return make_noiseless();
   if (name == "bgq") return make_bgq();
   throw std::invalid_argument("make_machine: unknown machine '" + name + "'");
+}
+
+std::shared_ptr<const Machine> machine_preset(const std::string& name) {
+  static std::mutex mutex;
+  static std::map<std::string, std::shared_ptr<const Machine>, std::less<>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, std::make_shared<const Machine>(make_machine(name))).first;
+  }
+  return it->second;
 }
 
 }  // namespace sci::sim

@@ -65,4 +65,12 @@ struct Machine {
 /// unknown names.
 [[nodiscard]] Machine make_machine(const std::string& name);
 
+/// Memoized make_machine: one shared immutable Machine per preset name
+/// per process, built on first use (thread-safe). Machines are pure
+/// data, so sharing one instance across every replication of a
+/// campaign is observationally identical to rebuilding it -- minus the
+/// topology/string allocations, which on setup-dominated campaigns are
+/// a measurable slice of the replication loop.
+[[nodiscard]] std::shared_ptr<const Machine> machine_preset(const std::string& name);
+
 }  // namespace sci::sim

@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "sim/engine.hpp"
+#include "sim/frame_pool.hpp"
 
 namespace sci::sim {
 
@@ -28,6 +29,13 @@ class Task;
 namespace detail {
 
 struct PromiseBase {
+  // Coroutine frames route through the per-thread FramePool: the
+  // compiler finds these through the promise type, so every sim::Task
+  // frame -- rank programs, collectives, trampolines -- is recycled
+  // instead of hitting the allocator once the pool is warm.
+  static void* operator new(std::size_t size) { return FramePool::local().allocate(size); }
+  static void operator delete(void* p) noexcept { FramePool::local().deallocate(p); }
+
   std::coroutine_handle<> continuation;  // resumed when this task finishes
 
   struct FinalAwaiter {

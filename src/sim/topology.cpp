@@ -70,27 +70,35 @@ unsigned Torus3D::hops(std::size_t a, std::size_t b) const {
 
 std::vector<std::size_t> allocate_nodes(const Topology& topo, std::size_t count,
                                         AllocationPolicy policy, rng::Xoshiro256& gen) {
+  std::vector<std::size_t> nodes;
+  std::vector<std::size_t> scratch;
+  allocate_nodes_into(topo, count, policy, gen, nodes, scratch);
+  return nodes;
+}
+
+void allocate_nodes_into(const Topology& topo, std::size_t count, AllocationPolicy policy,
+                         rng::Xoshiro256& gen, std::vector<std::size_t>& out,
+                         std::vector<std::size_t>& scratch) {
   const std::size_t total = topo.node_count();
   if (count == 0 || count > total)
     throw std::invalid_argument("allocate_nodes: 1 <= count <= node_count required");
 
-  std::vector<std::size_t> nodes;
-  nodes.reserve(count);
+  out.clear();
+  out.reserve(count);
   switch (policy) {
     case AllocationPolicy::kPacked: {
       const auto base = static_cast<std::size_t>(rng::uniform_below(gen, total - count + 1));
-      for (std::size_t i = 0; i < count; ++i) nodes.push_back(base + i);
+      for (std::size_t i = 0; i < count; ++i) out.push_back(base + i);
       break;
     }
     case AllocationPolicy::kScattered: {
-      std::vector<std::size_t> all(total);
-      std::iota(all.begin(), all.end(), std::size_t{0});
-      rng::shuffle(gen, all);
-      nodes.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(count));
+      scratch.resize(total);
+      std::iota(scratch.begin(), scratch.end(), std::size_t{0});
+      rng::shuffle(gen, scratch);
+      out.assign(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(count));
       break;
     }
   }
-  return nodes;
 }
 
 }  // namespace sci::sim

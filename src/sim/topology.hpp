@@ -80,4 +80,13 @@ enum class AllocationPolicy {
                                                       AllocationPolicy policy,
                                                       rng::Xoshiro256& gen);
 
+/// In-place allocate_nodes: writes the allocation into `out` and uses
+/// `scratch` for the scattered policy's node permutation, so a caller
+/// that keeps both buffers (World::reset, every replication) draws the
+/// exact same allocation as allocate_nodes without touching the heap
+/// once the buffers reached node_count() capacity.
+void allocate_nodes_into(const Topology& topo, std::size_t count, AllocationPolicy policy,
+                         rng::Xoshiro256& gen, std::vector<std::size_t>& out,
+                         std::vector<std::size_t>& scratch);
+
 }  // namespace sci::sim

@@ -22,8 +22,15 @@ class EngineSpan {
  public:
   EngineSpan(const Engine& engine, int tid, const char* name, const char* cat,
              std::initializer_list<obs::TraceArg> args = {})
-      : engine_(&engine), tid_(tid), name_(name), cat_(cat), t0_(engine.now()), args_(args) {}
+      : engine_(&engine), tid_(tid), name_(name), cat_(cat), t0_(engine.now()),
+        armed_(obs::sink() != nullptr) {
+    // Copying the args costs a heap allocation; with no sink attached
+    // (every untraced replication) the span must cost nothing, so the
+    // copy only happens when someone is listening.
+    if (armed_) args_.assign(args.begin(), args.end());
+  }
   ~EngineSpan() {
+    if (!armed_) return;
     if (obs::TraceSink* s = obs::sink()) {
       s->complete(tid_, name_, cat_, t0_, engine_->now() - t0_, std::move(args_));
     }
@@ -37,6 +44,7 @@ class EngineSpan {
   const char* name_;
   const char* cat_;
   double t0_;
+  bool armed_;
   std::vector<obs::TraceArg> args_;
 };
 

@@ -18,40 +18,19 @@ constexpr int kTagPong = 2;
 std::vector<double> pingpong_latency(const sim::Machine& machine, std::size_t samples,
                                      std::size_t message_bytes, std::uint64_t seed,
                                      std::size_t warmup) {
-  World world(machine, 2, seed);
-  std::vector<double> out;
-  out.reserve(samples);
-
-  const std::size_t total = samples + warmup;
-  world.launch_on(0, [&](Comm& comm) -> sim::Task<void> {
-    for (std::size_t i = 0; i < total; ++i) {
-      const double t0 = comm.wtime();
-      co_await comm.send(1, kTagPing, message_bytes);
-      (void)co_await comm.recv(1, kTagPong);
-      const double t1 = comm.wtime();
-      if (i >= warmup) out.push_back((t1 - t0) / 2.0);
-    }
-  });
-  world.launch_on(1, [&, total](Comm& comm) -> sim::Task<void> {
-    for (std::size_t i = 0; i < total; ++i) {
-      (void)co_await comm.recv(0, kTagPing);
-      co_await comm.send(0, kTagPong, message_bytes);
-    }
-  });
-  world.run();
-  return out;
+  PingPongBench bench(machine, message_bytes, warmup);
+  return bench.run(samples, seed);
 }
 
-ReduceBenchResult ReduceBenchResult_make(std::size_t iterations, int ranks) {
-  ReduceBenchResult r;
-  r.times.assign(iterations, std::vector<double>(static_cast<std::size_t>(ranks), 0.0));
-  return r;
+void ReduceBenchResult::max_across_ranks_into(std::vector<double>& out) const {
+  out.clear();
+  out.reserve(times.size());
+  for (const auto& row : times) out.push_back(*std::max_element(row.begin(), row.end()));
 }
 
 std::vector<double> ReduceBenchResult::max_across_ranks() const {
   std::vector<double> out;
-  out.reserve(times.size());
-  for (const auto& row : times) out.push_back(*std::max_element(row.begin(), row.end()));
+  max_across_ranks_into(out);
   return out;
 }
 
@@ -66,50 +45,15 @@ ReduceBenchResult reduce_bench(const sim::Machine& machine, int ranks,
                                std::size_t iterations, std::uint64_t seed,
                                double sync_window_s) {
   if (ranks < 1) throw std::invalid_argument("reduce_bench: ranks >= 1");
-  World world(machine, ranks, seed);
-  ReduceBenchResult result = ReduceBenchResult_make(iterations, ranks);
-
-  world.launch([&](Comm& comm) -> sim::Task<void> {
-    for (std::size_t i = 0; i < iterations; ++i) {
-      co_await window_sync(comm, sync_window_s);
-      const double t0 = comm.wtime();
-      (void)co_await reduce(comm, static_cast<double>(comm.rank()), /*root=*/0);
-      const double t1 = comm.wtime();
-      result.times[i][static_cast<std::size_t>(comm.rank())] = t1 - t0;
-    }
-  });
-  world.run();
-  return result;
+  ReduceBench bench(machine, ranks, sync_window_s);
+  return bench.run(iterations, seed);
 }
 
 std::vector<double> pi_scaling_run(const sim::Machine& machine, int ranks,
                                    double base_seconds, double serial_fraction,
                                    std::size_t repetitions, std::uint64_t seed) {
-  std::vector<double> completion(repetitions, 0.0);
-  for (std::size_t rep = 0; rep < repetitions; ++rep) {
-    World world(machine, ranks, seed + rep);
-    std::vector<double> finish(static_cast<std::size_t>(ranks), 0.0);
-
-    world.launch([&](Comm& comm) -> sim::Task<void> {
-      // Serial initialization on rank 0 (the Amdahl fraction), then
-      // embarrassingly parallel work, then one reduction.
-      if (comm.rank() == 0) {
-        co_await comm.compute(base_seconds * serial_fraction);
-        // Release the other ranks (models broadcasting the work).
-        (void)co_await bcast(comm, 0.0, 0);
-      } else {
-        (void)co_await bcast(comm, 0.0, 0);
-      }
-      const double parallel_work =
-          base_seconds * (1.0 - serial_fraction) / static_cast<double>(comm.size());
-      co_await comm.compute(parallel_work);
-      (void)co_await reduce(comm, 3.14159 / static_cast<double>(comm.size()), 0);
-      finish[static_cast<std::size_t>(comm.rank())] = comm.world().engine().now();
-    });
-    world.run();
-    completion[rep] = *std::max_element(finish.begin(), finish.end());
-  }
-  return completion;
+  PiScalingBench bench(machine, ranks, base_seconds, serial_fraction);
+  return bench.run(repetitions, seed);
 }
 
 std::vector<double> window_sync_skew(const sim::Machine& machine, int ranks,
@@ -134,6 +78,101 @@ std::vector<double> window_sync_skew(const sim::Machine& machine, int ranks,
     skew.push_back(*hi - *lo);
   }
   return skew;
+}
+
+PingPongBench::PingPongBench(sim::Machine machine, std::size_t message_bytes,
+                             std::size_t warmup)
+    : world_(std::move(machine), 2, /*seed=*/0),
+      message_bytes_(message_bytes),
+      warmup_(warmup) {}
+
+const std::vector<double>& PingPongBench::run(std::size_t samples, std::uint64_t seed) {
+  world_.reset(seed);
+  out_.clear();
+  out_.reserve(samples);
+
+  const std::size_t total = samples + warmup_;
+  world_.launch_on(0, [this, total](Comm& comm) -> sim::Task<void> {
+    for (std::size_t i = 0; i < total; ++i) {
+      const double t0 = comm.wtime();
+      co_await comm.send(1, kTagPing, message_bytes_);
+      (void)co_await comm.recv(1, kTagPong);
+      const double t1 = comm.wtime();
+      if (i >= warmup_) out_.push_back((t1 - t0) / 2.0);
+    }
+  });
+  world_.launch_on(1, [this, total](Comm& comm) -> sim::Task<void> {
+    for (std::size_t i = 0; i < total; ++i) {
+      (void)co_await comm.recv(0, kTagPing);
+      co_await comm.send(0, kTagPong, message_bytes_);
+    }
+  });
+  world_.run();
+  return out_;
+}
+
+ReduceBench::ReduceBench(sim::Machine machine, int ranks, double sync_window_s)
+    : world_(std::move(machine), ranks, /*seed=*/0),
+      ranks_(ranks),
+      sync_window_s_(sync_window_s) {}
+
+const ReduceBenchResult& ReduceBench::run(std::size_t iterations, std::uint64_t seed) {
+  world_.reset(seed);
+  const auto width = static_cast<std::size_t>(ranks_);
+  // resize + assign rather than a fresh grid: rows keep their capacity,
+  // so repeat runs with the same shape touch no memory allocator.
+  result_.times.resize(iterations);
+  for (auto& row : result_.times) row.assign(width, 0.0);
+
+  world_.launch([this, iterations](Comm& comm) -> sim::Task<void> {
+    for (std::size_t i = 0; i < iterations; ++i) {
+      co_await window_sync(comm, sync_window_s_);
+      const double t0 = comm.wtime();
+      (void)co_await reduce(comm, static_cast<double>(comm.rank()), /*root=*/0);
+      const double t1 = comm.wtime();
+      result_.times[i][static_cast<std::size_t>(comm.rank())] = t1 - t0;
+    }
+  });
+  world_.run();
+  return result_;
+}
+
+PiScalingBench::PiScalingBench(sim::Machine machine, int ranks, double base_seconds,
+                               double serial_fraction)
+    : world_(std::move(machine), ranks, /*seed=*/0),
+      ranks_(ranks),
+      base_seconds_(base_seconds),
+      serial_fraction_(serial_fraction) {}
+
+const std::vector<double>& PiScalingBench::run(std::size_t repetitions,
+                                               std::uint64_t seed) {
+  completion_.assign(repetitions, 0.0);
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    // pi_scaling_run builds World(machine, ranks, seed + rep) per
+    // repetition; reset with the same seed chain is byte-identical.
+    world_.reset(seed + rep);
+    finish_.assign(static_cast<std::size_t>(ranks_), 0.0);
+
+    world_.launch([this](Comm& comm) -> sim::Task<void> {
+      // Serial initialization on rank 0 (the Amdahl fraction), then
+      // embarrassingly parallel work, then one reduction.
+      if (comm.rank() == 0) {
+        co_await comm.compute(base_seconds_ * serial_fraction_);
+        // Release the other ranks (models broadcasting the work).
+        (void)co_await bcast(comm, 0.0, 0);
+      } else {
+        (void)co_await bcast(comm, 0.0, 0);
+      }
+      const double parallel_work =
+          base_seconds_ * (1.0 - serial_fraction_) / static_cast<double>(comm.size());
+      co_await comm.compute(parallel_work);
+      (void)co_await reduce(comm, 3.14159 / static_cast<double>(comm.size()), 0);
+      finish_[static_cast<std::size_t>(comm.rank())] = comm.world().engine().now();
+    });
+    world_.run();
+    completion_[rep] = *std::max_element(finish_.begin(), finish_.end());
+  }
+  return completion_;
 }
 
 }  // namespace sci::simmpi

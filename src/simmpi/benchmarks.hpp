@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/machine.hpp"
+#include "simmpi/comm.hpp"
 
 namespace sci::simmpi {
 
@@ -31,6 +32,9 @@ struct ReduceBenchResult {
   std::vector<std::vector<double>> times;
   /// Per-iteration maximum across ranks (the usual "reduce latency").
   [[nodiscard]] std::vector<double> max_across_ranks() const;
+  /// In-place max_across_ranks for callers that reuse the output buffer
+  /// across replications.
+  void max_across_ranks_into(std::vector<double>& out) const;
   /// All iterations of one rank.
   [[nodiscard]] std::vector<double> rank_series(int rank) const;
 };
@@ -55,5 +59,76 @@ struct ReduceBenchResult {
 /// spread (max - min) of the *true* times at which ranks left the sync.
 [[nodiscard]] std::vector<double> window_sync_skew(const sim::Machine& machine, int ranks,
                                                    std::size_t trials, std::uint64_t seed);
+
+// -- Reusable replication contexts ------------------------------------
+//
+// The free functions above build a fresh World (topology walk, clock
+// draws, mailboxes, event arena) per call. A replication loop pays that
+// setup over and over even though only the seed changes. These contexts
+// construct the world once and World::reset() it per replication, which
+// is seed-for-seed byte-identical to fresh construction (pinned by
+// test_exec_reuse) but leaves every buffer at its high-water capacity,
+// so replications after the first run allocation-free.
+
+/// Reusable ping-pong driver: one 2-rank world plus the sample buffer.
+class PingPongBench {
+ public:
+  PingPongBench(sim::Machine machine, std::size_t message_bytes, std::size_t warmup = 16);
+
+  /// Runs one replication; returns `samples` half-round-trip latencies,
+  /// byte-identical to pingpong_latency(machine, samples, message_bytes,
+  /// seed, warmup). The reference stays valid until the next run().
+  const std::vector<double>& run(std::size_t samples, std::uint64_t seed);
+
+  [[nodiscard]] World& world() noexcept { return world_; }
+
+ private:
+  World world_;
+  std::size_t message_bytes_;
+  std::size_t warmup_;
+  std::vector<double> out_;
+};
+
+/// Reusable reduce driver: one `ranks`-wide world plus the result grid.
+class ReduceBench {
+ public:
+  ReduceBench(sim::Machine machine, int ranks, double sync_window_s = 200e-6);
+
+  /// Runs one replication, byte-identical to reduce_bench(machine,
+  /// ranks, iterations, seed, sync_window_s). The reference stays valid
+  /// until the next run().
+  const ReduceBenchResult& run(std::size_t iterations, std::uint64_t seed);
+
+  [[nodiscard]] World& world() noexcept { return world_; }
+
+ private:
+  World world_;
+  int ranks_;
+  double sync_window_s_;
+  ReduceBenchResult result_;
+};
+
+/// Reusable Pi-scaling driver: pi_scaling_run builds a fresh world per
+/// repetition (seed + rep); this context resets one world instead.
+class PiScalingBench {
+ public:
+  PiScalingBench(sim::Machine machine, int ranks, double base_seconds,
+                 double serial_fraction);
+
+  /// Runs `repetitions` replications, byte-identical to
+  /// pi_scaling_run(machine, ranks, base_seconds, serial_fraction,
+  /// repetitions, seed). The reference stays valid until the next run().
+  const std::vector<double>& run(std::size_t repetitions, std::uint64_t seed);
+
+  [[nodiscard]] World& world() noexcept { return world_; }
+
+ private:
+  World world_;
+  int ranks_;
+  double base_seconds_;
+  double serial_fraction_;
+  std::vector<double> completion_;
+  std::vector<double> finish_;
+};
 
 }  // namespace sci::simmpi

@@ -249,65 +249,72 @@ void Comm::WaitLocalAwaitable::await_suspend(std::coroutine_handle<> h) {
 
 World::World(sim::Machine machine, int ranks, std::uint64_t seed,
              sim::AllocationPolicy policy)
-    : machine_(std::move(machine)), network_(machine_.make_network()) {
+    : machine_(std::move(machine)), network_(machine_.make_network()), policy_(policy) {
   if (ranks < 1) throw std::invalid_argument("World: ranks >= 1");
+  const auto want = static_cast<std::size_t>(ranks);
+  nodes_.resize(want);
+  route_base_.resize(want * want);
+  mailboxes_.resize(want);
+  fifo_clock_.assign(want, std::vector<double>(want, 0.0));
+  comms_.reserve(want);
+  for (int r = 0; r < ranks; ++r) {
+    auto comm = std::make_unique<Comm>();
+    comm->world_ = this;
+    comm->rank_ = r;
+    comms_.push_back(std::move(comm));
+  }
+  reset(seed);
+}
+
+void World::reset(std::uint64_t seed) {
+  // Publish any traffic still unflushed (reset mid-run or after step())
+  // before the per-rank stats are zeroed below.
+  flush_counters();
+  engine_.reset();
 
   rng::Xoshiro256 seeder(seed);
   // Batch system: pick the node allocation (one node per rank if the
   // machine is large enough; otherwise round-robin over the allocation).
+  // The seeder draw order below must match the original construction
+  // path exactly -- allocation first, then per-rank clock offset,
+  // drift, and stream split -- or reset breaks seed-for-seed identity.
   const std::size_t node_count = machine_.topology->node_count();
-  const auto want = static_cast<std::size_t>(ranks);
+  const std::size_t want = comms_.size();
   const std::size_t alloc_size = std::min(want, node_count);
-  auto allocation = sim::allocate_nodes(*machine_.topology, alloc_size, policy, seeder);
-
-  nodes_.resize(want);
-  for (std::size_t r = 0; r < want; ++r) nodes_[r] = allocation[r % allocation.size()];
+  sim::allocate_nodes_into(*machine_.topology, alloc_size, policy_, seeder, allocation_,
+                           alloc_scratch_);
+  for (std::size_t r = 0; r < want; ++r) nodes_[r] = allocation_[r % allocation_.size()];
 
   // Precompute the byte-independent route cost per rank pair once; the
   // p2p path then never queries the topology again.
-  route_base_.resize(want * want);
   for (std::size_t s = 0; s < want; ++s) {
     for (std::size_t d = 0; d < want; ++d) {
       route_base_[s * want + d] = network_.route_base(nodes_[s], nodes_[d]);
     }
   }
 
-  comms_.reserve(want);
-  mailboxes_.resize(want);
-  fifo_clock_.assign(want, std::vector<double>(want, 0.0));
-  for (int r = 0; r < ranks; ++r) {
-    auto comm = std::make_unique<Comm>();
-    comm->world_ = this;
-    comm->rank_ = r;
-    comm->node_ = nodes_[static_cast<std::size_t>(r)];
+  for (std::size_t r = 0; r < want; ++r) {
+    Comm& comm = *comms_[r];
+    comm.node_ = nodes_[r];
     const double offset = rng::normal(seeder, 0.0, machine_.clock_offset_sigma_s);
     const double drift = rng::normal(seeder, 0.0, machine_.clock_drift_ppm_sigma);
-    comm->clock_ = LocalClock(offset, drift);
-    comm->gen_ = seeder.split();
-    comms_.push_back(std::move(comm));
+    comm.clock_ = LocalClock(offset, drift);
+    comm.gen_ = seeder.split();
+    comm.stats_ = CommStats{};
+    comm.busy_s_ = 0.0;
   }
-}
 
-namespace {
-
-// Trampoline: holds the program closure by value in its own coroutine
-// frame. Rank programs are usually capturing lambdas; without this, the
-// closure (and its captures) would be destroyed before the suspended
-// coroutine first resumes inside Engine::run().
-sim::Task<void> run_program(std::function<sim::Task<void>(Comm&)> program, Comm& comm) {
-  co_await program(comm);
-}
-
-}  // namespace
-
-void World::launch(const std::function<sim::Task<void>(Comm&)>& program) {
-  for (int r = 0; r < size(); ++r) launch_on(r, program);
-}
-
-void World::launch_on(int rank, const std::function<sim::Task<void>(Comm&)>& program) {
-  programs_.push_back(run_program(program, comm(rank)));
-  const sim::Task<void>& task = programs_.back();
-  engine_.schedule_at(engine_.now(), [&task] { task.start(); });
+  for (Mailbox& box : mailboxes_) {
+    box.unexpected.clear();
+    box.posted.clear();
+    box.posted_nb.clear();
+  }
+  for (auto& row : fifo_clock_) std::fill(row.begin(), row.end(), 0.0);
+  programs_.clear();
+  delivered_ = 0;
+  next_msg_seq_ = 0;
+  counted_msgs_ = 0;
+  counted_bytes_ = 0;
 }
 
 double World::energy_joules() const noexcept {

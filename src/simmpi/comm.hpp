@@ -7,13 +7,14 @@
 // point-to-point (see collectives.hpp).
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <limits>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "rng/xoshiro.hpp"
@@ -142,6 +143,19 @@ class Comm {
   double busy_s_ = 0.0;
 };
 
+namespace detail {
+
+/// Trampoline: holds the program callable by value in its own (pooled)
+/// coroutine frame. Rank programs are usually capturing lambdas;
+/// without this, the closure (and its captures) would be destroyed
+/// before the suspended coroutine first resumes inside Engine::run().
+template <typename F>
+sim::Task<void> run_rank_program(F program, Comm& comm) {
+  co_await program(comm);
+}
+
+}  // namespace detail
+
 /// A simulated job: machine + ranks + programs.
 class World {
  public:
@@ -154,11 +168,32 @@ class World {
   World(const World&) = delete;
   World& operator=(const World&) = delete;
 
-  /// Launches `program(comm)` on every rank at time 0.
-  void launch(const std::function<sim::Task<void>(Comm&)>& program);
+  /// Rewinds this world to the state a freshly constructed
+  /// World(machine, ranks, seed, policy) would have: same node
+  /// allocation, clock skews, and per-rank RNG streams, drawn in the
+  /// same order from the same seeder, so a reset world is seed-for-seed
+  /// byte-identical to a new one. Unlike construction, reset keeps
+  /// every buffer (mailboxes, FIFO clocks, route table, event arena),
+  /// so replications after the first touch the heap only when they
+  /// exceed a previous high-water mark.
+  void reset(std::uint64_t seed);
+
+  /// Launches `program(comm)` on every rank at time 0. `program` is any
+  /// copyable callable Comm& -> sim::Task<void>; it is held by value in
+  /// the trampoline coroutine's (pooled) frame, so launching allocates
+  /// no std::function.
+  template <typename F>
+  void launch(const F& program) {
+    for (int r = 0; r < size(); ++r) launch_on(r, program);
+  }
 
   /// Launches a program on one specific rank.
-  void launch_on(int rank, const std::function<sim::Task<void>(Comm&)>& program);
+  template <typename F>
+  void launch_on(int rank, F program) {
+    programs_.push_back(detail::run_rank_program(std::move(program), comm(rank)));
+    const sim::Task<void>& task = programs_.back();
+    engine_.schedule_at(engine_.now(), [&task] { task.start(); });
+  }
 
   /// Runs the engine to completion. Throws if any rank is still blocked
   /// when the event queue drains (deadlock).
@@ -233,8 +268,11 @@ class World {
 
   sim::Machine machine_;
   sim::Network network_;
+  sim::AllocationPolicy policy_;
   sim::Engine engine_;
   std::vector<std::size_t> nodes_;  // rank -> node id
+  std::vector<std::size_t> allocation_;     // reset(): allocate_nodes_into target
+  std::vector<std::size_t> alloc_scratch_;  // reset(): shuffle permutation buffer
   std::vector<double> route_base_;  // (src_rank * ranks + dst_rank) -> L + hop cost
   sim::NoiseTally noise_tally_;     // batched noise counters, published in flush_counters()
   std::vector<std::unique_ptr<Comm>> comms_;
