@@ -72,6 +72,11 @@ struct CellResult {
   std::uint64_t callback_heap_spills = 0;    ///< InlineCallback SBO spills
   /// Non-empty when the backend threw; `samples` is then empty.
   std::string error;
+  /// Backend calls this cell consumed (1 on first-try success; up to
+  /// CampaignRunnerOptions::max_attempts when retries engaged). Zero
+  /// for cells never executed (cache/journal hits keep the recorded
+  /// value; interrupted cells report 0).
+  std::size_t attempts = 0;
 };
 
 /// Per-worker reusable state for a Backend: the runner creates one

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <tuple>
 #include <utility>
@@ -19,10 +20,40 @@ std::size_t column_index(const std::vector<std::string>& cols, const std::string
       std::find(cols.begin(), cols.end(), name) - cols.begin());
 }
 
+/// Value of "env.<key>: <value>" in the preserved raw header text, or
+/// empty. Values round-trip through escape_header_text on export.
+std::string header_env(const std::string& header_text, const std::string& key) {
+  const std::string needle = "env." + key + ": ";
+  std::size_t pos = 0;
+  while (pos < header_text.size()) {
+    std::size_t eol = header_text.find('\n', pos);
+    if (eol == std::string::npos) eol = header_text.size();
+    if (header_text.compare(pos, needle.size(), needle) == 0) {
+      return core::unescape_header_text(
+          header_text.substr(pos + needle.size(), eol - pos - needle.size()));
+    }
+    pos = eol + 1;
+  }
+  return {};
+}
+
+std::size_t header_env_count(const std::string& header_text, const std::string& key) {
+  const std::string value = header_env(header_text, key);
+  if (value.empty()) return 0;
+  // Hand-edited junk degrades to 0 rather than aborting the report.
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(value.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' ? static_cast<std::size_t>(n) : 0;
+}
+
 }  // namespace
 
 Ingested load_measurements(const std::string& path) {
-  Ingested out{core::Dataset::load_csv(path), false, {}};
+  Ingested out{core::Dataset::load_csv(path), false, {}, 0, 0, {}};
+  const std::string& header = out.dataset.experiment().description;
+  out.failed = header_env_count(header, "campaign.failed");
+  out.interrupted = header_env_count(header, "campaign.interrupted");
+  out.failed_cells = header_env(header, "campaign.failed_cells");
   const auto& cols = out.dataset.columns();
   out.campaign = has_column(cols, "config") && has_column(cols, "rep") &&
                  has_column(cols, "value") && has_column(cols, "sample");

@@ -29,6 +29,14 @@ struct Ingested {
   bool campaign = false;
   /// Per-cell series in (config, rep) order; empty unless `campaign`.
   std::vector<IngestedSeries> cells;
+  /// Failed/interrupted-cell accounting recovered from the embedded
+  /// experiment header (env.campaign.failed / env.campaign.failed_cells
+  /// / env.campaign.interrupted). Zero/empty for clean campaigns, so a
+  /// partially-failed export explains its missing cells instead of
+  /// looking like a thinner grid.
+  std::size_t failed = 0;
+  std::size_t interrupted = 0;
+  std::string failed_cells;
 };
 
 /// Loads `path` via core::Dataset::load_csv and detects/regroups

@@ -1,0 +1,228 @@
+#include "exec/journal.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "rng/xoshiro.hpp"
+
+namespace sci::exec {
+
+namespace {
+
+constexpr const char* kHeaderPrefix = "# scibench campaign journal v1 fp=";
+
+/// Doubles travel as IEEE-754 bit patterns so the journal round-trip is
+/// byte-exact (decimal formatting would quantize and break the resumed
+/// CSV differential).
+std::uint64_t double_bits(double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+/// Strings (unit, stop_reason, error) are hex-encoded into a single
+/// space-free token; "-" marks the empty string.
+std::string encode_text(const std::string& text) {
+  if (text.empty()) return "-";
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(text.size() * 2);
+  for (unsigned char c : text) {
+    out.push_back(hex[c >> 4]);
+    out.push_back(hex[c & 0xf]);
+  }
+  return out;
+}
+
+bool decode_text(const std::string& token, std::string& out) {
+  out.clear();
+  if (token == "-") return true;
+  if (token.size() % 2 != 0) return false;
+  out.reserve(token.size() / 2);
+  for (std::size_t i = 0; i < token.size(); i += 2) {
+    int hi = -1, lo = -1;
+    for (int half = 0; half < 2; ++half) {
+      const char c = token[i + static_cast<std::size_t>(half)];
+      int v = -1;
+      if (c >= '0' && c <= '9') v = c - '0';
+      else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+      (half == 0 ? hi : lo) = v;
+    }
+    if (hi < 0 || lo < 0) return false;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+bool parse_u64(const std::string& token, int base, std::uint64_t& out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, base);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+/// Parses one "cell ..." line into its key and result. Returns false on
+/// any malformation (short line, bad token, missing trailing "ok") --
+/// the caller treats that as the torn tail and stops replaying.
+bool parse_record(const std::string& line, std::size_t& config_index, std::size_t& rep,
+                  std::uint64_t& seed, CellResult& result) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  for (std::string t; in >> t;) tokens.push_back(std::move(t));
+  // cell <config> <rep> <seed> <attempts> <warmup> <stop_reason> <unit>
+  //   <error> <n> <n sample bit patterns> ok
+  constexpr std::size_t kFixed = 10;
+  if (tokens.size() < kFixed + 1 || tokens[0] != "cell") return false;
+  if (tokens.back() != "ok") return false;
+  std::uint64_t cfg = 0, r = 0, attempts = 0, warmup = 0, n = 0;
+  if (!parse_u64(tokens[1], 10, cfg) || !parse_u64(tokens[2], 10, r) ||
+      !parse_u64(tokens[3], 16, seed) || !parse_u64(tokens[4], 10, attempts) ||
+      !parse_u64(tokens[5], 10, warmup)) {
+    return false;
+  }
+  result = CellResult{};
+  if (!decode_text(tokens[6], result.stop_reason) ||
+      !decode_text(tokens[7], result.unit) || !decode_text(tokens[8], result.error)) {
+    return false;
+  }
+  if (!parse_u64(tokens[9], 10, n)) return false;
+  if (tokens.size() != kFixed + n + 1) return false;
+  result.samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t bits = 0;
+    if (!parse_u64(tokens[kFixed + i], 16, bits)) return false;
+    result.samples.push_back(bits_double(bits));
+  }
+  config_index = static_cast<std::size_t>(cfg);
+  rep = static_cast<std::size_t>(r);
+  result.attempts = static_cast<std::size_t>(attempts);
+  result.warmup_discarded = static_cast<std::size_t>(warmup);
+  return true;
+}
+
+std::uint64_t mix_bytes(std::uint64_t state, const std::string& text) {
+  state = rng::splitmix64_next(state) ^ text.size();
+  for (unsigned char c : text) state = rng::splitmix64_next(state) ^ c;
+  return state;
+}
+
+}  // namespace
+
+std::uint64_t CampaignJournal::fingerprint(const Campaign& campaign,
+                                           const std::string& backend_name) {
+  const CampaignSpec& spec = campaign.spec();
+  std::uint64_t state = 0x9a5c1b3a0d2e4f17ULL;
+  state = mix_bytes(state, spec.name);
+  state = rng::splitmix64_next(state) ^ spec.seed;
+  state = rng::splitmix64_next(state) ^ spec.replications;
+  state = rng::splitmix64_next(state) ^ campaign.config_count();
+  state = mix_bytes(state, backend_name);
+  return rng::splitmix64_next(state);
+}
+
+CampaignJournal::CampaignJournal(std::string path, std::uint64_t fingerprint)
+    : path_(std::move(path)) {
+  // Replay pass: read whatever a previous (possibly killed) run left
+  // behind. A line that fails to parse (no trailing "ok", truncated
+  // token) is the torn tail of an interrupted append; it is skipped --
+  // not treated as end-of-records, because a healed journal keeps
+  // appending valid records AFTER the scar -- and the resumed run
+  // simply re-executes that cell.
+  bool has_header = false;
+  bool ends_with_newline = true;
+  {
+    std::ifstream in(path_);
+    std::string line;
+    bool first = true;
+    while (in && std::getline(in, line)) {
+      ends_with_newline = !in.eof();
+      if (first) {
+        first = false;
+        if (line.rfind(kHeaderPrefix, 0) == 0) {
+          std::uint64_t fp = 0;
+          if (!parse_u64(line.substr(std::strlen(kHeaderPrefix)), 16, fp) ||
+              fp != fingerprint) {
+            throw std::runtime_error(
+                "CampaignJournal: '" + path_ +
+                "' was written by a different campaign/backend (fingerprint mismatch); "
+                "refusing to resume from it");
+          }
+          has_header = true;
+          continue;
+        }
+        throw std::runtime_error("CampaignJournal: '" + path_ +
+                                 "' exists but is not a campaign journal");
+      }
+      std::size_t config_index = 0, rep = 0;
+      std::uint64_t seed = 0;
+      CellResult result;
+      if (!parse_record(line, config_index, rep, seed, result)) continue;
+      records_[{config_index, rep}] = {seed, std::move(result)};
+    }
+  }
+
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("CampaignJournal: cannot open '" + path_ +
+                             "' for appending: " + std::strerror(errno));
+  }
+  if (!has_header) {
+    std::fprintf(file_, "%s%016" PRIx64 "\n", kHeaderPrefix, fingerprint);
+    std::fflush(file_);
+  } else if (!ends_with_newline) {
+    // Heal a torn tail so the next record starts on its own line
+    // instead of gluing onto the scar.
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  }
+}
+
+CampaignJournal::~CampaignJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+const CellResult* CampaignJournal::find(std::size_t config_index, std::size_t rep,
+                                        std::uint64_t seed) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find({config_index, rep});
+  if (it == records_.end() || it->second.first != seed) return nullptr;
+  return &it->second.second;
+}
+
+void CampaignJournal::append(std::size_t config_index, std::size_t rep,
+                             std::uint64_t seed, const CellResult& result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(file_, "cell %zu %zu %016" PRIx64 " %zu %zu %s %s %s %zu", config_index,
+               rep, seed, result.attempts, result.warmup_discarded,
+               encode_text(result.stop_reason).c_str(), encode_text(result.unit).c_str(),
+               encode_text(result.error).c_str(), result.samples.size());
+  for (double s : result.samples) {
+    std::fprintf(file_, " %016" PRIx64, double_bits(s));
+  }
+  // Trailing token marks the record complete; a line missing it is the
+  // torn tail of a crash and is dropped on replay.
+  std::fprintf(file_, " ok\n");
+  std::fflush(file_);
+  records_[{config_index, rep}] = {seed, result};
+}
+
+std::size_t CampaignJournal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+}  // namespace sci::exec

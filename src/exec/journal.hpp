@@ -1,0 +1,79 @@
+// CampaignJournal: append-only on-disk record of completed campaign
+// cells, giving CampaignRunner crash-safe checkpoint/resume.
+//
+// The journal is a text file with one header line and one line per
+// finished cell (successful OR failed -- both outcomes are final; only
+// interrupted cells are withheld so a resume retries them). Every
+// append is fflush()ed before the runner moves on, so after a crash or
+// kill the file holds every cell whose record write completed plus at
+// most one torn line at the tail; the reader drops the torn tail and
+// the resumed run simply re-executes that cell.
+//
+// Byte-exactness: sample values are stored as 16-hex-digit IEEE-754 bit
+// patterns, not decimal, so a journal round-trip reproduces the exact
+// doubles the backend emitted and resumed campaigns export CSVs that
+// are byte-identical to an uninterrupted run (pinned by
+// tests/test_exec_resilience.cpp).
+//
+// Identity: the header carries a fingerprint of (campaign name, seed,
+// replications, config count, backend name). Opening a journal written
+// by a different campaign or backend throws instead of silently
+// serving wrong cells. Within a journal, records are keyed by
+// (config_index, rep) and additionally carry the cell seed; a record
+// whose seed disagrees with the requested cell (e.g. the campaign
+// gained a seed_override) is ignored rather than trusted.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "exec/backend.hpp"
+#include "exec/campaign.hpp"
+
+namespace sci::exec {
+
+class CampaignJournal {
+ public:
+  /// Opens (or creates) the journal at `path`, replaying any existing
+  /// records. Throws std::runtime_error when the file exists but its
+  /// fingerprint does not match, or when it cannot be opened/created.
+  CampaignJournal(std::string path, std::uint64_t fingerprint);
+  ~CampaignJournal();
+
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  /// The recorded result of (config_index, rep), or nullptr when the
+  /// cell is not journaled or was journaled under a different seed.
+  [[nodiscard]] const CellResult* find(std::size_t config_index, std::size_t rep,
+                                       std::uint64_t seed) const;
+
+  /// Appends one finished cell and flushes it to disk before returning.
+  /// Thread-safe (the runner's workers append concurrently).
+  void append(std::size_t config_index, std::size_t rep, std::uint64_t seed,
+              const CellResult& result);
+
+  /// Records replayed at open plus records appended since.
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Campaign/backend identity hash written into the journal header:
+  /// splitmix64 chained over the campaign name, seed, replications,
+  /// config count, and backend name.
+  [[nodiscard]] static std::uint64_t fingerprint(const Campaign& campaign,
+                                                 const std::string& backend_name);
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  mutable std::mutex mutex_;
+  /// (config_index, rep) -> (seed, result).
+  std::map<std::pair<std::size_t, std::size_t>, std::pair<std::uint64_t, CellResult>>
+      records_;
+};
+
+}  // namespace sci::exec

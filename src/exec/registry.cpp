@@ -92,8 +92,12 @@ std::size_t Registry::run_all(std::ostream& os, const RunnerOptions& options) {
     const RegisteredBenchmark& b = *selected[i];
     const exec::CampaignCell& cell = result.cell(i);
     if (!cell.result.error.empty()) {
-      throw std::runtime_error("Registry::run_all: benchmark '" + b.name +
-                               "' failed: " + cell.result.error);
+      // One broken benchmark must not take down the whole run (or, via
+      // a worker-thread escape, the process): render the failure in
+      // place and keep going. The count still includes it, mirroring
+      // how campaign exports account failed cells.
+      os << b.name << ": FAILED: " << cell.result.error << "\n\n";
+      continue;
     }
 
     ReportBuilder report(b.experiment);

@@ -1,6 +1,7 @@
 #include "exec/runner.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -8,27 +9,20 @@
 #include <stdexcept>
 #include <thread>
 
+#include "exec/journal.hpp"
 #include "obs/trace.hpp"
 #include "sim/callback.hpp"
 #include "sim/frame_pool.hpp"
 
 namespace sci::exec {
 
-namespace {
-
-/// Result-cache key: backend identity + factor/level assignment + cell
-/// seed. Deliberately excludes config.index so a cell keeps its cache
-/// entry when the same levels reappear at another grid position (as
-/// long as its seed matches, i.e. under a seed_override).
-std::uint64_t cell_key(const std::string& backend_name, const Config& config,
-                       std::uint64_t seed) {
+CellKey make_cell_key(const std::string& backend_name, const Config& config,
+                      std::uint64_t seed) {
   std::uint64_t state = seed ^ 0xa0761d6478bd642fULL;
   state = rng::splitmix64_next(state) ^ backend_name.size();
   for (unsigned char c : backend_name) state = rng::splitmix64_next(state) ^ c;
-  return config.hash(rng::splitmix64_next(state));
+  return CellKey{backend_name, config.levels, seed, config.hash(rng::splitmix64_next(state))};
 }
-
-}  // namespace
 
 const CampaignCell& CampaignResult::cell(std::size_t config_index, std::size_t rep) const {
   if (rep >= replications)
@@ -104,22 +98,31 @@ core::Dataset CampaignResult::samples_dataset() const {
 
 core::Dataset CampaignResult::summary_dataset() const {
   auto cols = cell_columns(cells);
-  for (const char* c : {"n", "median", "ci_lo", "ci_hi", "mean", "min", "max"}) {
+  for (const char* c : {"failed", "n", "median", "ci_lo", "ci_hi", "mean", "min", "max"}) {
     cols.emplace_back(c);
   }
   core::Dataset ds(experiment, std::move(cols));
   constexpr double nan = std::numeric_limits<double>::quiet_NaN();
   for (const auto& cell : cells) {
-    if (!cell.result.error.empty()) continue;
-    const auto s = core::summarize_series(cell.result.samples);
+    // Failed cells keep their row (failed=1, NaN statistics) so a
+    // partially-failed campaign renders with explicit holes instead of
+    // silently shrinking the grid.
+    const bool cell_failed = !cell.result.error.empty();
     auto row = cell_prefix(cell);
-    row.push_back(static_cast<double>(s.n));
-    row.push_back(s.median);
-    row.push_back(s.median_ci ? s.median_ci->lower : nan);
-    row.push_back(s.median_ci ? s.median_ci->upper : nan);
-    row.push_back(s.mean);
-    row.push_back(s.min);
-    row.push_back(s.max);
+    row.push_back(cell_failed ? 1.0 : 0.0);
+    if (cell_failed) {
+      row.push_back(0.0);
+      for (int i = 0; i < 6; ++i) row.push_back(nan);
+    } else {
+      const auto s = core::summarize_series(cell.result.samples);
+      row.push_back(static_cast<double>(s.n));
+      row.push_back(s.median);
+      row.push_back(s.median_ci ? s.median_ci->lower : nan);
+      row.push_back(s.median_ci ? s.median_ci->upper : nan);
+      row.push_back(s.mean);
+      row.push_back(s.min);
+      row.push_back(s.max);
+    }
     ds.add_row(row);
   }
   return ds;
@@ -169,10 +172,26 @@ CampaignResult CampaignRunner::run() {
   if (workers == 0) workers = 1;
 
   const std::string backend_name = backend_.name();
+
+  // Crash-safe checkpoint/resume: completed cells append to the journal
+  // as they finish, and a rerun with the same path replays them instead
+  // of executing. Fingerprint mismatch (different campaign/backend)
+  // throws here, before any cell runs.
+  std::unique_ptr<CampaignJournal> journal;
+  if (!options_.journal_path.empty()) {
+    journal = std::make_unique<CampaignJournal>(
+        options_.journal_path, CampaignJournal::fingerprint(campaign_, backend_name));
+  }
+
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> executed{0};
   std::atomic<std::size_t> cache_hits{0};
   std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> journal_hits{0};
+  std::atomic<std::size_t> interrupted{0};
+  std::atomic<std::size_t> retries{0};
+  std::atomic<std::size_t> budget_used{0};
+  const std::size_t max_attempts = std::max<std::size_t>(1, options_.max_attempts);
 
   // Per-worker trace sinks, merged into the caller's sink after the
   // join (TraceSink is deliberately single-threaded). Only pay for
@@ -191,14 +210,31 @@ CampaignResult CampaignRunner::run() {
     // Per-worker reusable backend state: worlds, buffers, and RNG
     // scratch stay warm across every cell this worker claims. Results
     // are byte-identical to stateless backend_.run() calls.
+    //
+    // make_context() runs inside the worker thread, so an exception
+    // escaping it would hit std::terminate (no frame above us catches
+    // on this thread). Catch it here and record the error: this
+    // worker's claimed cells are marked failed with the context error
+    // and the campaign keeps going. A deterministically-throwing
+    // make_context throws in every worker, so every cell fails
+    // identically regardless of worker count.
     std::unique_ptr<BackendContext> context;
-    if (options_.reuse_contexts) context = backend_.make_context();
+    std::string context_error;
+    if (options_.reuse_contexts) {
+      try {
+        context = backend_.make_context();
+      } catch (const std::exception& e) {
+        context_error = std::string("make_context failed: ") + e.what();
+      } catch (...) {
+        context_error = "make_context failed: unknown exception";
+      }
+    }
 
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= result.cells.size()) break;
       CampaignCell& cell = result.cells[i];
-      const std::uint64_t key = cell_key(backend_name, cell.config, cell.seed);
+      const CellKey key = make_cell_key(backend_name, cell.config, cell.seed);
 
       if (options_.use_cache) {
         std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -211,21 +247,77 @@ CampaignResult CampaignRunner::run() {
         }
       }
 
+      if (journal != nullptr) {
+        if (const CellResult* rec = journal->find(cell.config.index, cell.rep, cell.seed)) {
+          cell.result = *rec;
+          cell.result.from_cache = true;
+          journal_hits.fetch_add(1, std::memory_order_relaxed);
+          if (rec->error.empty()) {
+            if (options_.use_cache) {
+              std::lock_guard<std::mutex> lock(cache_mutex_);
+              cache_.emplace(key, cell.result);
+            }
+          } else {
+            // A journaled failure is final (deterministic backends fail
+            // the same way again); it still counts against the campaign
+            // so the resumed accounting matches an uninterrupted run.
+            failed.fetch_add(1, std::memory_order_relaxed);
+          }
+          continue;
+        }
+      }
+
+      if (!context_error.empty()) {
+        cell.result = CellResult{};
+        cell.result.error = context_error;
+        failed.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+
+      // Deterministic stand-in for a mid-campaign kill: once the budget
+      // is spent, remaining cells are marked interrupted (not failed,
+      // not journaled) so a resume executes exactly them.
+      if (options_.cell_budget > 0 &&
+          budget_used.fetch_add(1, std::memory_order_relaxed) >= options_.cell_budget) {
+        cell.result = CellResult{};
+        cell.result.error = "interrupted: cell budget exhausted";
+        interrupted.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+
       // Replication-boundary audit baseline: thread-local tallies make
       // the deltas exact even with every worker measuring at once.
       const std::uint64_t frames0 = sim::FramePool::local().heap_allocs();
       const std::uint64_t spills0 = sim::callback_heap_spills_local();
       [[maybe_unused]] const double t0 = obs::host_now_s();
-      try {
-        cell.result = context != nullptr ? context->run(cell.config, cell.seed)
-                                         : backend_.run(cell.config, cell.seed);
-        cell.result.from_cache = false;
-      } catch (const std::exception& e) {
-        cell.result = CellResult{};
-        cell.result.error = e.what();
-      } catch (...) {
-        cell.result = CellResult{};
-        cell.result.error = "unknown backend exception";
+      // Bounded retry. Attempt k > 0 uses the deterministically derived
+      // seed splitmix64(cell.seed ^ k), so the attempt sequence -- and
+      // therefore the final outcome -- is a pure function of the cell,
+      // independent of scheduling and worker count.
+      for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0) {
+          retries.fetch_add(1, std::memory_order_relaxed);
+          if (options_.retry_backoff_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(options_.retry_backoff_ms * attempt));
+          }
+        }
+        std::uint64_t attempt_state = cell.seed ^ attempt;
+        const std::uint64_t attempt_seed =
+            attempt == 0 ? cell.seed : rng::splitmix64_next(attempt_state);
+        try {
+          cell.result = context != nullptr ? context->run(cell.config, attempt_seed)
+                                           : backend_.run(cell.config, attempt_seed);
+          cell.result.from_cache = false;
+        } catch (const std::exception& e) {
+          cell.result = CellResult{};
+          cell.result.error = e.what();
+        } catch (...) {
+          cell.result = CellResult{};
+          cell.result.error = "unknown backend exception";
+        }
+        cell.result.attempts = attempt + 1;
+        if (cell.result.error.empty()) break;
       }
       cell.result.coro_frame_heap_allocs =
           sim::FramePool::local().heap_allocs() - frames0;
@@ -235,8 +327,12 @@ CampaignResult CampaignRunner::run() {
                          {obs::TraceArg{"config", cell.config.index},
                           obs::TraceArg{"rep", cell.rep},
                           obs::TraceArg{"samples", cell.result.samples.size()},
+                          obs::TraceArg{"attempts", cell.result.attempts},
                           obs::TraceArg{"failed", cell.result.error.empty() ? 0 : 1}});
 
+      if (journal != nullptr) {
+        journal->append(cell.config.index, cell.rep, cell.seed, cell.result);
+      }
       if (cell.result.error.empty()) {
         executed.fetch_add(1, std::memory_order_relaxed);
         if (options_.use_cache) {
@@ -271,6 +367,40 @@ CampaignResult CampaignRunner::run() {
   result.executed = executed.load();
   result.cache_hits = cache_hits.load();
   result.failed = failed.load();
+  result.journal_hits = journal_hits.load();
+  result.interrupted = interrupted.load();
+  result.retries = retries.load();
+
+  // Rule 9 damage report: partially-failed campaigns export CSVs whose
+  // headers say exactly which cells are missing and why, instead of a
+  // silently thinner grid. Cells are listed in grid order (bounded at
+  // eight), so the header -- like everything else -- is independent of
+  // scheduling. Interrupted cells are transient (a resume executes
+  // them) and only annotated on the interrupted run itself, keeping the
+  // resumed run's header identical to an uninterrupted one.
+  if (result.failed > 0) {
+    result.experiment.set("campaign.failed", std::to_string(result.failed));
+    std::string detail;
+    std::size_t listed = 0;
+    for (const auto& cell : result.cells) {
+      if (cell.result.error.empty() ||
+          cell.result.error.rfind("interrupted:", 0) == 0) {
+        continue;
+      }
+      if (listed == 8) {
+        detail += "; +" + std::to_string(result.failed - listed) + " more";
+        break;
+      }
+      if (!detail.empty()) detail += "; ";
+      detail += "config " + std::to_string(cell.config.index) + " rep " +
+                std::to_string(cell.rep) + ": " + cell.result.error;
+      ++listed;
+    }
+    result.experiment.set("campaign.failed_cells", detail);
+  }
+  if (result.interrupted > 0) {
+    result.experiment.set("campaign.interrupted", std::to_string(result.interrupted));
+  }
   return result;
 }
 

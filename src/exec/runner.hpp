@@ -12,6 +12,18 @@
 // seed) lets a partially-completed campaign resume without repeating
 // finished cells: re-running the same runner (or a larger campaign that
 // shares cells with an earlier one) only executes what is missing.
+// For resume across PROCESSES -- a killed or crashed campaign -- set
+// CampaignRunnerOptions::journal_path: completed cells append to a
+// crash-safe on-disk journal (exec/journal.hpp) and the rerun replays
+// them, producing byte-identical CSVs to an uninterrupted run.
+//
+// Failure containment: a backend whose run() or make_context() throws
+// can no longer take the process down. Cells are retried up to
+// max_attempts with deterministically derived seeds; cells that still
+// fail are carried in the result with CellResult::error set and
+// accounted in the experiment header (campaign.failed /
+// campaign.failed_cells), so reports render partial campaigns with
+// explicit holes.
 //
 // Observability: when a trace sink is attached on the calling thread,
 // each worker records its cells on its own track
@@ -50,6 +62,35 @@ struct CampaignCell {
   CellResult result;
 };
 
+/// Result-cache key. The 64-bit hash picks the bucket, but equality
+/// compares the full identity -- backend name, factor/level assignment,
+/// and seed -- so a hash collision between two distinct cells resolves
+/// to separate entries instead of silently serving the wrong cell's
+/// samples. Deliberately excludes config.index so the same levels at
+/// another grid position (same seed, i.e. under a seed_override) still
+/// reuse their entry.
+struct CellKey {
+  std::string backend;
+  std::vector<std::pair<std::string, std::string>> levels;
+  std::uint64_t seed = 0;
+  std::uint64_t hash = 0;  ///< precomputed; NOT part of the identity
+
+  [[nodiscard]] bool operator==(const CellKey& other) const noexcept {
+    return seed == other.seed && backend == other.backend && levels == other.levels;
+  }
+};
+
+struct CellKeyHash {
+  [[nodiscard]] std::size_t operator()(const CellKey& key) const noexcept {
+    return static_cast<std::size_t>(key.hash);
+  }
+};
+
+[[nodiscard]] CellKey make_cell_key(const std::string& backend_name, const Config& config,
+                                    std::uint64_t seed);
+
+using CellCache = std::unordered_map<CellKey, CellResult, CellKeyHash>;
+
 struct CampaignResult {
   /// Compiled Rule 9 documentation of what ran (grid + environment).
   core::Experiment experiment;
@@ -59,8 +100,20 @@ struct CampaignResult {
   /// Backend calls actually made / served from the result cache.
   std::size_t executed = 0;
   std::size_t cache_hits = 0;
-  /// Cells whose backend call threw (their CellResult::error is set).
+  /// Cells whose backend call threw on every allowed attempt (their
+  /// CellResult::error is set). A failed campaign still assembles --
+  /// the error cells are accounted in the experiment header
+  /// (campaign.failed / campaign.failed_cells) so exported CSVs carry
+  /// the damage report.
   std::size_t failed = 0;
+  /// Cells replayed from the on-disk journal instead of executed.
+  std::size_t journal_hits = 0;
+  /// Cells skipped because the cell_budget ran out (error set to
+  /// "interrupted: ..."; not failures, not journaled -- a resume with
+  /// the same journal executes exactly these).
+  std::size_t interrupted = 0;
+  /// Extra backend calls spent on retries (attempts beyond the first).
+  std::size_t retries = 0;
 
   [[nodiscard]] std::size_t config_count() const {
     return replications == 0 ? 0 : cells.size() / replications;
@@ -97,6 +150,25 @@ struct CampaignRunnerOptions {
   /// are byte-identical either way (the BackendContext contract); OFF
   /// exists for differential testing and allocation triage.
   bool reuse_contexts = true;
+  /// Backend calls allowed per cell before it is declared failed.
+  /// Attempt k (k >= 1) re-runs with the deterministically derived seed
+  /// splitmix64(cell.seed ^ k), so retry outcomes are a pure function
+  /// of the cell -- independent of worker count and scheduling -- and a
+  /// deterministic always-throwing backend fails identically every run.
+  std::size_t max_attempts = 1;
+  /// Host-time pause before retry k: k * retry_backoff_ms. Affects only
+  /// wall-clock pacing, never results.
+  std::size_t retry_backoff_ms = 0;
+  /// When non-empty, completed cells (success or final failure) are
+  /// appended to this crash-safe journal and replayed on the next run
+  /// with the same path -- see exec/journal.hpp. The resumed campaign
+  /// skips journaled cells and produces byte-identical CSVs.
+  std::string journal_path;
+  /// When non-zero, at most this many cells are executed; the rest are
+  /// marked interrupted (CampaignResult::interrupted). Deterministic
+  /// in-process stand-in for a mid-campaign kill in resume tests; 0 =
+  /// unlimited.
+  std::size_t cell_budget = 0;
 };
 
 class CampaignRunner {
@@ -115,7 +187,7 @@ class CampaignRunner {
   Campaign campaign_;
   CampaignRunnerOptions options_;
   mutable std::mutex cache_mutex_;
-  std::unordered_map<std::uint64_t, CellResult> cache_;
+  CellCache cache_;
 };
 
 }  // namespace sci::exec

@@ -1,0 +1,89 @@
+#include "fault/fault.hpp"
+
+#include <stdexcept>
+
+#include "obs/counters.hpp"
+
+namespace sci::fault {
+
+void FaultSpec::validate() const {
+  const auto bad_prob = [](double p) { return !(p >= 0.0 && p <= 1.0); };
+  if (bad_prob(drop_prob))
+    throw std::invalid_argument("FaultSpec: drop_prob must be in [0, 1]");
+  if (bad_prob(link_degrade_prob))
+    throw std::invalid_argument("FaultSpec: link_degrade_prob must be in [0, 1]");
+  if (bad_prob(straggler_prob))
+    throw std::invalid_argument("FaultSpec: straggler_prob must be in [0, 1]");
+  if (!(retransmit_timeout_s >= 0.0))
+    throw std::invalid_argument("FaultSpec: retransmit_timeout_s must be >= 0");
+  if (!(link_degrade_factor >= 1.0))
+    throw std::invalid_argument("FaultSpec: link_degrade_factor must be >= 1");
+  if (!(straggler_factor >= 1.0))
+    throw std::invalid_argument("FaultSpec: straggler_factor must be >= 1");
+}
+
+FaultSpec fault_preset(const std::string& name) {
+  if (name == "none") return {};
+  if (name == "lossy") {
+    FaultSpec f;
+    f.drop_prob = 0.02;
+    f.retransmit_timeout_s = 50e-6;
+    f.max_retransmits = 4;
+    return f;
+  }
+  if (name == "degraded") {
+    FaultSpec f;
+    f.link_degrade_prob = 0.15;
+    f.link_degrade_factor = 3.0;
+    return f;
+  }
+  if (name == "straggler") {
+    FaultSpec f;
+    f.straggler_prob = 0.10;
+    f.straggler_factor = 4.0;
+    return f;
+  }
+  if (name == "chaos") {
+    FaultSpec f;
+    f.drop_prob = 0.02;
+    f.retransmit_timeout_s = 50e-6;
+    f.max_retransmits = 4;
+    f.link_degrade_prob = 0.15;
+    f.link_degrade_factor = 3.0;
+    f.straggler_prob = 0.10;
+    f.straggler_factor = 4.0;
+    return f;
+  }
+  std::string known;
+  for (const auto& n : fault_preset_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("fault_preset: unknown preset '" + name +
+                              "' (known: " + known + ")");
+}
+
+const std::vector<std::string>& fault_preset_names() {
+  static const std::vector<std::string> names = {"none", "lossy", "degraded",
+                                                 "straggler", "chaos"};
+  return names;
+}
+
+void FaultTally::flush() noexcept {
+  if (drops == 0 && retransmit_ns == 0 && degraded_transfers == 0 && straggler_ns == 0)
+    return;
+  static obs::Counter& drops_counter = obs::counter(obs::keys::kFaultDrops);
+  static obs::Counter& retransmit_counter = obs::counter(obs::keys::kFaultRetransmitNs);
+  static obs::Counter& degraded_counter = obs::counter(obs::keys::kFaultDegradedTransfers);
+  static obs::Counter& straggler_counter = obs::counter(obs::keys::kFaultStragglerNs);
+  if (drops > 0) drops_counter.add(drops);
+  if (retransmit_ns > 0) retransmit_counter.add(retransmit_ns);
+  if (degraded_transfers > 0) degraded_counter.add(degraded_transfers);
+  if (straggler_ns > 0) straggler_counter.add(straggler_ns);
+  drops = 0;
+  retransmit_ns = 0;
+  degraded_transfers = 0;
+  straggler_ns = 0;
+}
+
+}  // namespace sci::fault

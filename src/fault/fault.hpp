@@ -1,0 +1,89 @@
+// sci::fault -- deterministic fault injection for the simulated
+// machines. The paper's rules assume measurements survive a hostile
+// environment; the benign noise models in sim/noise.hpp cover jitter
+// and congestion, but real campaigns also see lost messages, degraded
+// links, and straggling nodes. A FaultSpec describes those hazards; the
+// simulator (simmpi::World) draws every fault decision from the world
+// RNG, so a faulty run is still a pure function of (machine, seed):
+// re-running or World::reset()-ing replays the exact same drops,
+// degradations, and straggler episodes byte for byte.
+//
+// Layering: this library sits below sim/ (sim::Machine embeds a
+// FaultSpec) and depends only on rng/ and obs/.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sci::fault {
+
+/// Injection parameters for one simulated machine. All fields off by
+/// default, so `FaultSpec{}` is the benign machine and any() == false
+/// guarantees zero extra RNG draws (existing seeds keep their byte
+/// streams).
+struct FaultSpec {
+  // -- message drop + retransmission (per payload transfer) --
+  /// Probability that one transfer attempt is lost on the wire. Each
+  /// lost attempt costs `retransmit_timeout_s` before the (re-drawn)
+  /// retransmission starts; delivery is guaranteed after at most
+  /// `max_retransmits` losses (a reliable-transport model, so rank
+  /// programs never deadlock on an injected drop).
+  double drop_prob = 0.0;
+  double retransmit_timeout_s = 100e-6;
+  std::size_t max_retransmits = 4;
+
+  // -- link degradation (per rank pair, drawn at World::reset) --
+  /// Probability that a (src, dst) rank pair's route is degraded for
+  /// the whole run; degraded routes multiply every wire time by
+  /// `link_degrade_factor`.
+  double link_degrade_prob = 0.0;
+  double link_degrade_factor = 1.0;
+
+  // -- node straggler episodes (per node, drawn at World::reset) --
+  /// Probability that a node straggles for the whole episode (one
+  /// World::reset to the next); compute intervals on a straggling node
+  /// are multiplied by `straggler_factor`.
+  double straggler_prob = 0.0;
+  double straggler_factor = 1.0;
+
+  /// True when any injection is active. The simulator's hot paths and
+  /// reset draws are gated on this, so a spec-free machine pays nothing
+  /// and draws nothing.
+  [[nodiscard]] bool any() const noexcept {
+    return drop_prob > 0.0 || link_degrade_prob > 0.0 || straggler_prob > 0.0;
+  }
+
+  /// Throws std::invalid_argument on out-of-range parameters
+  /// (probabilities outside [0, 1], factors < 1, negative timeout).
+  void validate() const;
+};
+
+/// Named presets, applied to machine presets via the "machine+fault"
+/// naming scheme (sim::make_machine("dora+lossy")):
+///   none       no injection (the default machine)
+///   lossy      2% message drop, 50 us retransmit timeout
+///   degraded   15% of routes at 3x wire time
+///   straggler  10% of nodes at 4x compute time
+///   chaos      all of the above at once
+/// Throws std::invalid_argument on unknown names.
+[[nodiscard]] FaultSpec fault_preset(const std::string& name);
+
+/// The preset names fault_preset accepts, for error messages and docs.
+[[nodiscard]] const std::vector<std::string>& fault_preset_names();
+
+/// Batched fault observability, mirroring sim::NoiseTally: the world
+/// tallies injections in plain integers on the hot path and publishes
+/// them into the obs counter registry in one transaction at flush().
+struct FaultTally {
+  std::uint64_t drops = 0;               ///< lost transfer attempts
+  std::uint64_t retransmit_ns = 0;       ///< timeout + re-send wire time
+  std::uint64_t degraded_transfers = 0;  ///< transfers on a degraded route
+  std::uint64_t straggler_ns = 0;        ///< extra compute time injected
+
+  /// Publishes the batch into the obs counter registry and zeroes it.
+  void flush() noexcept;
+};
+
+}  // namespace sci::fault

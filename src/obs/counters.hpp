@@ -88,6 +88,12 @@ inline constexpr const char* kNetMessages = "net.messages";          ///< messag
 inline constexpr const char* kNetBytes = "net.bytes";                ///< payload bytes on the wire
 inline constexpr const char* kNoiseDraws = "sim.noise_draws";        ///< perturb() invocations
 inline constexpr const char* kNoiseInjectedNs = "sim.noise_injected_ns";  ///< extra ns injected
+inline constexpr const char* kFaultDrops = "fault.drops";            ///< lost transfer attempts
+inline constexpr const char* kFaultRetransmitNs = "fault.retransmit_ns";  ///< retransmit time
+inline constexpr const char* kFaultDegradedTransfers =
+    "fault.degraded_transfers";  ///< transfers routed over a degraded link
+inline constexpr const char* kFaultStragglerNs =
+    "fault.straggler_ns";  ///< extra compute ns injected on straggler nodes
 inline constexpr const char* kHarnessSamples = "harness.samples";    ///< adaptive samples taken
 inline constexpr const char* kHarnessOverheadNs = "harness.overhead_ns";  ///< bookkeeping time
 inline constexpr const char* kCiRecomputes = "harness.ci_recomputes";     ///< CI re-evaluations

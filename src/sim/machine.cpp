@@ -144,6 +144,17 @@ Machine make_bgq() {
 }
 
 Machine make_machine(const std::string& name) {
+  // "base+fault" composes a fault preset onto a machine preset:
+  // make_machine("dora+lossy") is dora with fault::fault_preset("lossy").
+  // The composed name is kept so machine_preset memoizes per combination
+  // and campaign factors like system={"dora","dora+lossy"} just work.
+  if (const auto plus = name.find('+'); plus != std::string::npos) {
+    Machine m = make_machine(name.substr(0, plus));
+    m.faults = fault::fault_preset(name.substr(plus + 1));
+    m.faults.validate();
+    m.name = name;
+    return m;
+  }
   if (name == "daint") return make_daint();
   if (name == "dora") return make_dora();
   if (name == "pilatus") return make_pilatus();

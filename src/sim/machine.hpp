@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "sim/network.hpp"
 #include "sim/noise.hpp"
 #include "sim/topology.hpp"
@@ -45,6 +46,10 @@ struct Machine {
   PowerModel power;
   double clock_drift_ppm_sigma = 5.0; ///< per-node clock drift spread (ppm)
   double clock_offset_sigma_s = 1e-4; ///< initial clock offset spread
+  /// Fault injection (off by default). simmpi::World draws every fault
+  /// decision from the world RNG, so faulty runs stay byte-reproducible
+  /// and World::reset replays them.
+  fault::FaultSpec faults;
 
   [[nodiscard]] Network make_network() const { return {topology, loggp, net_noise}; }
 };
@@ -61,8 +66,10 @@ struct Machine {
 /// assumption instead: tiny but nonzero noise).
 [[nodiscard]] Machine make_bgq();
 
-/// Lookup by name ("daint", "dora", "pilatus", "noiseless"); throws on
-/// unknown names.
+/// Lookup by name ("daint", "dora", "pilatus", "noiseless", "bgq");
+/// throws on unknown names. A "+fault" suffix composes a fault preset
+/// onto the machine ("dora+lossy", "pilatus+chaos"; see
+/// fault::fault_preset for the catalogue).
 [[nodiscard]] Machine make_machine(const std::string& name);
 
 /// Memoized make_machine: one shared immutable Machine per preset name

@@ -49,7 +49,7 @@ Request Comm::isend(int dst, int tag, std::size_t bytes, std::vector<double> pay
   const double o = w.machine_.loggp.overhead_s;
 
   const double base = w.route_base(rank_, dst);
-  const double wire = w.network_.transfer_time_on_route(base, bytes, gen_, w.noise_tally_);
+  const double wire = w.faulty_transfer(base, bytes, rank_, dst, gen_);
   double handshake = 0.0;
   if (bytes > w.machine_.loggp.eager_threshold_bytes) {
     handshake = 2.0 * (o + w.network_.transfer_time_on_route(base, 8, gen_, w.noise_tally_));
@@ -131,6 +131,43 @@ Request Comm::irecv(int src, int tag) {
   return req;
 }
 
+double World::faulty_transfer(double base, std::size_t bytes, int src_rank, int dst_rank,
+                              rng::Xoshiro256& gen) {
+  // Benign machines take the first return: route_degrade_ is empty and
+  // drop_prob is 0, so this is exactly transfer_time_on_route (same RNG
+  // draw sequence -- the determinism pins of test_exec_reuse hold).
+  double degrade = 1.0;
+  if (!route_degrade_.empty()) {
+    degrade = route_degrade_[static_cast<std::size_t>(src_rank) * comms_.size() +
+                             static_cast<std::size_t>(dst_rank)];
+  }
+  double wire = network_.transfer_time_on_route(base, bytes, gen, noise_tally_) * degrade;
+  if (degrade > 1.0) ++fault_tally_.degraded_transfers;
+  const fault::FaultSpec& f = machine_.faults;
+  if (f.drop_prob > 0.0) {
+    // Reliable-transport model: each attempt is lost with drop_prob;
+    // a loss costs the retransmit timeout before the (re-drawn) resend
+    // starts, and delivery is guaranteed after max_retransmits losses,
+    // so injected drops can never deadlock a rank program.
+    std::size_t losses = 0;
+    double penalty = 0.0;
+    while (losses < f.max_retransmits && rng::bernoulli(gen, f.drop_prob)) {
+      ++losses;
+      SCI_TRACE_INSTANT(obs::kWireTrackBase + src_rank, "drop", "fault", engine_.now(),
+                        {{"dst", dst_rank}, {"bytes", bytes}, {"attempt", losses}});
+      const double resend =
+          network_.transfer_time_on_route(base, bytes, gen, noise_tally_) * degrade;
+      penalty += f.retransmit_timeout_s + resend;
+    }
+    if (losses > 0) {
+      wire += penalty;
+      fault_tally_.drops += losses;
+      fault_tally_.retransmit_ns += static_cast<std::uint64_t>(penalty * 1e9);
+    }
+  }
+  return wire;
+}
+
 void World::complete_request(const std::shared_ptr<Request::State>& state, Message msg) {
   const double o = machine_.loggp.overhead_s;
   engine_.schedule_after(o, [state, m = std::move(msg)]() mutable {
@@ -151,13 +188,13 @@ void Comm::SendAwaitable::await_suspend(std::coroutine_handle<> h) {
   const double o = w.machine_.loggp.overhead_s;
   const double gap = w.machine_.loggp.gap_per_msg_s;
 
-  // Wire time including this network's noise; drawn from the *sender's*
+  // Wire time including this network's noise and any injected faults
+  // (degraded routes, dropped attempts); drawn from the *sender's*
   // stream so runs stay deterministic. The route base is precomputed per
   // rank pair and the tallies are batched: nothing on this path touches
   // the topology or the counter registry.
   const double base = w.route_base(comm->rank_, dst);
-  const double wire =
-      w.network_.transfer_time_on_route(base, bytes, comm->gen_, w.noise_tally_);
+  const double wire = w.faulty_transfer(base, bytes, comm->rank_, dst, comm->gen_);
 
   // Rendezvous: payloads above the eager limit pay a ready-to-send
   // handshake (one small-message round trip) before the data moves, and
@@ -231,8 +268,18 @@ void Comm::RecvAwaitable::await_suspend(std::coroutine_handle<> h) {
 
 void Comm::ComputeAwaitable::await_suspend(std::coroutine_handle<> h) {
   World& w = *comm->world_;
-  const double duration =
+  double duration =
       w.machine_.compute_noise.perturb(pure_seconds, comm->gen_, w.noise_tally_);
+  if (!w.straggler_factor_.empty()) {
+    // Straggler episode: this rank's node runs slow for the whole reset
+    // epoch (factor drawn from the world seed in reset()).
+    const double factor = w.straggler_factor_[static_cast<std::size_t>(comm->rank_)];
+    if (factor > 1.0) {
+      w.fault_tally_.straggler_ns +=
+          static_cast<std::uint64_t>(duration * (factor - 1.0) * 1e9);
+      duration *= factor;
+    }
+  }
   comm->busy_s_ += duration;
   SCI_TRACE_COMPLETE(comm->rank_, "compute", "compute", w.engine_.now(), duration,
                      {{"pure_s", pure_seconds}, {"noise_s", duration - pure_seconds}});
@@ -304,6 +351,41 @@ void World::reset(std::uint64_t seed) {
     comm.busy_s_ = 0.0;
   }
 
+  // Fault-injection draws come LAST in the seeder order: benign
+  // machines draw nothing here (the pre-fault byte streams are pinned by
+  // test_exec_reuse), and a faulty machine's extra draws cannot perturb
+  // the allocation/clock/stream draws above. Per-route degradation and
+  // per-node straggler episodes are fixed for the whole reset epoch;
+  // reset(seed) replays them exactly.
+  if (machine_.faults.any()) {
+    const fault::FaultSpec& f = machine_.faults;
+    route_degrade_.assign(want * want, 1.0);
+    if (f.link_degrade_prob > 0.0) {
+      for (std::size_t s = 0; s < want; ++s) {
+        for (std::size_t d = 0; d < want; ++d) {
+          if (s != d && rng::bernoulli(seeder, f.link_degrade_prob)) {
+            route_degrade_[s * want + d] = f.link_degrade_factor;
+          }
+        }
+      }
+    }
+    straggler_factor_.assign(want, 1.0);
+    if (f.straggler_prob > 0.0) {
+      // One draw per allocation slot (i.e. per node in the allocation),
+      // so ranks packed onto the same node straggle together.
+      std::vector<double> node_factor(allocation_.size(), 1.0);
+      for (double& factor : node_factor) {
+        if (rng::bernoulli(seeder, f.straggler_prob)) factor = f.straggler_factor;
+      }
+      for (std::size_t r = 0; r < want; ++r) {
+        straggler_factor_[r] = node_factor[r % allocation_.size()];
+      }
+    }
+  } else {
+    route_degrade_.clear();
+    straggler_factor_.clear();
+  }
+
   for (Mailbox& box : mailboxes_) {
     box.unexpected.clear();
     box.posted.clear();
@@ -349,6 +431,7 @@ void World::flush_counters() {
   // Noise draw/injection tallies batch in the world for the same reason
   // (totals identical to per-draw publishing; see sim::NoiseTally).
   noise_tally_.flush();
+  fault_tally_.flush();
 }
 
 void World::name_trace_tracks(obs::TraceSink& sink) const {

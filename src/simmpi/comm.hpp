@@ -254,6 +254,14 @@ class World {
   void deliver(Message msg);  // runs at arrival time
   /// Publishes traffic deltas since the last flush to obs::counters().
   void flush_counters();
+  /// Payload wire time for one (src, dst) transfer with fault injection
+  /// applied: link degradation multiplies the drawn wire time, and each
+  /// dropped attempt (sender's stream, so deterministic) adds the
+  /// retransmit timeout plus a re-drawn transfer. Identical to
+  /// transfer_time_on_route when the machine has no FaultSpec -- the
+  /// fault branches draw nothing.
+  [[nodiscard]] double faulty_transfer(double base, std::size_t bytes, int src_rank,
+                                       int dst_rank, rng::Xoshiro256& gen);
   /// Precomputed L + hop_latency * hops for the (src_rank, dst_rank)
   /// pair: the p2p hot path pays one array load instead of a topology
   /// hop query per message.
@@ -275,6 +283,12 @@ class World {
   std::vector<std::size_t> alloc_scratch_;  // reset(): shuffle permutation buffer
   std::vector<double> route_base_;  // (src_rank * ranks + dst_rank) -> L + hop cost
   sim::NoiseTally noise_tally_;     // batched noise counters, published in flush_counters()
+  // Fault-injection state, drawn per reset from the world seed and
+  // empty when machine_.faults.any() is false (zero hot-path cost and
+  // zero extra RNG draws for benign machines).
+  std::vector<double> route_degrade_;     // (src_rank * ranks + dst_rank) -> wire multiplier
+  std::vector<double> straggler_factor_;  // rank -> compute multiplier (node-level draw)
+  fault::FaultTally fault_tally_;         // batched fault counters, published in flush_counters()
   std::vector<std::unique_ptr<Comm>> comms_;
   std::vector<Mailbox> mailboxes_;
   std::vector<std::vector<double>> fifo_clock_;  // last arrival per (src, dst)

@@ -1,15 +1,34 @@
 #include "stats/histogram.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "stats/descriptive.hpp"
 
 namespace sci::stats {
 
+namespace {
+
+/// NaN poisons every bin boundary below (NaN < lo comparisons are all
+/// false, so samples land in garbage bins) and +/-inf collapses the
+/// span to a single unusable bin; both are measurement-pipeline bugs
+/// upstream, so reject them loudly instead of plotting nonsense.
+void require_finite(std::span<const double> xs, const char* who) {
+  for (double x : xs) {
+    if (!std::isfinite(x)) {
+      throw std::domain_error(std::string(who) + ": non-finite sample in input");
+    }
+  }
+}
+
+}  // namespace
+
 Histogram make_histogram(std::span<const double> xs, std::size_t bins) {
   if (xs.empty()) throw std::invalid_argument("make_histogram: empty input");
+  require_finite(xs, "make_histogram");
   const auto sorted = sorted_copy(xs);
   const double lo = sorted.front();
   const double hi = sorted.back();
@@ -50,15 +69,20 @@ DensityCurve kernel_density(std::span<const double> xs, std::size_t points,
                             double bandwidth) {
   if (xs.empty()) throw std::invalid_argument("kernel_density: empty input");
   if (points < 2) throw std::invalid_argument("kernel_density: points >= 2");
+  require_finite(xs, "kernel_density");
 
   // Thin very long series: KDE is a plot aid, O(points*n) matters at 1M.
   std::vector<double> thinned;
   std::span<const double> data = xs;
   constexpr std::size_t kMaxSamples = 100'000;
   if (xs.size() > kMaxSamples) {
+    // Ceil-divide: floor (xs.size() / kMaxSamples) gives stride 1 for
+    // any n in (kMaxSamples, 2*kMaxSamples), i.e. no thinning at all
+    // and a reserve() the loop then blows past.
+    const std::size_t stride = (xs.size() + kMaxSamples - 1) / kMaxSamples;
     thinned.reserve(kMaxSamples);
-    const std::size_t stride = xs.size() / kMaxSamples;
     for (std::size_t i = 0; i < xs.size(); i += stride) thinned.push_back(xs[i]);
+    assert(thinned.size() <= kMaxSamples);
     data = thinned;
   }
 

@@ -175,6 +175,13 @@ SimBackend small_sim_backend() {
   return SimBackend(opts);
 }
 
+CampaignRunnerOptions with_workers(std::size_t workers, bool use_cache = true) {
+  CampaignRunnerOptions opts;
+  opts.workers = workers;
+  opts.use_cache = use_cache;
+  return opts;
+}
+
 // -------------------------------------------------- determinism contract
 
 std::string csv_of(const core::Dataset& ds) {
@@ -212,7 +219,7 @@ TEST(CampaignRunner, ByteDeterministicAcrossWorkerCounts) {
 
 TEST(CampaignRunner, ReplicationsGetDistinctSeedsAndCellsLineUp) {
   SimBackend backend = small_sim_backend();
-  CampaignRunner runner(backend, small_sim_campaign(), {.workers = 2});
+  CampaignRunner runner(backend, small_sim_campaign(), with_workers(2));
   const CampaignResult result = runner.run();
   ASSERT_EQ(result.replications, 2u);
   ASSERT_EQ(result.config_count(), 16u);
@@ -241,7 +248,7 @@ TEST(CampaignRunner, SecondRunIsServedEntirelyFromCache) {
   spec.name = "cached";
   spec.factors.push_back({"k", {"a", "b", "c"}});
   spec.replications = 2;
-  CampaignRunner runner(backend, Campaign(spec), {.workers = 3});
+  CampaignRunner runner(backend, Campaign(spec), with_workers(3));
 
   const CampaignResult first = runner.run();
   EXPECT_EQ(backend.calls.load(), 6u);
@@ -270,7 +277,7 @@ TEST(CampaignRunner, CacheCanBeDisabled) {
   CampaignSpec spec;
   spec.name = "uncached";
   spec.factors.push_back({"k", {"a", "b"}});
-  CampaignRunner runner(backend, Campaign(spec), {.workers = 1, .use_cache = false});
+  CampaignRunner runner(backend, Campaign(spec), with_workers(1, false));
   (void)runner.run();
   (void)runner.run();
   EXPECT_EQ(backend.calls.load(), 4u);
@@ -284,7 +291,7 @@ TEST(CampaignRunner, BackendFailuresAreCapturedPerCell) {
   CampaignSpec spec;
   spec.name = "partial";
   spec.factors.push_back({"k", {"good", "bad"}});
-  CampaignRunner runner(backend, Campaign(spec), {.workers = 2});
+  CampaignRunner runner(backend, Campaign(spec), with_workers(2));
   const CampaignResult result = runner.run();
   EXPECT_EQ(result.failed, 1u);
   EXPECT_EQ(result.executed, 1u);
@@ -310,7 +317,7 @@ TEST(HostBackendTest, RunsAdaptiveSamplingPerBenchmark) {
   CampaignSpec spec;
   spec.name = "host";
   spec.factors.push_back({HostBackend::kBenchmarkFactor, backend.benchmark_names()});
-  CampaignRunner runner(backend, Campaign(spec), {.workers = 1});
+  CampaignRunner runner(backend, Campaign(spec), with_workers(1));
   const CampaignResult result = runner.run();
   ASSERT_EQ(result.cells.size(), 1u);
   const auto& r = result.cell(0).result;
@@ -373,7 +380,7 @@ TEST(Ingest, RoundTripsCampaignExport) {
   spec.name = "ingest";
   spec.factors.push_back({"system", {"dora", "pilatus"}});
   spec.replications = 2;
-  CampaignRunner runner(backend, Campaign(spec), {.workers = 2});
+  CampaignRunner runner(backend, Campaign(spec), with_workers(2));
   const CampaignResult result = runner.run();
 
   const std::string path = ::testing::TempDir() + "/exec_ingest.csv";
@@ -417,7 +424,7 @@ TEST(CampaignRunner, WorkersEmitOnTheirOwnTraceTracks) {
   CampaignSpec spec;
   spec.name = "traced";
   spec.factors.push_back({"k", {"a", "b", "c", "d"}});
-  CampaignRunner runner(backend, Campaign(spec), {.workers = 2});
+  CampaignRunner runner(backend, Campaign(spec), with_workers(2));
   (void)runner.run();
 
   // Every worker that ran cells labeled its own harness track inside

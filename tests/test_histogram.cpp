@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -111,6 +114,37 @@ TEST(HistogramKde, InputValidation) {
   EXPECT_THROW(kernel_density({}), std::invalid_argument);
   const std::vector<double> v = {1.0, 2.0};
   EXPECT_THROW(kernel_density(v, 1), std::invalid_argument);
+}
+
+TEST(HistogramKde, RejectsNonFiniteInput) {
+  // NaN poisons the bin math silently (NaN < lo is false, so the sample
+  // lands in a garbage bin) and inf collapses the span; both now fail
+  // loudly.
+  const std::vector<double> with_nan = {1.0, std::nan(""), 3.0};
+  const std::vector<double> with_inf = {1.0, std::numeric_limits<double>::infinity()};
+  const std::vector<double> with_ninf = {-std::numeric_limits<double>::infinity(), 1.0};
+  EXPECT_THROW(make_histogram(with_nan), std::domain_error);
+  EXPECT_THROW(make_histogram(with_inf), std::domain_error);
+  EXPECT_THROW(make_histogram(with_ninf), std::domain_error);
+  EXPECT_THROW(kernel_density(with_nan), std::domain_error);
+  EXPECT_THROW(kernel_density(with_inf), std::domain_error);
+  EXPECT_THROW(kernel_density(with_ninf), std::domain_error);
+}
+
+TEST(HistogramKde, ThinningEngagesJustPastTheCap) {
+  // Regression: stride = n / kMaxSamples floors to 1 for any n in
+  // (100k, 200k), so "thinning" copied all n samples into a vector
+  // reserved for 100k. The ceil-divide stride actually thins.
+  rng::Xoshiro256 gen(9);
+  std::vector<double> v;
+  v.reserve(150'000);
+  for (int i = 0; i < 150'000; ++i) v.push_back(rng::normal(gen, 0.0, 1.0));
+  const auto curve = kernel_density(v, 32);
+  EXPECT_EQ(curve.x.size(), 32u);
+  EXPECT_GT(curve.bandwidth, 0.0);
+  double peak = 0.0;
+  for (double d : curve.density) peak = std::max(peak, d);
+  EXPECT_NEAR(peak, 0.3989, 0.05);  // still looks like a standard normal
 }
 
 }  // namespace

@@ -57,7 +57,31 @@ int main(int argc, char** argv) {
   }();
   const sci::core::Dataset& ds = ingested.dataset;
 
+  // Partially-failed campaign exports carry their damage report in the
+  // header (campaign.failed / campaign.failed_cells); surface it up
+  // front so missing cells read as documented failures, not as a
+  // thinner grid.
+  if (ingested.failed > 0) {
+    std::printf("WARNING: %zu cell%s failed during the campaign%s%s\n",
+                ingested.failed, ingested.failed > 1 ? "s" : "",
+                ingested.failed_cells.empty() ? "" : ":\n  ",
+                ingested.failed_cells.c_str());
+  }
+  if (ingested.interrupted > 0) {
+    std::printf("WARNING: campaign was interrupted with %zu cell%s unexecuted; "
+                "resume it with the same journal to complete the grid\n",
+                ingested.interrupted, ingested.interrupted > 1 ? "s" : "");
+  }
+  if (ingested.failed > 0 || ingested.interrupted > 0) std::printf("\n");
+
   if (ds.rows() == 0) {
+    // A campaign whose cells ALL failed still exports a valid (empty)
+    // samples CSV; with the accounting above that is a report, not an
+    // error -- aborting here would hide the explanation.
+    if (ingested.failed > 0 || ingested.interrupted > 0) {
+      std::printf("%s: no successful cells to summarize\n", path.c_str());
+      return 0;
+    }
     std::fprintf(stderr, "error: %s holds no data rows\n", path.c_str());
     return 1;
   }
