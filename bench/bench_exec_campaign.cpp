@@ -15,6 +15,7 @@
 // bench/RESULTS_exec_campaign.md.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -22,6 +23,7 @@
 
 #include "exec/runner.hpp"
 #include "exec/sim_backend.hpp"
+#include "obs/bench_report.hpp"
 
 using namespace sci;
 
@@ -54,7 +56,11 @@ exec::SimBackendOptions make_backend_options(std::size_t samples) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_dir = argv[++i];
+  }
   constexpr std::size_t kSamplesPerCell = 4000;
 
   std::printf("CampaignRunner scaling: 16 cells x %zu samples, cache off\n",
@@ -62,6 +68,7 @@ int main() {
   std::printf("hardware_concurrency: %u\n\n", std::thread::hardware_concurrency());
   std::printf("%8s %12s %9s %12s\n", "workers", "wall [ms]", "speedup", "bytes-equal");
 
+  obs::BenchReporter reporter("exec_campaign");
   std::string reference_csv;
   double reference_ms = 0.0;
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
@@ -87,6 +94,16 @@ int main() {
     std::printf("%8zu %12.1f %8.2fx %12s\n", workers, ms, reference_ms / ms,
                 equal ? "yes" : "NO -- CONTRACT VIOLATED");
     if (!equal) return 1;
+    const double sample[] = {ms};
+    reporter.add_metric("wall_ms." + std::to_string(workers) + "w", "ms", sample);
+  }
+  if (!json_dir.empty()) {
+    const std::string path = reporter.write_json(json_dir);
+    if (path.empty()) {
+      std::fprintf(stderr, "could not write BENCH json into %s\n", json_dir.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
   }
   return 0;
 }

@@ -39,6 +39,7 @@
 
 #include "exec/runner.hpp"
 #include "exec/sim_backend.hpp"
+#include "obs/bench_report.hpp"
 #include "sim/frame_pool.hpp"
 #include "sim/machine.hpp"
 #include "simmpi/benchmarks.hpp"
@@ -71,6 +72,7 @@ namespace {
 
 bool g_smoke = false;
 int g_failures = 0;
+obs::BenchReporter* g_reporter = nullptr;  ///< set when --json DIR is given
 
 void check(bool ok, const char* what) {
   if (!ok) {
@@ -163,8 +165,8 @@ struct DuelOutcome {
   Summary reuse;
 };
 
-DuelOutcome duel(const char* name, exec::Backend& backend, std::size_t workers,
-                 std::size_t replications, std::size_t reps) {
+DuelOutcome duel(const char* name, const char* slug, exec::Backend& backend,
+                 std::size_t workers, std::size_t replications, std::size_t reps) {
   const exec::Campaign campaign = make_campaign(replications);
   std::vector<double> baseline_s, reuse_s;
   baseline_s.reserve(reps);
@@ -174,6 +176,12 @@ DuelOutcome duel(const char* name, exec::Backend& backend, std::size_t workers,
     baseline_s.push_back(time_campaign(backend, campaign, workers, /*reuse=*/false));
     set_pooling(true);
     reuse_s.push_back(time_campaign(backend, campaign, workers, /*reuse=*/true));
+  }
+  if (g_reporter != nullptr) {
+    const std::string base = std::string(slug) + "." + std::to_string(workers) + "w";
+    g_reporter->add_metric(base + ".baseline", "rep/s", baseline_s,
+                           obs::Improve::kHigher);
+    g_reporter->add_metric(base + ".reuse", "rep/s", reuse_s, obs::Improve::kHigher);
   }
   const DuelOutcome outcome{summarize(baseline_s), summarize(reuse_s)};
   const double speedup = outcome.reuse.median / outcome.baseline.median;
@@ -248,6 +256,12 @@ void audit_runner_counters(exec::Backend& backend, const char* label) {
   std::snprintf(what, sizeof what, "%s: zero callback heap spills after replication 1",
                 label);
   check(tail_spills == 0, what);
+  if (g_reporter != nullptr) {
+    g_reporter->add_counter(std::string(label) + ".tail_coro_frame_heap_allocs",
+                            tail_frames);
+    g_reporter->add_counter(std::string(label) + ".tail_callback_heap_spills",
+                            tail_spills);
+  }
   std::printf("  %-12s audit: frames=%llu spills=%llu after rep 1 (rep 0: %llu frames)\n",
               label, static_cast<unsigned long long>(tail_frames),
               static_cast<unsigned long long>(tail_spills),
@@ -274,14 +288,22 @@ void audit_global_allocator() {
   check(allocs == 0, "zero allocator calls across 5 warmed ping-pong replications");
   std::printf("  global allocator calls across 5 warmed replications: %llu\n",
               static_cast<unsigned long long>(allocs));
+  if (g_reporter != nullptr) {
+    g_reporter->add_counter("global_alloc_calls_warmed_pingpong", allocs);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string json_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_dir = argv[++i];
   }
+  obs::BenchReporter reporter("exec_throughput");
+  reporter.set_context("mode", g_smoke ? "smoke" : "full");
+  if (!json_dir.empty()) g_reporter = &reporter;
   std::printf("bench_exec_throughput (%s, %u hardware thread(s))\n",
               g_smoke ? "smoke" : "full", std::thread::hardware_concurrency());
 #if !SCIBENCH_POOLING
@@ -302,10 +324,14 @@ int main(int argc, char** argv) {
   const std::size_t pp_replications = g_smoke ? 8 : 64;
   const std::size_t rd_replications = g_smoke ? 8 : 64;
   const std::size_t reps = g_smoke ? 3 : 25;
-  const DuelOutcome pp1 = duel("pingpong 8B x8", pingpong, 1, pp_replications, reps);
-  const DuelOutcome pp4 = duel("pingpong 8B x8", pingpong, 4, pp_replications, reps);
-  const DuelOutcome rd1 = duel("reduce p4 x3", reduce, 1, rd_replications, reps);
-  const DuelOutcome rd4 = duel("reduce p4 x3", reduce, 4, rd_replications, reps);
+  const DuelOutcome pp1 =
+      duel("pingpong 8B x8", "pingpong_8B", pingpong, 1, pp_replications, reps);
+  const DuelOutcome pp4 =
+      duel("pingpong 8B x8", "pingpong_8B", pingpong, 4, pp_replications, reps);
+  const DuelOutcome rd1 =
+      duel("reduce p4 x3", "reduce_p4", reduce, 1, rd_replications, reps);
+  const DuelOutcome rd4 =
+      duel("reduce p4 x3", "reduce_p4", reduce, 4, rd_replications, reps);
 
   std::printf("\n[2] determinism\n");
   determinism_checks(pingpong, "pingpong");
@@ -346,6 +372,15 @@ int main(int argc, char** argv) {
   }
 
   set_pooling(SCIBENCH_POOLING != 0);
+  if (g_reporter != nullptr) {
+    const std::string path = reporter.write_json(json_dir);
+    if (path.empty()) {
+      std::printf("FAILED: could not write BENCH json into %s\n", json_dir.c_str());
+      ++g_failures;
+    } else {
+      std::printf("\nwrote %s\n", path.c_str());
+    }
+  }
   if (g_failures == 0) {
     std::printf("\nall checks passed\n");
     return 0;

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/bench_report.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "rng/distributions.hpp"
@@ -256,6 +257,7 @@ Summary summarize(const std::vector<double>& samples) {
 }
 
 int g_failures = 0;
+obs::BenchReporter* g_reporter = nullptr;  ///< set when --json DIR is given
 
 void check(bool ok, const char* what) {
   if (!ok) {
@@ -268,8 +270,15 @@ void check(bool ok, const char* what) {
 // Part 1: events/sec, legacy vs arena engine, three regimes.
 // ---------------------------------------------------------------------------
 
-void report_pair(const char* workload, const std::vector<double>& legacy_eps,
+void report_pair(const char* workload, const char* slug,
+                 const std::vector<double>& legacy_eps,
                  const std::vector<double>& arena_eps) {
+  if (g_reporter != nullptr) {
+    g_reporter->add_metric(std::string(slug) + ".legacy", "ev/s", legacy_eps,
+                           obs::Improve::kHigher);
+    g_reporter->add_metric(std::string(slug) + ".arena", "ev/s", arena_eps,
+                           obs::Improve::kHigher);
+  }
   const Summary legacy = summarize(legacy_eps);
   const Summary arena = summarize(arena_eps);
   std::printf("  %-28s legacy %6.2f Mev/s [%6.2f, %6.2f]   arena %6.2f Mev/s [%6.2f, %6.2f]"
@@ -281,8 +290,8 @@ void report_pair(const char* workload, const std::vector<double>& legacy_eps,
 
 /// Interleaves `reps` timed runs of a workload on each engine.
 template <typename RunLegacy, typename RunArena>
-void duel(const char* name, std::size_t reps, std::size_t expected_events,
-          RunLegacy run_legacy, RunArena run_arena) {
+void duel(const char* name, const char* slug, std::size_t reps,
+          std::size_t expected_events, RunLegacy run_legacy, RunArena run_arena) {
   std::vector<double> legacy_eps, arena_eps;
   for (std::size_t r = 0; r < reps; ++r) {
     {
@@ -300,7 +309,7 @@ void duel(const char* name, std::size_t reps, std::size_t expected_events,
       arena_eps.push_back(static_cast<double>(processed) / dt);
     }
   }
-  report_pair(name, legacy_eps, arena_eps);
+  report_pair(name, slug, legacy_eps, arena_eps);
 }
 
 void bench_engine(bool smoke) {
@@ -309,11 +318,11 @@ void bench_engine(bool smoke) {
               " [95%% CI] ==\n", reps);
 
   const std::size_t ticks = smoke ? 20000 : 2000000;
-  duel("thin tick (pure dispatch)", reps, ticks + 1,
+  duel("thin tick (pure dispatch)", "thin_tick", reps, ticks + 1,
        [&] { LegacyEngine e; ThinTick<LegacyEngine> t{e, ticks}; return t.run(); },
        [&] { sim::Engine e; ThinTick<sim::Engine> t{e, ticks}; return t.run(); });
 
-  duel("fat tick (72B capture)", reps, ticks + 1,
+  duel("fat tick (72B capture)", "fat_tick", reps, ticks + 1,
        [&] {
          LegacyEngine e;
          double acc = 0.0;
@@ -330,7 +339,7 @@ void bench_engine(bool smoke) {
   const std::size_t chains = smoke ? 256 : 16384;
   const std::size_t hops = smoke ? 7 : 11;
   double checksum_legacy = 0.0, checksum_arena = 0.0;
-  duel("deep churn (16k chains)", reps, chains * (hops + 1),
+  duel("deep churn (16k chains)", "deep_churn", reps, chains * (hops + 1),
        [&] {
          LegacyEngine e;
          Churn<LegacyEngine> c(chains, hops);
@@ -392,6 +401,10 @@ void bench_bootstrap(bool smoke) {
   };
   to_ms(generic_s);
   to_ms(fast_s);
+  if (g_reporter != nullptr) {
+    g_reporter->add_metric("bca_median.generic", "ms", generic_s);
+    g_reporter->add_metric("bca_median.fast", "ms", fast_s);
+  }
   const Summary generic = summarize(generic_s);
   const Summary fast = summarize(fast_s);
   std::printf("  generic (Statistic)    median %8.1f ms   95%% CI [%8.1f, %8.1f]\n",
@@ -439,21 +452,39 @@ void bench_allocations(bool smoke) {
   check(processed == chains * (hops + 1), "steady-state batch processed every event");
   check(allocs == 0, "zero allocator calls in steady-state dispatch");
   check(spilled == 0, "zero InlineCallback heap spills in steady state");
+  if (g_reporter != nullptr) {
+    g_reporter->add_counter("steady_state_alloc_calls", allocs);
+    g_reporter->add_counter("steady_state_callback_heap_spills", spilled);
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string json_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_dir = argv[++i];
   }
+  obs::BenchReporter reporter("sim_hotpath");
+  reporter.set_context("mode", smoke ? "smoke" : "full");
+  if (!json_dir.empty()) g_reporter = &reporter;
 
   std::printf("sim hot-path benchmark (%s mode)\n", smoke ? "smoke" : "full");
   bench_engine(smoke);
   bench_bootstrap(smoke);
   bench_allocations(smoke);
 
+  if (g_reporter != nullptr) {
+    const std::string path = reporter.write_json(json_dir);
+    if (path.empty()) {
+      std::printf("FAILED: could not write BENCH json into %s\n", json_dir.c_str());
+      ++g_failures;
+    } else {
+      std::printf("\nwrote %s\n", path.c_str());
+    }
+  }
   if (g_failures != 0) {
     std::printf("\n%d invariant check(s) FAILED\n", g_failures);
     return 1;

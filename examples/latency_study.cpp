@@ -55,7 +55,16 @@ int main() {
   bopts.unit = "us";
   exec::SimBackend backend(bopts);
 
-  exec::CampaignRunner runner(backend, exec::Campaign(spec));
+  // Progress telemetry: a stderr heartbeat while the grid executes and a
+  // machine-readable snapshot on completion (the campaign-smoke CI job
+  // asserts this file exists and parses).
+  exec::StderrHeartbeat heartbeat;
+  exec::CampaignRunnerOptions ropts;
+  ropts.progress = &heartbeat;
+  ropts.heartbeat_period_s = 2.0;
+  ropts.metrics_path = "latency_study_metrics.json";
+
+  exec::CampaignRunner runner(backend, exec::Campaign(spec), ropts);
   const exec::CampaignResult run = runner.run();
 
   const core::Experiment e = run.experiment;
@@ -139,5 +148,6 @@ int main() {
   // it per grid cell (exec::load_measurements).
   run.samples_dataset().save_csv("latency_study_samples.csv");
   std::printf("per-sample campaign dataset written to latency_study_samples.csv\n");
+  std::printf("campaign metrics snapshot written to latency_study_metrics.json\n");
   return 0;
 }

@@ -16,7 +16,14 @@
 // CI smoke job uses --budget as a deterministic stand-in for `kill`).
 //
 //   resilience_study [--journal PATH] [--csv PATH] [--workers N]
-//                    [--budget K] [--faults]
+//                    [--budget K] [--faults] [--metrics PATH]
+//                    [--heartbeat SECONDS]
+//
+// --metrics writes the runner's final ProgressSnapshot (completed,
+// failed, retried, journal hits, per-worker throughput) as canonical
+// JSON -- also on interruption, so an operator can see how far a killed
+// campaign got. --heartbeat prints one progress line to stderr every
+// SECONDS while running.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,7 +40,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--journal PATH] [--csv PATH] [--workers N] [--budget K] "
-               "[--faults]\n",
+               "[--faults] [--metrics PATH] [--heartbeat SECONDS]\n",
                argv0);
   return 1;
 }
@@ -43,6 +50,8 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string journal_path;
   std::string csv_path;
+  std::string metrics_path;
+  double heartbeat_s = 0.0;
   std::size_t workers = 2;
   std::size_t budget = 0;
   bool faults = false;
@@ -64,6 +73,10 @@ int main(int argc, char** argv) {
       budget = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
     } else if (arg == "--faults") {
       faults = true;
+    } else if (arg == "--metrics") {
+      metrics_path = value();
+    } else if (arg == "--heartbeat") {
+      heartbeat_s = std::strtod(value(), nullptr);
     } else {
       return usage(argv[0]);
     }
@@ -92,11 +105,17 @@ int main(int argc, char** argv) {
   bopts.unit = "us";
   exec::SimBackend backend(bopts);
 
+  exec::StderrHeartbeat heartbeat;
   exec::CampaignRunnerOptions ropts;
   ropts.workers = workers;
   ropts.journal_path = journal_path;
   ropts.cell_budget = budget;
   ropts.max_attempts = 2;
+  ropts.metrics_path = metrics_path;
+  if (heartbeat_s > 0.0) {
+    ropts.progress = &heartbeat;
+    ropts.heartbeat_period_s = heartbeat_s;
+  }
   exec::CampaignRunner runner(backend, exec::Campaign(spec), ropts);
   const exec::CampaignResult result = runner.run();
 
@@ -108,6 +127,9 @@ int main(int argc, char** argv) {
   if (!csv_path.empty()) {
     result.samples_dataset().save_csv(csv_path);
     std::printf("samples -> %s\n", csv_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    std::printf("metrics -> %s\n", metrics_path.c_str());
   }
   if (result.interrupted > 0) {
     std::printf("interrupted: rerun with the same --journal to resume\n");

@@ -1,0 +1,162 @@
+#include "ci/dashboard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sci::ci {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Inline SVG polyline of the series medians, scaled to fit; the
+/// change-point (if any) gets a vertical marker, the last point a dot.
+std::string sparkline_svg(const MetricSeries& series, const Finding& finding) {
+  const std::vector<double> ys = series.medians();
+  const int w = 240, h = 48, pad = 4;
+  std::string svg = "<svg width=\"" + std::to_string(w) + "\" height=\"" +
+                    std::to_string(h) + "\" viewBox=\"0 0 " + std::to_string(w) + " " +
+                    std::to_string(h) + "\">";
+  if (ys.size() >= 2) {
+    double lo = ys[0], hi = ys[0];
+    for (double y : ys) {
+      lo = std::min(lo, y);
+      hi = std::max(hi, y);
+    }
+    const double span = hi > lo ? hi - lo : 1.0;
+    auto px = [&](std::size_t i) {
+      return pad + static_cast<double>(i) * (w - 2 * pad) /
+                       static_cast<double>(ys.size() - 1);
+    };
+    auto py = [&](double y) { return h - pad - (y - lo) * (h - 2 * pad) / span; };
+
+    if (finding.changepoint) {
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "<line x1=\"%.1f\" y1=\"0\" x2=\"%.1f\" y2=\"%d\" "
+                    "stroke=\"#d33\" stroke-dasharray=\"3,2\"/>",
+                    px(finding.changepoint_index), px(finding.changepoint_index), h);
+      svg += line;
+    }
+    svg += "<polyline fill=\"none\" stroke=\"#36c\" stroke-width=\"1.5\" points=\"";
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      char pt[48];
+      std::snprintf(pt, sizeof pt, "%.1f,%.1f ", px(i), py(ys[i]));
+      svg += pt;
+    }
+    svg += "\"/>";
+    const char* dot_color =
+        finding.verdict == Verdict::kRegression ? "#d33" : "#36c";
+    char dot[120];
+    std::snprintf(dot, sizeof dot, "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" fill=\"%s\"/>",
+                  px(ys.size() - 1), py(ys.back()), dot_color);
+    svg += dot;
+  }
+  svg += "</svg>";
+  return svg;
+}
+
+}  // namespace
+
+std::string render_markdown_dashboard(const std::vector<Finding>& findings,
+                                      const std::vector<MetricSeries>& series) {
+  std::string out;
+  out += "# Performance history\n\n";
+  if (findings.empty()) {
+    out += "No recorded metrics.\n";
+    return out;
+  }
+  out += "| bench | metric | verdict | latest | baseline | change | points | flags |\n";
+  out += "|---|---|---|---|---|---|---|---|\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::string flags;
+    if (f.ci_disjoint) flags += "ci-disjoint ";
+    if (f.changepoint) flags += "step ";
+    if (f.trend) flags += "trend ";
+    if (flags.empty()) flags = "-";
+    out += "| " + f.bench + " | " + f.metric + " | " + to_string(f.verdict) + " | " +
+           fmt(f.latest_median) + " " + f.unit + " | " + fmt(f.baseline_median) + " " +
+           f.unit + " | " + fmt_pct(f.change_fraction) + " | " +
+           std::to_string(f.points) + " | " + flags + " |\n";
+    (void)series;
+  }
+  bool any_notes = false;
+  for (const Finding& f : findings) {
+    if (f.verdict == Verdict::kStable) continue;
+    if (!any_notes) {
+      out += "\n## Notes\n\n";
+      any_notes = true;
+    }
+    out += "- **" + f.bench + " / " + f.metric + "** (" + to_string(f.verdict) +
+           "): " + f.note;
+    if (f.changepoint) {
+      out += " [step at point " + std::to_string(f.changepoint_index) + ", shift " +
+             fmt_pct(f.changepoint_shift) + ", p=" + fmt(f.changepoint_p) + "]";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_html_dashboard(const std::vector<Finding>& findings,
+                                  const std::vector<MetricSeries>& series) {
+  std::string out;
+  out += "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">";
+  out += "<title>scibench performance history</title><style>";
+  out += "body{font-family:sans-serif;margin:2em;}table{border-collapse:collapse;}";
+  out += "td,th{border:1px solid #ccc;padding:4px 8px;text-align:left;}";
+  out += "tr.regression{background:#fee;}tr.improvement{background:#efe;}";
+  out += ".note{color:#555;font-size:0.85em;}";
+  out += "</style></head><body>\n<h1>scibench performance history</h1>\n";
+  if (findings.empty()) {
+    out += "<p>No recorded metrics.</p>\n</body></html>\n";
+    return out;
+  }
+  out += "<table>\n<tr><th>bench</th><th>metric</th><th>verdict</th><th>latest</th>"
+         "<th>baseline</th><th>change</th><th>history</th></tr>\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const char* row_class = f.verdict == Verdict::kRegression  ? " class=\"regression\""
+                            : f.verdict == Verdict::kImprovement ? " class=\"improvement\""
+                                                                 : "";
+    out += "<tr";
+    out += row_class;
+    out += "><td>" + html_escape(f.bench) + "</td><td>" + html_escape(f.metric) +
+           "</td><td>" + to_string(f.verdict) + "</td><td>" + fmt(f.latest_median) + " " +
+           html_escape(f.unit) + "</td><td>" + fmt(f.baseline_median) + " " +
+           html_escape(f.unit) + "</td><td>" + fmt_pct(f.change_fraction) + "</td><td>";
+    if (i < series.size()) out += sparkline_svg(series[i], f);
+    out += "<div class=\"note\">" + html_escape(f.note) + "</div></td></tr>\n";
+  }
+  out += "</table>\n</body></html>\n";
+  return out;
+}
+
+}  // namespace sci::ci

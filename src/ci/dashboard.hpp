@@ -1,0 +1,26 @@
+// Dashboard rendering for the performance-history gate: a markdown
+// table for PR logs and a self-contained HTML page (inline SVG
+// sparklines, no external assets) for artifact browsing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ci/detect.hpp"
+#include "ci/history.hpp"
+
+namespace sci::ci {
+
+/// Markdown report: one table row per metric series (verdict, latest,
+/// baseline, change, change-point/trend flags) followed by a notes
+/// list for anything that is not stable. `findings` and `series` must
+/// be index-aligned (both produced from the same HistoryStore).
+[[nodiscard]] std::string render_markdown_dashboard(const std::vector<Finding>& findings,
+                                                    const std::vector<MetricSeries>& series);
+
+/// Self-contained HTML page with an inline SVG sparkline per series
+/// (medians over append order, change-point marked when detected).
+[[nodiscard]] std::string render_html_dashboard(const std::vector<Finding>& findings,
+                                                const std::vector<MetricSeries>& series);
+
+}  // namespace sci::ci

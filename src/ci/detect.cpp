@@ -1,0 +1,177 @@
+#include "ci/detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <span>
+
+#include "stats/compare.hpp"
+#include "stats/confidence.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/quantile_regression.hpp"
+
+namespace sci::ci {
+
+namespace {
+
+/// Rank CI over a handful of medians: the nonparametric interval when n
+/// permits, the observed range otherwise (same fallback the bench
+/// harnesses use for tiny n).
+stats::Interval interval_over(std::span<const double> values) {
+  const auto sorted = stats::sorted_copy(values);
+  if (sorted.size() > 5) {
+    return stats::quantile_confidence_interval_sorted(sorted, 0.5, 0.95);
+  }
+  return stats::Interval{sorted.front(), sorted.back(), 0.95};
+}
+
+/// Is `change` (signed relative) in the bad direction for this metric?
+bool is_worse(double change, obs::Improve improve) noexcept {
+  return improve == obs::Improve::kLower ? change > 0.0 : change < 0.0;
+}
+
+double relative_change(double value, double base) noexcept {
+  const double denom = std::fabs(base);
+  if (denom == 0.0) return value == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return (value - base) / denom;
+}
+
+}  // namespace
+
+const char* to_string(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kInsufficientHistory: return "insufficient-history";
+    case Verdict::kStable: return "stable";
+    case Verdict::kImprovement: return "improvement";
+    case Verdict::kRegression: return "REGRESSION";
+  }
+  return "?";
+}
+
+Finding analyze_series(const MetricSeries& series, const DetectionOptions& options) {
+  Finding finding;
+  finding.bench = series.bench;
+  finding.metric = series.metric;
+  finding.unit = series.unit;
+  finding.improve = series.improve;
+  finding.points = series.points.size();
+
+  const std::vector<double> medians = series.medians();
+  const std::size_t n = medians.size();
+  if (n > 0) finding.latest_median = medians.back();
+  if (n < std::max<std::size_t>(options.min_points, 2)) {
+    finding.note = "only " + std::to_string(n) + " point(s) recorded; need " +
+                   std::to_string(options.min_points);
+    return finding;
+  }
+
+  // ---- CI-overlap gate: latest point vs the baseline window. -------
+  const std::size_t window = std::min<std::size_t>(options.baseline_window, n - 1);
+  const std::span<const double> baseline(medians.data() + (n - 1 - window), window);
+  finding.baseline_median = stats::median(baseline);
+  finding.change_fraction = relative_change(finding.latest_median, finding.baseline_median);
+
+  const stats::Interval baseline_ci = interval_over(baseline);
+  const HistoryPoint& latest = series.points.back();
+  // A tiny-n latest point carries a min/max or degenerate CI; never let
+  // a NaN bound read as "disjoint".
+  stats::Interval latest_ci{latest.metric.ci_lo, latest.metric.ci_hi, 0.95};
+  if (!std::isfinite(latest_ci.lower) || !std::isfinite(latest_ci.upper)) {
+    latest_ci = {latest.metric.median, latest.metric.median, 0.95};
+  }
+  finding.ci_disjoint = !latest_ci.overlaps(baseline_ci);
+
+  const bool meaningful = std::fabs(finding.change_fraction) >= options.min_effect;
+  finding.verdict = Verdict::kStable;
+  if (finding.ci_disjoint && meaningful) {
+    finding.verdict = is_worse(finding.change_fraction, finding.improve)
+                          ? Verdict::kRegression
+                          : Verdict::kImprovement;
+  }
+
+  // ---- Change-point scan (Kruskal-Wallis over every split). --------
+  if (n >= 4) {
+    double best_p = 1.0;
+    std::size_t best_split = 0;
+    std::size_t candidates = 0;
+    for (std::size_t k = 2; k + 2 <= n; ++k) {
+      const std::vector<std::vector<double>> groups = {
+          {medians.begin(), medians.begin() + static_cast<std::ptrdiff_t>(k)},
+          {medians.begin() + static_cast<std::ptrdiff_t>(k), medians.end()}};
+      const auto kw = stats::kruskal_wallis(groups);
+      ++candidates;
+      if (kw.p_value < best_p) {
+        best_p = kw.p_value;
+        best_split = k;
+      }
+    }
+    if (candidates > 0) {
+      // Bonferroni across the scanned splits: the scan asks `candidates`
+      // questions, so a single raw p of alpha would fire spuriously on
+      // flat noise roughly once per alpha*candidates series.
+      finding.changepoint_p = std::min(1.0, best_p * static_cast<double>(candidates));
+      const std::span<const double> pre(medians.data(), best_split);
+      const std::span<const double> post(medians.data() + best_split, n - best_split);
+      finding.changepoint_shift =
+          relative_change(stats::median(post), stats::median(pre));
+      finding.changepoint = finding.changepoint_p < options.alpha &&
+                            std::fabs(finding.changepoint_shift) >= options.min_effect;
+      finding.changepoint_index = finding.changepoint ? best_split : 0;
+      // A step whose new regime is worse and still current is a
+      // regression even when the windowed baseline has already been
+      // contaminated by post-step points.
+      if (finding.changepoint && is_worse(finding.changepoint_shift, finding.improve) &&
+          finding.verdict != Verdict::kRegression) {
+        finding.verdict = Verdict::kRegression;
+      }
+    }
+  }
+
+  // ---- Trend (dashboard-only): tau=0.5 regression on (seq, median). -
+  if (n >= 6) {
+    std::vector<double> y(medians.begin(), medians.end());
+    std::vector<std::vector<double>> design;
+    design.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) design.push_back({static_cast<double>(i)});
+    const auto fit = stats::quantile_regression(y, design, 0.5);
+    if (fit.converged && fit.coefficients.size() >= 2) {
+      finding.trend_slope = fit.coefficients[1];
+      const auto ci =
+          stats::quantile_regression_bootstrap_ci(y, design, 0.5, 200, 0.95, 0x5c1b3);
+      const bool slope_significant =
+          ci.lower.size() >= 2 && ci.upper.size() >= 2 &&
+          (ci.lower[1] > 0.0 || ci.upper[1] < 0.0);
+      const double drift = relative_change(
+          finding.trend_slope * static_cast<double>(n - 1) + medians.front(),
+          medians.front());
+      finding.trend = slope_significant && std::fabs(drift) >= options.min_effect;
+    }
+  }
+
+  // ---- One-sentence summary. ---------------------------------------
+  char note[192];
+  std::snprintf(note, sizeof note, "latest %.6g vs baseline %.6g %s (%+.1f%%)%s%s",
+                finding.latest_median, finding.baseline_median, finding.unit.c_str(),
+                finding.change_fraction * 100.0,
+                finding.changepoint ? ", step change in regime" : "",
+                finding.trend ? ", sustained trend" : "");
+  finding.note = note;
+  return finding;
+}
+
+std::vector<Finding> analyze_all(const std::vector<MetricSeries>& series,
+                                 const DetectionOptions& options) {
+  std::vector<Finding> findings;
+  findings.reserve(series.size());
+  for (const auto& s : series) findings.push_back(analyze_series(s, options));
+  return findings;
+}
+
+bool any_regression(const std::vector<Finding>& findings) noexcept {
+  return std::any_of(findings.begin(), findings.end(), [](const Finding& f) {
+    return f.verdict == Verdict::kRegression;
+  });
+}
+
+}  // namespace sci::ci

@@ -1,0 +1,90 @@
+// Regression, change-point, and trend detection over metric history --
+// the paper's own statistics turned on the repo's own trajectory.
+//
+// Three independent detectors run per MetricSeries (all on the sequence
+// of recorded medians; no raw samples are needed):
+//
+//   CI overlap (the gate)   The latest point's 95% nonparametric CI
+//       against a rank CI built over the baseline window's medians.
+//       Disjoint intervals + a worse median + at least min_effect
+//       relative change => regression (Section 3.2 of the paper: CI
+//       non-overlap at level 1-alpha implies significance; Rule 8's
+//       "do not hide noise" is why a bare median delta is never
+//       enough).
+//
+//   Change point (Kruskal-Wallis)   Every split of the series into
+//       prefix/suffix of >= 2 points is tested with the rank one-way
+//       ANOVA (stats/compare.hpp); the smallest Bonferroni-corrected
+//       p-value marks the step. A step whose new regime contains the
+//       latest point and is worse also raises the regression verdict --
+//       this is what catches a slowdown that crept in a few commits ago
+//       and has already contaminated the naive baseline window.
+//
+//   Trend (quantile regression)   The tau = 0.5 line median ~ seq
+//       (stats/quantile_regression.hpp) with a bootstrap CI on the
+//       slope; a slope whose CI excludes zero and whose drift over the
+//       window exceeds min_effect is reported (dashboard only -- slow
+//       drifts gate poorly, they alarm once per commit forever).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ci/history.hpp"
+
+namespace sci::ci {
+
+struct DetectionOptions {
+  double alpha = 0.05;       ///< significance for change-point and trend
+  double min_effect = 0.05;  ///< relative change below which nothing flags
+  std::size_t baseline_window = 8;  ///< prior points forming the gate baseline
+  std::size_t min_points = 4;  ///< shorter series: verdict = insufficient history
+};
+
+enum class Verdict {
+  kInsufficientHistory,  ///< not enough points to say anything
+  kStable,
+  kImprovement,  ///< CI-disjoint change in the good direction
+  kRegression,   ///< CI-disjoint slowdown, or a worse new regime
+};
+[[nodiscard]] const char* to_string(Verdict verdict) noexcept;
+
+struct Finding {
+  std::string bench;
+  std::string metric;
+  std::string unit;
+  obs::Improve improve = obs::Improve::kLower;
+  std::size_t points = 0;
+
+  Verdict verdict = Verdict::kInsufficientHistory;
+
+  // CI-overlap gate inputs (latest vs baseline window).
+  double latest_median = 0.0;
+  double baseline_median = 0.0;
+  /// (latest - baseline) / |baseline|; sign is raw, improve gives the
+  /// good direction.
+  double change_fraction = 0.0;
+  bool ci_disjoint = false;
+
+  // Change-point scan.
+  bool changepoint = false;
+  std::size_t changepoint_index = 0;  ///< first point of the new regime
+  double changepoint_p = 1.0;         ///< Bonferroni-corrected
+  /// Relative level shift of the new regime vs the old one.
+  double changepoint_shift = 0.0;
+
+  // Trend fit.
+  bool trend = false;
+  double trend_slope = 0.0;  ///< metric units per recorded point
+
+  std::string note;  ///< one human-readable sentence
+};
+
+[[nodiscard]] Finding analyze_series(const MetricSeries& series,
+                                     const DetectionOptions& options = {});
+[[nodiscard]] std::vector<Finding> analyze_all(const std::vector<MetricSeries>& series,
+                                               const DetectionOptions& options = {});
+[[nodiscard]] bool any_regression(const std::vector<Finding>& findings) noexcept;
+
+}  // namespace sci::ci

@@ -1,0 +1,139 @@
+#include "ci/history.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace sci::ci {
+
+namespace json = sci::obs::json;
+
+std::vector<double> MetricSeries::medians() const {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back(p.metric.median);
+  return out;
+}
+
+std::string history_line(const HistoryPoint& point) {
+  std::string out;
+  out.reserve(192);
+  out += "{\"seq\": " + json::dump_size(point.seq);
+  out += ", \"sha\": ";
+  json::append_quoted(out, point.git_sha);
+  out += ", \"bench\": ";
+  json::append_quoted(out, point.bench);
+  out += ", \"name\": ";
+  json::append_quoted(out, point.metric.name);
+  out += ", \"unit\": ";
+  json::append_quoted(out, point.metric.unit);
+  out += ", \"improve\": ";
+  json::append_quoted(out, obs::to_string(point.metric.improve));
+  out += ", \"n\": " + json::dump_size(point.metric.n);
+  out += ", \"median\": " + json::dump_number(point.metric.median);
+  out += ", \"ci_lo\": " + json::dump_number(point.metric.ci_lo);
+  out += ", \"ci_hi\": " + json::dump_number(point.metric.ci_hi);
+  out += "}";
+  return out;
+}
+
+HistoryPoint parse_history_line(std::string_view line) {
+  const json::Value root = json::parse(line);
+  HistoryPoint point;
+  point.seq = root.at("seq").as_size();
+  point.git_sha = root.at("sha").as_string();
+  point.bench = root.at("bench").as_string();
+  point.metric.name = root.at("name").as_string();
+  point.metric.unit = root.at("unit").as_string();
+  point.metric.improve = obs::improve_from_string(root.at("improve").as_string());
+  point.metric.n = root.at("n").as_size();
+  point.metric.median = root.at("median").as_number();
+  point.metric.ci_lo = root.at("ci_lo").as_number();
+  point.metric.ci_hi = root.at("ci_hi").as_number();
+  return point;
+}
+
+HistoryStore::HistoryStore(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;  // empty store
+  std::string line;
+  while (std::getline(in, line)) {
+    // getline sets eofbit exactly when the final line had no trailing
+    // newline -- i.e. a crash tore the last append mid-line. Heal it on
+    // the next append so new records never glue onto the scar.
+    if (in.eof()) heal_newline_ = true;
+    if (line.empty()) continue;
+    try {
+      HistoryPoint point = parse_history_line(line);
+      point.seq = points_.size();  // load order is the truth, not the stored seq
+      points_.push_back(std::move(point));
+    } catch (const std::exception&) {
+      // Same policy as the campaign journal: an unparseable line is a
+      // scar (torn append), skipped on replay and left in place --
+      // valid records keep appending after it. Counted so tools can
+      // warn instead of silently thinning history.
+      ++skipped_lines_;
+    }
+  }
+}
+
+bool HistoryStore::contains(const std::string& sha, const std::string& bench,
+                            const std::string& metric) const noexcept {
+  for (const auto& p : points_) {
+    if (p.git_sha == sha && p.bench == bench && p.metric.name == metric) return true;
+  }
+  return false;
+}
+
+std::size_t HistoryStore::ingest(const obs::BenchReport& report) {
+  std::vector<HistoryPoint> fresh;
+  for (const auto& metric : report.metrics) {
+    if (contains(report.git_sha, report.bench, metric.name)) continue;
+    HistoryPoint point;
+    point.seq = points_.size() + fresh.size();
+    point.git_sha = report.git_sha;
+    point.bench = report.bench;
+    point.metric = metric;
+    fresh.push_back(std::move(point));
+  }
+  if (fresh.empty()) return 0;
+
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) throw std::runtime_error("cannot append to " + path_);
+  if (heal_newline_) out.put('\n');
+  for (const auto& point : fresh) out << history_line(point) << '\n';
+  out.flush();
+  if (!out) throw std::runtime_error("write failed on " + path_);
+  heal_newline_ = false;
+
+  const std::size_t appended = fresh.size();
+  for (auto& point : fresh) points_.push_back(std::move(point));
+  return appended;
+}
+
+std::vector<MetricSeries> HistoryStore::series() const {
+  std::vector<MetricSeries> out;
+  for (const auto& point : points_) {
+    MetricSeries* target = nullptr;
+    for (auto& s : out) {
+      if (s.bench == point.bench && s.metric == point.metric.name) {
+        target = &s;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      MetricSeries s;
+      s.bench = point.bench;
+      s.metric = point.metric.name;
+      s.unit = point.metric.unit;
+      s.improve = point.metric.improve;
+      out.push_back(std::move(s));
+      target = &out.back();
+    }
+    target->points.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace sci::ci

@@ -1,5 +1,6 @@
 #include "core/report.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
@@ -51,6 +52,11 @@ ReportBuilder& ReportBuilder::add_comparison(const std::string& a, const std::st
 
 ReportBuilder& ReportBuilder::set_counter_summary(obs::CounterSnapshot counters) {
   counters_ = std::move(counters);
+  // Callers assemble the snapshot from several sources (CSV provenance
+  // sums, then live registry counters); sort so the rendered footer is
+  // deterministic regardless of assembly order.
+  std::sort(counters_.begin(), counters_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return *this;
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -10,6 +11,7 @@
 #include <thread>
 
 #include "exec/journal.hpp"
+#include "obs/bench_report.hpp"
 #include "obs/trace.hpp"
 #include "sim/callback.hpp"
 #include "sim/frame_pool.hpp"
@@ -193,6 +195,57 @@ CampaignResult CampaignRunner::run() {
   std::atomic<std::size_t> budget_used{0};
   const std::size_t max_attempts = std::max<std::size_t>(1, options_.max_attempts);
 
+  // Telemetry is fully optional: with no sink and no metrics file, the
+  // extra per-cell bookkeeping below is skipped entirely (zero-cost
+  // contract), and none of it can influence results either way.
+  const bool telemetry =
+      options_.progress != nullptr || !options_.metrics_path.empty();
+  std::atomic<std::size_t> samples_executed{0};
+  std::unique_ptr<std::atomic<std::size_t>[]> worker_cells;
+  std::vector<double> worker_busy;
+  obs::CounterSnapshot counters_at_start;
+  if (telemetry) {
+    worker_cells = std::make_unique<std::atomic<std::size_t>[]>(workers);
+    for (std::size_t w = 0; w < workers; ++w) worker_cells[w].store(0);
+    worker_busy.assign(workers, 0.0);
+    counters_at_start = obs::CounterRegistry::instance().snapshot();
+  }
+  const double run_t0 = obs::host_now_s();
+
+  // Heartbeat snapshots read only the atomics above (never the cells
+  // vector, which workers are still writing); samples_total and
+  // per-worker busy time are final-snapshot facts.
+  const auto make_snapshot = [&](bool finished) {
+    ProgressSnapshot snap;
+    snap.campaign = campaign_.spec().name;
+    snap.backend = backend_name;
+    snap.total_cells = result.cells.size();
+    snap.executed = executed.load(std::memory_order_relaxed);
+    snap.failed = failed.load(std::memory_order_relaxed);
+    snap.retries = retries.load(std::memory_order_relaxed);
+    snap.cache_hits = cache_hits.load(std::memory_order_relaxed);
+    snap.journal_hits = journal_hits.load(std::memory_order_relaxed);
+    snap.interrupted = interrupted.load(std::memory_order_relaxed);
+    snap.completed = snap.executed + snap.failed + snap.cache_hits +
+                     snap.journal_hits + snap.interrupted;
+    snap.samples_executed = samples_executed.load(std::memory_order_relaxed);
+    snap.elapsed_s = obs::host_now_s() - run_t0;
+    snap.finished = finished;
+    snap.workers.resize(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      snap.workers[w].cells = worker_cells[w].load(std::memory_order_relaxed);
+      snap.workers[w].busy_s = finished ? worker_busy[w] : snap.elapsed_s;
+    }
+    snap.counter_delta = obs::snapshot_delta(counters_at_start,
+                                             obs::CounterRegistry::instance().snapshot());
+    if (finished) {
+      for (const auto& cell : result.cells) {
+        if (cell.result.error.empty()) snap.samples_total += cell.result.samples.size();
+      }
+    }
+    return snap;
+  };
+
   // Per-worker trace sinks, merged into the caller's sink after the
   // join (TraceSink is deliberately single-threaded). Only pay for
   // tracing when the caller attached a sink.
@@ -230,9 +283,14 @@ CampaignResult CampaignRunner::run() {
       }
     }
 
+    const double worker_t0 = obs::host_now_s();
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= result.cells.size()) break;
+      // Every claimed cell is resolved by this worker (run, cached,
+      // replayed, failed, or interrupted), so claiming is completing
+      // for telemetry purposes.
+      if (telemetry) worker_cells[worker_id].fetch_add(1, std::memory_order_relaxed);
       CampaignCell& cell = result.cells[i];
       const CellKey key = make_cell_key(backend_name, cell.config, cell.seed);
 
@@ -335,6 +393,10 @@ CampaignResult CampaignRunner::run() {
       }
       if (cell.result.error.empty()) {
         executed.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry) {
+          samples_executed.fetch_add(cell.result.samples.size(),
+                                     std::memory_order_relaxed);
+        }
         if (options_.use_cache) {
           std::lock_guard<std::mutex> lock(cache_mutex_);
           cache_.emplace(key, cell.result);
@@ -343,7 +405,34 @@ CampaignResult CampaignRunner::run() {
         failed.fetch_add(1, std::memory_order_relaxed);
       }
     }
+    if (telemetry) worker_busy[worker_id] = obs::host_now_s() - worker_t0;
+  };
 
+  // Heartbeat monitor: its own thread so sink I/O never blocks a
+  // worker, started only when someone is listening.
+  std::thread monitor;
+  std::mutex monitor_mutex;
+  std::condition_variable monitor_cv;
+  bool monitor_stop = false;
+  if (options_.progress != nullptr && options_.heartbeat_period_s > 0.0) {
+    const auto period = std::chrono::duration<double>(options_.heartbeat_period_s);
+    monitor = std::thread([&] {
+      std::unique_lock<std::mutex> lock(monitor_mutex);
+      while (!monitor_cv.wait_for(lock, period, [&] { return monitor_stop; })) {
+        lock.unlock();
+        options_.progress->on_heartbeat(make_snapshot(/*finished=*/false));
+        lock.lock();
+      }
+    });
+  }
+  const auto stop_monitor = [&] {
+    if (!monitor.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(monitor_mutex);
+      monitor_stop = true;
+    }
+    monitor_cv.notify_all();
+    monitor.join();
   };
 
   if (workers == 1) {
@@ -364,12 +453,26 @@ CampaignResult CampaignRunner::run() {
     }
   }
 
+  stop_monitor();
+
   result.executed = executed.load();
   result.cache_hits = cache_hits.load();
   result.failed = failed.load();
   result.journal_hits = journal_hits.load();
   result.interrupted = interrupted.load();
   result.retries = retries.load();
+
+  // Final telemetry: one complete snapshot after the join (finished is
+  // true even when the cell budget interrupted the grid -- the watcher
+  // learns exactly how far the run got), written atomically so no
+  // reader sees a torn metrics file.
+  if (telemetry) {
+    const ProgressSnapshot snapshot = make_snapshot(/*finished=*/true);
+    if (!options_.metrics_path.empty()) {
+      obs::write_file_atomic(options_.metrics_path, snapshot.to_json());
+    }
+    if (options_.progress != nullptr) options_.progress->on_complete(snapshot);
+  }
 
   // Rule 9 damage report: partially-failed campaigns export CSVs whose
   // headers say exactly which cells are missing and why, instead of a

@@ -44,6 +44,7 @@
 #include "core/measurement.hpp"
 #include "exec/backend.hpp"
 #include "exec/campaign.hpp"
+#include "exec/progress.hpp"
 
 namespace sci::exec {
 
@@ -169,6 +170,18 @@ struct CampaignRunnerOptions {
   /// in-process stand-in for a mid-campaign kill in resume tests; 0 =
   /// unlimited.
   std::size_t cell_budget = 0;
+  /// Telemetry observer (not owned; must outlive run()). Receives
+  /// heartbeats from a monitor thread every heartbeat_period_s (when
+  /// > 0) and one final snapshot after the workers join. Telemetry is
+  /// observational only: exported CSVs are byte-identical with the sink
+  /// attached or not, and nullptr + empty metrics_path costs nothing.
+  ProgressSink* progress = nullptr;
+  double heartbeat_period_s = 0.0;
+  /// When non-empty, the final ProgressSnapshot is written here as
+  /// canonical JSON via atomic temp-file + rename -- on completion AND
+  /// on budget interruption, so an external watcher always finds a
+  /// whole file describing how far the campaign got.
+  std::string metrics_path;
 };
 
 class CampaignRunner {

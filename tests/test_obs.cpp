@@ -349,9 +349,14 @@ TEST(Provenance, ReportEmbedsCounterSummary) {
   const std::string text = report.render();
   EXPECT_NE(text.find("provenance counters"), std::string::npos);
   EXPECT_NE(text.find("net.messages = 15"), std::string::npos);
+  // The footer is sorted by counter name regardless of insertion order,
+  // so reports diff cleanly across runs that assemble counters
+  // differently.
+  EXPECT_LT(text.find("net.bytes"), text.find("net.messages"));
   const std::string md = report.render_markdown();
   EXPECT_NE(md.find("Provenance counters"), std::string::npos);
   EXPECT_NE(md.find("`net.bytes` | 120"), std::string::npos);
+  EXPECT_LT(md.find("net.bytes"), md.find("net.messages"));
 }
 
 }  // namespace

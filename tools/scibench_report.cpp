@@ -1,6 +1,6 @@
 // scibench_report: analyze a measurement CSV from the command line.
 //
-//   scibench_report [--markdown] data.csv [column]
+//   scibench_report [--markdown] [--strict] data.csv [column]
 //
 // Reads a CSV (as written by core::Dataset or any plain numeric CSV
 // with a header row; '#' comment lines are ignored) through
@@ -10,9 +10,12 @@
 // and Q-Q plots. Campaign exports (exec samples_dataset layout) are
 // regrouped automatically: one summarized series per grid cell instead
 // of one undifferentiated column. Exit code 0 on success, 1 on usage or
-// I/O errors (malformed cells are reported with file/line/column). This
-// is the "analyze my existing numbers soundly" entry point for users
-// who measured elsewhere.
+// I/O errors (malformed cells are reported with file/line/column); with
+// --strict, a campaign export carrying failed or unexecuted cells exits
+// 2 after printing the damage report -- the mode CI jobs use so a
+// partially-failed campaign cannot pass as a thinner grid. This is the
+// "analyze my existing numbers soundly" entry point for users who
+// measured elsewhere.
 #include <cstdio>
 #include <string>
 
@@ -28,9 +31,11 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--markdown] <file.csv> [column]\n"
+               "usage: %s [--markdown] [--strict] <file.csv> [column]\n"
                "  column defaults to the last one; '#' lines are ignored\n"
-               "  --markdown: emit a paste-ready GitHub-flavored report\n",
+               "  --markdown: emit a paste-ready GitHub-flavored report\n"
+               "  --strict:   exit 2 if the campaign export has failed or\n"
+               "              unexecuted (interrupted) cells\n",
                argv0);
   return 1;
 }
@@ -39,9 +44,17 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   bool markdown = false;
+  bool strict = false;
   int arg = 1;
-  if (arg < argc && std::string(argv[arg]) == "--markdown") {
-    markdown = true;
+  while (arg < argc && argv[arg][0] == '-') {
+    const std::string flag = argv[arg];
+    if (flag == "--markdown") {
+      markdown = true;
+    } else if (flag == "--strict") {
+      strict = true;
+    } else {
+      return usage(argv[0]);
+    }
     ++arg;
   }
   if (argc - arg < 1 || argc - arg > 2) return usage(argv[0]);
@@ -73,14 +86,18 @@ int main(int argc, char** argv) {
                 ingested.interrupted, ingested.interrupted > 1 ? "s" : "");
   }
   if (ingested.failed > 0 || ingested.interrupted > 0) std::printf("\n");
+  // --strict turns the damage report into a gate: the report still
+  // prints, but the exit code refuses to bless an incomplete grid.
+  const bool damaged = ingested.failed > 0 || ingested.interrupted > 0;
+  const int exit_code = strict && damaged ? 2 : 0;
 
   if (ds.rows() == 0) {
     // A campaign whose cells ALL failed still exports a valid (empty)
     // samples CSV; with the accounting above that is a report, not an
     // error -- aborting here would hide the explanation.
-    if (ingested.failed > 0 || ingested.interrupted > 0) {
+    if (damaged) {
       std::printf("%s: no successful cells to summarize\n", path.c_str());
-      return 0;
+      return exit_code;
     }
     std::fprintf(stderr, "error: %s holds no data rows\n", path.c_str());
     return 1;
@@ -143,7 +160,7 @@ int main(int argc, char** argv) {
   if (!counters.empty()) report.set_counter_summary(std::move(counters));
   if (markdown) {
     std::fputs(report.render_markdown().c_str(), stdout);
-    return 0;
+    return exit_code;
   }
   std::fputs(report.render().c_str(), stdout);
 
@@ -156,5 +173,5 @@ int main(int argc, char** argv) {
     opts.height = 10;
     std::fputs(sci::core::render_qq(values, opts).c_str(), stdout);
   }
-  return 0;
+  return exit_code;
 }
