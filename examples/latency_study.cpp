@@ -11,6 +11,7 @@
 //   persist   CSV datasets with embedded experiment documentation
 //   report    rule-audited text report with plots
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -27,8 +28,46 @@
 
 using namespace sci;
 
-int main() {
-  constexpr std::size_t kSamples = 50'000;
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--stopping fixed|ci:WIDTH]\n"
+               "  fixed (default): one 50k-sample replication per cell, the\n"
+               "      historical fixed-seed study\n"
+               "  ci:WIDTH: sequential stopping -- smaller replications are\n"
+               "      added round by round until the median's 95%% rank CI\n"
+               "      half-width falls below WIDTH (relative), per cell\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --stopping ci:W swaps the fixed single-replication design for the
+  // round-structured sequential campaign: many small replications per
+  // cell, each cell stopping as soon as its CI is tight enough.
+  double ci_target = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stopping" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value.rfind("ci:", 0) == 0) {
+        ci_target = std::atof(value.c_str() + 3);
+        if (!(ci_target > 0.0)) return usage(argv[0]);
+      } else if (value != "fixed") {
+        return usage(argv[0]);
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  const bool sequential = ci_target > 0.0;
+
+  // Sequential mode measures in smaller units so the stopping rule has
+  // replications to decide over; fixed mode keeps the historical 50k.
+  const std::size_t kSamples = sequential ? 2'000 : 50'000;
   const std::vector<std::string> systems = {"dora", "pilatus"};
   const std::vector<std::string> sizes = {"64", "4096"};
 
@@ -45,8 +84,15 @@ int main() {
   spec.base.summary_across_processes = "rank-0 half round-trip";
   spec.factors.push_back({"system", systems});
   spec.factors.push_back({"message_bytes", sizes});
-  // Reproduce the historical study: every cell ran with seed 2024.
-  spec.seed_override = [](const exec::Config&, std::size_t) { return 2024ULL; };
+  if (sequential) {
+    // Replications must be independent for the pooled rank CI to mean
+    // anything, so the per-(cell, rep) derived seeds stay in force here;
+    // the fixed-seed override below is a fixed-mode-only artifact.
+    spec.stopping = exec::StoppingPolicy::sequential_ci(ci_target, 4, 48);
+  } else {
+    // Reproduce the historical study: every cell ran with seed 2024.
+    spec.seed_override = [](const exec::Config&, std::size_t) { return 2024ULL; };
+  }
 
   exec::SimBackendOptions bopts;
   bopts.kernel = exec::SimKernel::kPingPong;
@@ -62,19 +108,46 @@ int main() {
   exec::CampaignRunnerOptions ropts;
   ropts.progress = &heartbeat;
   ropts.heartbeat_period_s = 2.0;
-  ropts.metrics_path = "latency_study_metrics.json";
+  // Sequential runs write under their own stem so a fixed run's outputs
+  // in the same directory survive a side-by-side comparison.
+  const std::string stem = sequential ? "latency_study_seq" : "latency_study";
+  ropts.metrics_path = stem + "_metrics.json";
 
   exec::CampaignRunner runner(backend, exec::Campaign(spec), ropts);
   const exec::CampaignResult run = runner.run();
+
+  if (sequential) {
+    // Per-cell stop decisions: the sequential analogue of "samples per
+    // configuration" in the fixed design's environment block.
+    std::printf("measurement control: %s (%zu round%s)\n",
+                spec.stopping.describe().c_str(), run.rounds,
+                run.rounds == 1 ? "" : "s");
+    for (std::size_t c = 0; c < run.stopping.size(); ++c) {
+      const auto& info = run.stopping[c];
+      if (info.converged && info.reps < spec.stopping.max_reps) {
+        std::printf("  config %zu: stopped early at %zu/%zu reps, CI +-%.1f%%\n", c,
+                    info.reps, spec.stopping.max_reps,
+                    info.rel_ci_half_width * 100.0);
+      } else {
+        std::printf("  config %zu: %s at %zu reps, CI +-%.1f%%\n", c,
+                    info.stop_reason.c_str(), info.reps,
+                    info.rel_ci_half_width * 100.0);
+      }
+    }
+    std::printf("\n");
+  }
 
   const core::Experiment e = run.experiment;
   core::Dataset ds(e, {"system", "bytes", "median_us", "q99_us", "kw_p"});
   core::ReportBuilder report(e);
   report.declare_units_convention();
 
-  // Grid order is system-major; index cells as (system, size).
-  const auto cell = [&](std::size_t sys, std::size_t size) -> const std::vector<double>& {
-    return run.series(sys * sizes.size() + size);
+  // Grid order is system-major; index cells as (system, size). Merging
+  // pools all replications of a config -- identical to the single series
+  // in the fixed one-rep design, the whole point under sequential
+  // stopping.
+  const auto cell = [&](std::size_t sys, std::size_t size) {
+    return run.merged_series(sys * sizes.size() + size);
   };
 
   for (std::size_t s = 0; s < sizes.size(); ++s) {
@@ -140,14 +213,14 @@ int main() {
   std::fputs(report.render().c_str(), stdout);
   std::fputs(core::ReportBuilder::render_audit(report.audit()).c_str(), stdout);
 
-  const std::string csv = "latency_study.csv";
+  const std::string csv = stem + ".csv";
   ds.save_csv(csv);
   std::printf("\nsummary dataset written to %s (R: read.csv(f, comment.char='#'))\n",
               csv.c_str());
   // Full per-sample export in campaign layout; scibench_report regroups
   // it per grid cell (exec::load_measurements).
-  run.samples_dataset().save_csv("latency_study_samples.csv");
-  std::printf("per-sample campaign dataset written to latency_study_samples.csv\n");
-  std::printf("campaign metrics snapshot written to latency_study_metrics.json\n");
+  run.samples_dataset().save_csv(stem + "_samples.csv");
+  std::printf("per-sample campaign dataset written to %s_samples.csv\n", stem.c_str());
+  std::printf("campaign metrics snapshot written to %s_metrics.json\n", stem.c_str());
   return 0;
 }

@@ -17,7 +17,12 @@
 //
 //   resilience_study [--journal PATH] [--csv PATH] [--workers N]
 //                    [--budget K] [--faults] [--metrics PATH]
-//                    [--heartbeat SECONDS]
+//                    [--heartbeat SECONDS] [--stopping fixed|ci:WIDTH]
+//
+// --stopping ci:W replaces the fixed 3 replications per cell with
+// sequential stopping (min 3, max 24 reps, median CI half-width target
+// W); journaled resume works identically -- stop decisions are recorded
+// in the journal and re-verified on replay.
 //
 // --metrics writes the runner's final ProgressSnapshot (completed,
 // failed, retried, journal hits, per-worker throughput) as canonical
@@ -40,7 +45,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--journal PATH] [--csv PATH] [--workers N] [--budget K] "
-               "[--faults] [--metrics PATH] [--heartbeat SECONDS]\n",
+               "[--faults] [--metrics PATH] [--heartbeat SECONDS] "
+               "[--stopping fixed|ci:WIDTH]\n",
                argv0);
   return 1;
 }
@@ -55,6 +61,7 @@ int main(int argc, char** argv) {
   std::size_t workers = 2;
   std::size_t budget = 0;
   bool faults = false;
+  double ci_target = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> const char* {
@@ -77,6 +84,14 @@ int main(int argc, char** argv) {
       metrics_path = value();
     } else if (arg == "--heartbeat") {
       heartbeat_s = std::strtod(value(), nullptr);
+    } else if (arg == "--stopping") {
+      const std::string policy = value();
+      if (policy.rfind("ci:", 0) == 0) {
+        ci_target = std::strtod(policy.c_str() + 3, nullptr);
+        if (!(ci_target > 0.0)) return usage(argv[0]);
+      } else if (policy != "fixed") {
+        return usage(argv[0]);
+      }
     } else {
       return usage(argv[0]);
     }
@@ -96,6 +111,9 @@ int main(int argc, char** argv) {
   spec.factors.push_back({"message_bytes", {"64", "1024", "16384"}});
   spec.replications = 3;
   spec.seed = 7;
+  if (ci_target > 0.0) {
+    spec.stopping = exec::StoppingPolicy::sequential_ci(ci_target, 3, 24);
+  }
 
   exec::SimBackendOptions bopts;
   bopts.kernel = exec::SimKernel::kPingPong;
@@ -123,6 +141,17 @@ int main(int argc, char** argv) {
               "interrupted=%zu retries=%zu\n",
               result.cells.size(), result.executed, result.journal_hits,
               result.cache_hits, result.failed, result.interrupted, result.retries);
+  if (result.sequential) {
+    std::size_t converged = 0;
+    for (const auto& info : result.stopping) converged += info.converged ? 1 : 0;
+    std::printf("stopping: %zu/%zu configs converged over %zu rounds\n", converged,
+                result.stopping.size(), result.rounds);
+    for (std::size_t c = 0; c < result.stopping.size(); ++c) {
+      const auto& info = result.stopping[c];
+      std::printf("  config %zu: %zu reps (%s)\n", c, info.reps,
+                  info.stop_reason.c_str());
+    }
+  }
 
   if (!csv_path.empty()) {
     result.samples_dataset().save_csv(csv_path);

@@ -100,6 +100,7 @@ std::string render_markdown_dashboard(const std::vector<Finding>& findings,
     if (f.ci_disjoint) flags += "ci-disjoint ";
     if (f.changepoint) flags += "step ";
     if (f.trend) flags += "trend ";
+    if (f.baseline_ci_degenerate) flags += "degenerate-baseline-ci ";
     if (flags.empty()) flags = "-";
     out += "| " + f.bench + " | " + f.metric + " | " + to_string(f.verdict) + " | " +
            fmt(f.latest_median) + " " + f.unit + " | " + fmt(f.baseline_median) + " " +

@@ -73,6 +73,15 @@ Finding analyze_series(const MetricSeries& series, const DetectionOptions& optio
   finding.change_fraction = relative_change(finding.latest_median, finding.baseline_median);
 
   const stats::Interval baseline_ci = interval_over(baseline);
+  // Detect the blind spot, not just its tiny-n cause: rank CIs over few
+  // points clamp to the extremes even when n > 5 lets the formula run.
+  // A constant window (min == max) is a zero-width interval, not a wide
+  // one, so it does not qualify.
+  const double baseline_min = stats::min_value(baseline);
+  const double baseline_max = stats::max_value(baseline);
+  finding.baseline_ci_degenerate = baseline_min < baseline_max &&
+                                   baseline_ci.lower <= baseline_min &&
+                                   baseline_ci.upper >= baseline_max;
   const HistoryPoint& latest = series.points.back();
   // A tiny-n latest point carries a min/max or degenerate CI; never let
   // a NaN bound read as "disjoint".
@@ -106,7 +115,10 @@ Finding analyze_series(const MetricSeries& series, const DetectionOptions& optio
         best_split = k;
       }
     }
-    if (candidates > 0) {
+    // best_split == 0 means no split beat p = 1.0 (a perfectly constant
+    // series): there is no candidate step, and the empty prefix below
+    // would otherwise throw.
+    if (candidates > 0 && best_split > 0) {
       // Bonferroni across the scanned splits: the scan asks `candidates`
       // questions, so a single raw p of alpha would fire spuriously on
       // flat noise roughly once per alpha*candidates series.
@@ -151,11 +163,13 @@ Finding analyze_series(const MetricSeries& series, const DetectionOptions& optio
 
   // ---- One-sentence summary. ---------------------------------------
   char note[192];
-  std::snprintf(note, sizeof note, "latest %.6g vs baseline %.6g %s (%+.1f%%)%s%s",
+  std::snprintf(note, sizeof note, "latest %.6g vs baseline %.6g %s (%+.1f%%)%s%s%s",
                 finding.latest_median, finding.baseline_median, finding.unit.c_str(),
                 finding.change_fraction * 100.0,
                 finding.changepoint ? ", step change in regime" : "",
-                finding.trend ? ", sustained trend" : "");
+                finding.trend ? ", sustained trend" : "",
+                finding.baseline_ci_degenerate ? ", baseline CI degenerate [min, max]"
+                                               : "");
   finding.note = note;
   return finding;
 }

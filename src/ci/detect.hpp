@@ -66,6 +66,13 @@ struct Finding {
   /// good direction.
   double change_fraction = 0.0;
   bool ci_disjoint = false;
+  /// True when the baseline window's rank CI degenerated to the observed
+  /// [min, max] -- either n <= 5 forced the range fallback outright, or
+  /// the rank formula's clamped indices landed on the extremes. A
+  /// degenerate baseline is the widest interval the data can express, so
+  /// "CIs overlap" carries little evidence of stability: the gate is
+  /// effectively blind until the window accumulates more points.
+  bool baseline_ci_degenerate = false;
 
   // Change-point scan.
   bool changepoint = false;

@@ -7,6 +7,7 @@
 #include "obs/trace.hpp"
 #include "stats/confidence.hpp"
 #include "stats/descriptive.hpp"
+#include "stats/online.hpp"
 
 namespace sci::core {
 namespace {
@@ -43,11 +44,19 @@ AdaptiveResult measure_adaptive(const std::function<double()>& measure,
 
   result.samples.reserve(options.min_samples);
   const std::size_t cadence = std::max<std::size_t>(options.check_every, 1);
+  // Incremental accumulator for the nonparametric stop: each CI check
+  // merges only the samples added since the last check instead of
+  // re-sorting the whole series. The sorted data it evaluates is
+  // identical to what quantile_ci_converged would build, so the stop
+  // decision (and therefore every published number) is unchanged.
+  stats::OnlineSeries acc;
   while (result.samples.size() < options.max_samples) {
 #if SCIBENCH_TRACING
     const double sample_t0 = obs::host_now_s();
 #endif
-    result.samples.push_back(measure());
+    const double value = measure();
+    result.samples.push_back(value);
+    if (!options.use_mean) acc.add(value);
     samples_ctr.add(1);
     const std::size_t n = result.samples.size();
     SCI_TRACE_COMPLETE(obs::kHarnessTrack, "sample", "harness", sample_t0,
@@ -61,8 +70,8 @@ AdaptiveResult measure_adaptive(const std::function<double()>& measure,
     const bool ok =
         options.use_mean
             ? mean_ci_converged(result.samples, options.relative_error, options.confidence)
-            : stats::quantile_ci_converged(result.samples, options.quantile,
-                                           options.relative_error, options.confidence);
+            : acc.quantile_converged(options.quantile, options.relative_error,
+                                     options.confidence);
     const double check_t1 = obs::host_now_s();
     ci_ctr.add(1);
     overhead_ctr.add(static_cast<std::uint64_t>((check_t1 - check_t0) * 1e9));

@@ -1,9 +1,38 @@
 #include "exec/campaign.hpp"
 
 #include <charconv>
+#include <cstdio>
 #include <stdexcept>
 
 namespace sci::exec {
+
+namespace {
+
+/// Shortest %g-style text for policy parameters (stable across
+/// platforms for the plain values policies use).
+std::string compact_double(double v) {
+  char buffer[64];
+  const int len = std::snprintf(buffer, sizeof buffer, "%g", v);
+  return std::string(buffer, static_cast<std::size_t>(len > 0 ? len : 0));
+}
+
+}  // namespace
+
+std::string StoppingPolicy::describe() const {
+  if (!sequential()) {
+    return max_reps == 0 ? std::string("fixed")
+                         : "fixed n=" + std::to_string(max_reps);
+  }
+  std::string out = "sequential quantile=" + compact_double(quantile);
+  out += " target=" + compact_double(target_rel_ci_half_width);
+  out += " confidence=" + compact_double(confidence);
+  out += " min_reps=" + std::to_string(min_reps);
+  out += " max_reps=" + std::to_string(max_reps);
+  out += " quantum=" + std::to_string(round_quantum);
+  out += " ess_floor=" + compact_double(ess_floor);
+  out += " max_lag=" + std::to_string(max_lag);
+  return out;
+}
 
 const std::string* Config::find_level(const std::string& factor) const noexcept {
   for (const auto& [name, value] : levels) {
@@ -67,6 +96,28 @@ std::uint64_t Config::hash(std::uint64_t salt) const noexcept {
 
 Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) {
   if (spec_.name.empty()) throw std::invalid_argument("Campaign: empty name");
+  const StoppingPolicy& stop = spec_.stopping;
+  if (stop.sequential()) {
+    if (stop.min_reps == 0)
+      throw std::invalid_argument("Campaign: sequential stopping needs min_reps >= 1");
+    if (stop.max_reps < stop.min_reps)
+      throw std::invalid_argument("Campaign: sequential stopping needs max_reps >= min_reps");
+    if (!(stop.target_rel_ci_half_width > 0.0))
+      throw std::invalid_argument("Campaign: sequential stopping needs target > 0");
+    if (!(stop.quantile > 0.0 && stop.quantile < 1.0))
+      throw std::invalid_argument("Campaign: sequential stopping needs quantile in (0,1)");
+    if (!(stop.confidence > 0.0 && stop.confidence < 1.0))
+      throw std::invalid_argument("Campaign: sequential stopping needs confidence in (0,1)");
+    if (stop.round_quantum == 0)
+      throw std::invalid_argument("Campaign: sequential stopping needs round_quantum >= 1");
+    if (stop.max_lag == 0)
+      throw std::invalid_argument("Campaign: sequential stopping needs max_lag >= 1");
+  } else if (stop.max_reps != 0) {
+    // fixed(n): the policy is the single source of truth; keep the
+    // legacy replications field in sync so seeds, fingerprints, and
+    // Rule 9 metadata are identical to a spec that set replications=n.
+    spec_.replications = stop.max_reps;
+  }
   if (spec_.replications == 0)
     throw std::invalid_argument("Campaign: replications must be >= 1");
   if (!spec_.base.factors.empty()) {
@@ -127,7 +178,14 @@ core::Experiment Campaign::experiment(const Backend* backend) const {
   if (e.name.empty()) e.name = spec_.name;
   if (e.description.empty()) e.description = spec_.description;
   e.factors = spec_.factors;
-  e.set("campaign.replications", std::to_string(spec_.replications));
+  if (spec_.stopping.sequential()) {
+    // Per-config rep counts are decided at run time; the stopping
+    // policy (not a flat count) is the Rule 9 documentation here.
+    e.set("campaign.replications", "adaptive");
+    e.set("campaign.stopping", spec_.stopping.describe());
+  } else {
+    e.set("campaign.replications", std::to_string(spec_.replications));
+  }
   e.set("campaign.seed", std::to_string(spec_.seed));
   e.set("campaign.seed_derivation",
         spec_.seed_override

@@ -49,11 +49,30 @@ std::size_t header_env_count(const std::string& header_text, const std::string& 
 }  // namespace
 
 Ingested load_measurements(const std::string& path) {
-  Ingested out{core::Dataset::load_csv(path), false, {}, 0, 0, {}};
+  Ingested out{core::Dataset::load_csv(path), false, {}, 0, 0, {}, {}, 0, {}};
   const std::string& header = out.dataset.experiment().description;
   out.failed = header_env_count(header, "campaign.failed");
   out.interrupted = header_env_count(header, "campaign.interrupted");
   out.failed_cells = header_env(header, "campaign.failed_cells");
+  out.stopping = header_env(header, "campaign.stopping");
+  out.rounds = header_env_count(header, "campaign.rounds");
+  // "6,4,12,..." -- per-config rep counts of a sequential campaign.
+  // Hand-edited junk degrades to an empty list, like the counts above.
+  const std::string counts = header_env(header, "campaign.rep_counts");
+  std::size_t pos = 0;
+  while (pos < counts.size()) {
+    std::size_t comma = counts.find(',', pos);
+    if (comma == std::string::npos) comma = counts.size();
+    char* end = nullptr;
+    const std::string token = counts.substr(pos, comma - pos);
+    const unsigned long long n = std::strtoull(token.c_str(), &end, 10);
+    if (token.empty() || end == nullptr || *end != '\0') {
+      out.rep_counts.clear();
+      break;
+    }
+    out.rep_counts.push_back(static_cast<std::size_t>(n));
+    pos = comma + 1;
+  }
   const auto& cols = out.dataset.columns();
   out.campaign = has_column(cols, "config") && has_column(cols, "rep") &&
                  has_column(cols, "value") && has_column(cols, "sample");

@@ -37,6 +37,15 @@ struct Ingested {
   std::size_t failed = 0;
   std::size_t interrupted = 0;
   std::string failed_cells;
+  /// Sequential-stopping metadata recovered from the header
+  /// (env.campaign.stopping / rounds / rep_counts); empty/zero for
+  /// fixed-replication campaigns. rep_counts[c] is the number of
+  /// replications config c actually ran -- per-config counts vary under
+  /// sequential stopping, which is why nothing here may assume
+  /// cells.size() is configs * replications.
+  std::string stopping;
+  std::size_t rounds = 0;
+  std::vector<std::size_t> rep_counts;
 };
 
 /// Loads `path` via core::Dataset::load_csv and detects/regroups

@@ -14,7 +14,9 @@ namespace sci::exec {
 
 namespace {
 
-constexpr const char* kHeaderPrefix = "# scibench campaign journal v1 fp=";
+// v2 adds "stop" records; v1 journals (no stop lines) still replay.
+constexpr const char* kHeaderPrefix = "# scibench campaign journal v2 fp=";
+constexpr const char* kHeaderPrefixV1 = "# scibench campaign journal v1 fp=";
 
 /// Doubles travel as IEEE-754 bit patterns so the journal round-trip is
 /// byte-exact (decimal formatting would quantize and break the resumed
@@ -114,6 +116,21 @@ bool parse_record(const std::string& line, std::size_t& config_index, std::size_
   return true;
 }
 
+/// Parses one "stop <config> <reps> <reason> ok" line.
+bool parse_stop(const std::string& line, std::size_t& config_index,
+                CampaignJournal::StopRecord& record) {
+  std::istringstream in(line);
+  std::vector<std::string> tokens;
+  for (std::string t; in >> t;) tokens.push_back(std::move(t));
+  if (tokens.size() != 5 || tokens[0] != "stop" || tokens.back() != "ok") return false;
+  std::uint64_t cfg = 0, reps = 0;
+  if (!parse_u64(tokens[1], 10, cfg) || !parse_u64(tokens[2], 10, reps)) return false;
+  if (!decode_text(tokens[3], record.reason)) return false;
+  config_index = static_cast<std::size_t>(cfg);
+  record.reps = static_cast<std::size_t>(reps);
+  return true;
+}
+
 std::uint64_t mix_bytes(std::uint64_t state, const std::string& text) {
   state = rng::splitmix64_next(state) ^ text.size();
   for (unsigned char c : text) state = rng::splitmix64_next(state) ^ c;
@@ -131,6 +148,11 @@ std::uint64_t CampaignJournal::fingerprint(const Campaign& campaign,
   state = rng::splitmix64_next(state) ^ spec.replications;
   state = rng::splitmix64_next(state) ^ campaign.config_count();
   state = mix_bytes(state, backend_name);
+  // Sequential campaigns mix the full policy: a journal written under a
+  // different CI target / rep bounds would replay into different stop
+  // decisions, so it must refuse to resume. Fixed-mode fingerprints
+  // stay bit-identical to v1 (old journals keep resuming).
+  if (spec.stopping.sequential()) state = mix_bytes(state, spec.stopping.describe());
   return rng::splitmix64_next(state);
 }
 
@@ -152,9 +174,12 @@ CampaignJournal::CampaignJournal(std::string path, std::uint64_t fingerprint)
       ends_with_newline = !in.eof();
       if (first) {
         first = false;
-        if (line.rfind(kHeaderPrefix, 0) == 0) {
+        const bool v2 = line.rfind(kHeaderPrefix, 0) == 0;
+        const bool v1 = !v2 && line.rfind(kHeaderPrefixV1, 0) == 0;
+        if (v2 || v1) {
+          const char* prefix = v2 ? kHeaderPrefix : kHeaderPrefixV1;
           std::uint64_t fp = 0;
-          if (!parse_u64(line.substr(std::strlen(kHeaderPrefix)), 16, fp) ||
+          if (!parse_u64(line.substr(std::strlen(prefix)), 16, fp) ||
               fp != fingerprint) {
             throw std::runtime_error(
                 "CampaignJournal: '" + path_ +
@@ -166,6 +191,14 @@ CampaignJournal::CampaignJournal(std::string path, std::uint64_t fingerprint)
         }
         throw std::runtime_error("CampaignJournal: '" + path_ +
                                  "' exists but is not a campaign journal");
+      }
+      if (line.rfind("stop ", 0) == 0) {
+        std::size_t config_index = 0;
+        StopRecord record;
+        if (parse_stop(line, config_index, record)) {
+          stops_[config_index] = std::move(record);
+        }
+        continue;
       }
       std::size_t config_index = 0, rep = 0;
       std::uint64_t seed = 0;
@@ -218,6 +251,22 @@ void CampaignJournal::append(std::size_t config_index, std::size_t rep,
   std::fprintf(file_, " ok\n");
   std::fflush(file_);
   records_[{config_index, rep}] = {seed, result};
+}
+
+const CampaignJournal::StopRecord* CampaignJournal::find_stop(
+    std::size_t config_index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stops_.find(config_index);
+  return it == stops_.end() ? nullptr : &it->second;
+}
+
+void CampaignJournal::append_stop(std::size_t config_index, std::size_t reps,
+                                  const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(file_, "stop %zu %zu %s ok\n", config_index, reps,
+               encode_text(reason).c_str());
+  std::fflush(file_);
+  stops_[config_index] = StopRecord{reps, reason};
 }
 
 std::size_t CampaignJournal::size() const {

@@ -16,12 +16,21 @@
 // tests/test_exec_resilience.cpp).
 //
 // Identity: the header carries a fingerprint of (campaign name, seed,
-// replications, config count, backend name). Opening a journal written
-// by a different campaign or backend throws instead of silently
-// serving wrong cells. Within a journal, records are keyed by
+// replications, config count, backend name) -- plus the stopping-policy
+// description for sequential campaigns, so a journal written under a
+// different CI target or rep bounds refuses to resume. Opening a
+// journal written by a different campaign or backend throws instead of
+// silently serving wrong cells. Within a journal, records are keyed by
 // (config_index, rep) and additionally carry the cell seed; a record
 // whose seed disagrees with the requested cell (e.g. the campaign
 // gained a seed_override) is ignored rather than trusted.
+//
+// Format v2 (current; v1 journals still replay) adds per-config stop
+// records: "stop <config> <reps> <reason> ok", appended when a
+// sequential campaign retires a config. On resume the runner recomputes
+// each stop decision from the replayed samples -- the decisions are
+// deterministic, so the journaled record acts as a cross-run
+// consistency check (mismatch throws) rather than a directive.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +65,18 @@ class CampaignJournal {
   void append(std::size_t config_index, std::size_t rep, std::uint64_t seed,
               const CellResult& result);
 
+  /// A journaled per-config stop decision (sequential stopping).
+  struct StopRecord {
+    std::size_t reps = 0;
+    std::string reason;
+  };
+
+  /// The journaled stop decision for a config, or nullptr.
+  [[nodiscard]] const StopRecord* find_stop(std::size_t config_index) const;
+
+  /// Appends one stop decision and flushes it before returning.
+  void append_stop(std::size_t config_index, std::size_t reps, const std::string& reason);
+
   /// Records replayed at open plus records appended since.
   [[nodiscard]] std::size_t size() const;
 
@@ -63,7 +84,9 @@ class CampaignJournal {
 
   /// Campaign/backend identity hash written into the journal header:
   /// splitmix64 chained over the campaign name, seed, replications,
-  /// config count, and backend name.
+  /// config count, and backend name -- plus the stopping-policy
+  /// description for sequential campaigns (fixed-mode fingerprints are
+  /// unchanged from v1).
   [[nodiscard]] static std::uint64_t fingerprint(const Campaign& campaign,
                                                  const std::string& backend_name);
 
@@ -74,6 +97,8 @@ class CampaignJournal {
   /// (config_index, rep) -> (seed, result).
   std::map<std::pair<std::size_t, std::size_t>, std::pair<std::uint64_t, CellResult>>
       records_;
+  /// config_index -> stop decision.
+  std::map<std::size_t, StopRecord> stops_;
 };
 
 }  // namespace sci::exec

@@ -35,6 +35,18 @@ std::string ProgressSnapshot::to_json() const {
   out += ",\n  \"elapsed_s\": " + json::dump_number(elapsed_s);
   out += ",\n  \"finished\": ";
   out += finished ? "true" : "false";
+  out += ",\n  \"sequential\": ";
+  out += sequential ? "true" : "false";
+  field("configs_total", configs_total);
+  field("configs_converged", configs_converged);
+  field("configs_capped", configs_capped);
+  field("rounds", rounds);
+  out += ",\n  \"rep_counts\": [";
+  for (std::size_t i = 0; i < rep_counts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json::dump_size(rep_counts[i]);
+  }
+  out += "]";
   out += ",\n  \"workers\": [";
   bool first = true;
   for (const auto& w : workers) {
@@ -65,7 +77,13 @@ std::string ProgressSnapshot::to_line() const {
                 campaign.c_str(), backend.c_str(), completed, total_cells, executed,
                 cache_hits, journal_hits, failed, interrupted, samples_executed,
                 elapsed_s);
-  return buf;
+  std::string line = buf;
+  if (sequential) {
+    std::snprintf(buf, sizeof buf, ", round %zu: %zu/%zu configs converged, %zu capped",
+                  rounds, configs_converged, configs_total, configs_capped);
+    line += buf;
+  }
+  return line;
 }
 
 ProgressSnapshot parse_progress_snapshot(std::string_view json_text) {
@@ -92,6 +110,14 @@ ProgressSnapshot parse_progress_snapshot(std::string_view json_text) {
   snap.samples_total = root.at("samples_total").as_size();
   snap.elapsed_s = root.at("elapsed_s").as_number();
   snap.finished = root.at("finished").boolean;
+  snap.sequential = root.at("sequential").boolean;
+  snap.configs_total = root.at("configs_total").as_size();
+  snap.configs_converged = root.at("configs_converged").as_size();
+  snap.configs_capped = root.at("configs_capped").as_size();
+  snap.rounds = root.at("rounds").as_size();
+  for (const auto& r : root.at("rep_counts").array) {
+    snap.rep_counts.push_back(r.as_size());
+  }
   for (const auto& w : root.at("workers").array) {
     WorkerProgress wp;
     wp.cells = w.at("cells").as_size();

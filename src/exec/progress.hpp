@@ -34,8 +34,11 @@ struct WorkerProgress {
 };
 
 /// Point-in-time view of a running (or finished) campaign.
+/// Version 2 adds the sequential-stopping convergence stats
+/// (sequential, configs_total/converged/capped, rounds, rep_counts);
+/// they are zero/empty for fixed campaigns.
 struct ProgressSnapshot {
-  static constexpr int kVersion = 1;
+  static constexpr int kVersion = 2;
 
   std::string campaign;
   std::string backend;
@@ -59,6 +62,16 @@ struct ProgressSnapshot {
 
   double elapsed_s = 0.0;
   bool finished = false;
+
+  /// Sequential-stopping convergence stats (live; zero under fixed).
+  bool sequential = false;
+  std::size_t configs_total = 0;      ///< grid configs under adaptive control
+  std::size_t configs_converged = 0;  ///< retired with the CI criterion met
+  std::size_t configs_capped = 0;     ///< retired at max_reps unconverged
+  std::size_t rounds = 0;             ///< scheduling rounds completed
+  /// Per-config replication counts; final-snapshot fact (like
+  /// samples_total), empty on heartbeats and for fixed campaigns.
+  std::vector<std::size_t> rep_counts;
 
   std::vector<WorkerProgress> workers;
   /// obs counter registry delta since run() started (what the campaign

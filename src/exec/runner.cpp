@@ -1,5 +1,6 @@
 #include "exec/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -7,6 +8,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <thread>
 
@@ -15,6 +17,7 @@
 #include "obs/trace.hpp"
 #include "sim/callback.hpp"
 #include "sim/frame_pool.hpp"
+#include "stats/online.hpp"
 
 namespace sci::exec {
 
@@ -26,11 +29,24 @@ CellKey make_cell_key(const std::string& backend_name, const Config& config,
   return CellKey{backend_name, config.levels, seed, config.hash(rng::splitmix64_next(state))};
 }
 
+std::size_t CampaignResult::rep_count(std::size_t config_index) const {
+  if (cell_offsets.size() == configs + 1) {
+    if (config_index >= configs)
+      throw std::out_of_range("CampaignResult::rep_count: config out of range");
+    return cell_offsets[config_index + 1] - cell_offsets[config_index];
+  }
+  // Hand-assembled fixed-arity results (tests, ad hoc tooling) that
+  // never filled the offsets keep the legacy uniform grouping.
+  return replications;
+}
+
 const CampaignCell& CampaignResult::cell(std::size_t config_index, std::size_t rep) const {
-  if (rep >= replications)
+  if (rep >= rep_count(config_index))
     throw std::out_of_range("CampaignResult::cell: rep out of range");
-  const std::size_t flat = config_index * replications + rep;
-  return cells.at(flat);
+  const std::size_t base = cell_offsets.size() == configs + 1
+                               ? cell_offsets[config_index]
+                               : config_index * replications;
+  return cells.at(base + rep);
 }
 
 const std::vector<double>& CampaignResult::series(std::size_t config_index,
@@ -45,7 +61,8 @@ const std::vector<double>& CampaignResult::series(std::size_t config_index,
 
 std::vector<double> CampaignResult::merged_series(std::size_t config_index) const {
   std::vector<double> out;
-  for (std::size_t r = 0; r < replications; ++r) {
+  const std::size_t reps = rep_count(config_index);
+  for (std::size_t r = 0; r < reps; ++r) {
     const auto& s = series(config_index, r);
     out.insert(out.end(), s.begin(), s.end());
   }
@@ -145,35 +162,73 @@ void CampaignRunner::clear_cache() {
 }
 
 CampaignResult CampaignRunner::run() {
-  const std::size_t reps = campaign_.spec().replications;
+  const CampaignSpec& spec = campaign_.spec();
+  const StoppingPolicy& policy = spec.stopping;
+  const bool sequential = policy.sequential();
+  const std::size_t n_configs = campaign_.config_count();
+  // Fixed mode is "one round containing the whole grid" -- the same
+  // claim order, cache/journal/budget handling, and assembly as the
+  // historical flat runner, byte-for-byte.
+  const std::size_t min_reps = sequential ? policy.min_reps : spec.replications;
+  const std::size_t max_reps = sequential ? policy.max_reps : spec.replications;
 
   CampaignResult result;
   result.experiment = campaign_.experiment(&backend_);
-  result.replications = reps;
+  result.replications = sequential ? 0 : spec.replications;
+  result.configs = n_configs;
+  result.sequential = sequential;
 
-  // Flatten the grid into cells in (config, rep) order. The vector is
-  // pre-sized and every worker writes only its claimed slots, so the
-  // assembled order never depends on scheduling.
-  result.cells.resize(campaign_.cell_count());
-  for (std::size_t c = 0; c < campaign_.config_count(); ++c) {
-    const Config config = campaign_.config(c);
-    for (std::size_t r = 0; r < reps; ++r) {
-      CampaignCell& cell = result.cells[c * reps + r];
-      cell.config = config;
-      cell.rep = r;
-      cell.seed = campaign_.seed_for(config, r);
+  const std::string backend_name = backend_.name();
+  const std::vector<Config> grid = campaign_.configs();
+
+  // Per-config round state. Completed cells accumulate here in rep
+  // order and are flattened into the result at the end; the pooled
+  // sample accumulator drives the sequential stop decisions.
+  struct ConfigState {
+    std::vector<CampaignCell> cells;
+    stats::OnlineSeries series;
+    std::size_t scheduled = 0;  ///< reps scheduled so far
+    bool retired = false;
+    double width = std::numeric_limits<double>::infinity();
+    std::uint64_t tie_break = 0;  ///< CellKey hash of rep 0 (rank tie-break)
+    ConfigStopInfo info;
+  };
+  std::vector<ConfigState> state;
+  state.reserve(n_configs);
+  for (std::size_t c = 0; c < n_configs; ++c) {
+    ConfigState st;
+    st.series = stats::OnlineSeries(sequential ? policy.max_lag : 1);
+    if (sequential) {
+      st.tie_break =
+          make_cell_key(backend_name, grid[c], campaign_.seed_for(grid[c], 0)).hash;
     }
+    state.push_back(std::move(st));
   }
+
+  // The current round's cells, in (config.index, rep) order. Workers
+  // claim slots via the shared atomic and write only their own, so the
+  // round's assembled order never depends on scheduling.
+  std::vector<CampaignCell> work;
+  const auto schedule = [&](std::size_t c, std::size_t count) {
+    ConfigState& st = state[c];
+    for (std::size_t r = st.scheduled; r < st.scheduled + count; ++r) {
+      CampaignCell cell;
+      cell.config = grid[c];
+      cell.rep = r;
+      cell.seed = campaign_.seed_for(grid[c], r);
+      work.push_back(std::move(cell));
+    }
+    st.scheduled += count;
+  };
+  for (std::size_t c = 0; c < n_configs; ++c) schedule(c, min_reps);
 
   std::size_t workers = options_.workers;
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
     if (workers == 0) workers = 1;
   }
-  if (workers > result.cells.size()) workers = result.cells.size();
+  if (workers > work.size()) workers = work.size();
   if (workers == 0) workers = 1;
-
-  const std::string backend_name = backend_.name();
 
   // Crash-safe checkpoint/resume: completed cells append to the journal
   // as they finish, and a rerun with the same path replays them instead
@@ -193,6 +248,11 @@ CampaignResult CampaignRunner::run() {
   std::atomic<std::size_t> interrupted{0};
   std::atomic<std::size_t> retries{0};
   std::atomic<std::size_t> budget_used{0};
+  // Round bookkeeping, readable by the heartbeat monitor mid-run.
+  std::atomic<std::size_t> scheduled_cells{work.size()};
+  std::atomic<std::size_t> rounds_done{0};
+  std::atomic<std::size_t> configs_converged{0};
+  std::atomic<std::size_t> configs_capped{0};
   const std::size_t max_attempts = std::max<std::size_t>(1, options_.max_attempts);
 
   // Telemetry is fully optional: with no sink and no metrics file, the
@@ -219,7 +279,7 @@ CampaignResult CampaignRunner::run() {
     ProgressSnapshot snap;
     snap.campaign = campaign_.spec().name;
     snap.backend = backend_name;
-    snap.total_cells = result.cells.size();
+    snap.total_cells = scheduled_cells.load(std::memory_order_relaxed);
     snap.executed = executed.load(std::memory_order_relaxed);
     snap.failed = failed.load(std::memory_order_relaxed);
     snap.retries = retries.load(std::memory_order_relaxed);
@@ -238,9 +298,23 @@ CampaignResult CampaignRunner::run() {
     }
     snap.counter_delta = obs::snapshot_delta(counters_at_start,
                                              obs::CounterRegistry::instance().snapshot());
+    // Live convergence stats (sequential mode; zeros under fixed).
+    snap.sequential = sequential;
+    snap.configs_total = sequential ? n_configs : 0;
+    snap.configs_converged = configs_converged.load(std::memory_order_relaxed);
+    snap.configs_capped = configs_capped.load(std::memory_order_relaxed);
+    snap.rounds = rounds_done.load(std::memory_order_relaxed);
     if (finished) {
       for (const auto& cell : result.cells) {
         if (cell.result.error.empty()) snap.samples_total += cell.result.samples.size();
+      }
+      // Final-snapshot fact, like samples_total: per-config rep counts
+      // (read from the assembled result, after the rounds finish).
+      if (sequential && result.cell_offsets.size() == n_configs + 1) {
+        snap.rep_counts.reserve(n_configs);
+        for (std::size_t c = 0; c < n_configs; ++c) {
+          snap.rep_counts.push_back(result.cell_offsets[c + 1] - result.cell_offsets[c]);
+        }
       }
     }
     return snap;
@@ -251,6 +325,13 @@ CampaignResult CampaignRunner::run() {
   // tracing when the caller attached a sink.
   obs::TraceSink* parent_sink = obs::sink();
   std::vector<obs::TraceSink> worker_sinks(parent_sink != nullptr ? workers : 0);
+
+  // Worker-slot contexts outlive the per-round threads: slot w is used
+  // by exactly one thread per round, so its warm world carries across
+  // round boundaries without synchronization.
+  std::vector<std::unique_ptr<BackendContext>> contexts(workers);
+  std::vector<std::string> context_errors(workers);
+  std::vector<char> context_tried(workers, 0);
 
   const auto worker_body = [&](std::size_t worker_id) {
     std::optional<obs::ScopedAttach> attach;
@@ -271,9 +352,10 @@ CampaignResult CampaignRunner::run() {
     // and the campaign keeps going. A deterministically-throwing
     // make_context throws in every worker, so every cell fails
     // identically regardless of worker count.
-    std::unique_ptr<BackendContext> context;
-    std::string context_error;
-    if (options_.reuse_contexts) {
+    std::unique_ptr<BackendContext>& context = contexts[worker_id];
+    std::string& context_error = context_errors[worker_id];
+    if (options_.reuse_contexts && !context_tried[worker_id]) {
+      context_tried[worker_id] = 1;
       try {
         context = backend_.make_context();
       } catch (const std::exception& e) {
@@ -286,12 +368,12 @@ CampaignResult CampaignRunner::run() {
     const double worker_t0 = obs::host_now_s();
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= result.cells.size()) break;
+      if (i >= work.size()) break;
       // Every claimed cell is resolved by this worker (run, cached,
       // replayed, failed, or interrupted), so claiming is completing
       // for telemetry purposes.
       if (telemetry) worker_cells[worker_id].fetch_add(1, std::memory_order_relaxed);
-      CampaignCell& cell = result.cells[i];
+      CampaignCell& cell = work[i];
       const CellKey key = make_cell_key(backend_name, cell.config, cell.seed);
 
       if (options_.use_cache) {
@@ -405,7 +487,7 @@ CampaignResult CampaignRunner::run() {
         failed.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    if (telemetry) worker_busy[worker_id] = obs::host_now_s() - worker_t0;
+    if (telemetry) worker_busy[worker_id] += obs::host_now_s() - worker_t0;
   };
 
   // Heartbeat monitor: its own thread so sink I/O never blocks a
@@ -435,21 +517,148 @@ CampaignResult CampaignRunner::run() {
     monitor.join();
   };
 
-  if (workers == 1) {
-    // In-thread execution keeps single-worker runs trivially debuggable
-    // (and lets HostBackend cells inherit the caller's thread state).
-    worker_body(0);
-    if (parent_sink != nullptr) parent_sink->merge(worker_sinks[0], kWorkerTrackBase);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_body, w);
-    for (auto& t : pool) t.join();
-    if (parent_sink != nullptr) {
-      for (std::size_t w = 0; w < workers; ++w) {
-        parent_sink->merge(worker_sinks[w],
-                           kWorkerTrackBase + static_cast<int>(w) * kWorkerTrackStride);
+  const auto run_round = [&] {
+    next.store(0, std::memory_order_relaxed);
+    if (workers == 1) {
+      // In-thread execution keeps single-worker runs trivially
+      // debuggable (and lets HostBackend cells inherit the caller's
+      // thread state).
+      worker_body(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker_body, w);
+      for (auto& t : pool) t.join();
+    }
+  };
+
+  // -------------------------------------------------------- round loop
+  // Fixed mode: exactly one round holding the whole grid. Sequential
+  // mode: after each round, live configs are tested for convergence on
+  // their pooled samples (fed strictly in (config, rep) order, so the
+  // decision stream is a pure function of the campaign -- worker count
+  // and round timing can't touch it), retirees journal their stop
+  // decision, and the next round's budget is granted widest-CI-first.
+  std::size_t round = 0;
+  while (!work.empty()) {
+    run_round();
+    ++round;
+    rounds_done.store(round, std::memory_order_relaxed);
+
+    bool round_interrupted = false;
+    for (auto& cell : work) {
+      ConfigState& st = state[cell.config.index];
+      if (cell.result.error.empty()) {
+        if (sequential)
+          st.series.add(std::span<const double>(cell.result.samples));
+      } else if (cell.result.error.rfind("interrupted:", 0) == 0) {
+        round_interrupted = true;
       }
+      st.cells.push_back(std::move(cell));
+    }
+    work.clear();
+
+    if (!sequential) break;
+    if (round_interrupted) {
+      // Budget exhausted mid-round: stop scheduling. No convergence
+      // decisions are taken on the incomplete round; the resume
+      // executes the interrupted cells, reaches this barrier with the
+      // full round's data, and decides identically to an uninterrupted
+      // run. (Configs still live at exit are exactly the budget
+      // casualties; they get stop_reason "interrupted" below.)
+      break;
+    }
+
+    // Convergence evaluation (main thread, between rounds).
+    for (std::size_t c = 0; c < n_configs; ++c) {
+      ConfigState& st = state[c];
+      if (st.retired) continue;
+      double width = std::numeric_limits<double>::infinity();
+      double ess = std::numeric_limits<double>::quiet_NaN();
+      bool converged = false;
+      if (st.series.count() > 5) {
+        width = st.series.relative_ci_half_width(policy.quantile, policy.confidence);
+        ess = st.series.effective_sample_size();
+        converged = width <= policy.target_rel_ci_half_width &&
+                    (policy.ess_floor <= 0.0 || ess >= policy.ess_floor);
+      }
+      st.width = width;
+      if (!converged && st.scheduled < max_reps) continue;
+      st.retired = true;
+      st.info.reps = st.scheduled;
+      st.info.stop_round = round;
+      st.info.converged = converged;
+      st.info.stop_reason = converged ? "converged" : "max_reps";
+      if (st.series.count() > 5) {
+        st.info.median = st.series.quantile(policy.quantile);
+        st.info.rel_ci_half_width = width;
+        st.info.ess = ess;
+      }
+      (converged ? configs_converged : configs_capped)
+          .fetch_add(1, std::memory_order_relaxed);
+      // Journal the stop decision. On resume the decision is recomputed
+      // from the replayed samples; the record is the cross-run
+      // consistency check -- a mismatch means the journal belongs to a
+      // different campaign or policy than the fingerprint suggested.
+      if (journal != nullptr) {
+        if (const CampaignJournal::StopRecord* rec = journal->find_stop(c)) {
+          if (rec->reps != st.info.reps || rec->reason != st.info.stop_reason) {
+            throw std::runtime_error(
+                "campaign journal: stop record mismatch for config " +
+                std::to_string(c) + " (journal: reps=" + std::to_string(rec->reps) +
+                " reason=" + rec->reason + ", recomputed: reps=" +
+                std::to_string(st.info.reps) + " reason=" + st.info.stop_reason + ")");
+          }
+        } else {
+          journal->append_stop(c, st.info.reps, st.info.stop_reason);
+        }
+      }
+    }
+
+    // Schedule the next round: every live config gets its quantum
+    // (capped at max_reps); the budget freed by retired configs is
+    // re-granted one rep at a time in deterministic rank order --
+    // widest relative CI first, CellKey hash then config index as
+    // tie-breaks.
+    std::vector<std::size_t> live;
+    for (std::size_t c = 0; c < n_configs; ++c) {
+      if (!state[c].retired) live.push_back(c);
+    }
+    if (live.empty()) break;
+    std::vector<std::size_t> alloc(n_configs, 0);
+    for (std::size_t c : live) {
+      alloc[c] = std::min(policy.round_quantum, max_reps - state[c].scheduled);
+    }
+    std::size_t freed = policy.round_quantum * (n_configs - live.size());
+    std::vector<std::size_t> ranked = live;
+    std::sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+      if (state[a].width != state[b].width) return state[a].width > state[b].width;
+      if (state[a].tie_break != state[b].tie_break)
+        return state[a].tie_break < state[b].tie_break;
+      return a < b;
+    });
+    bool granted = true;
+    while (freed > 0 && granted) {
+      granted = false;
+      for (std::size_t c : ranked) {
+        if (freed == 0) break;
+        if (state[c].scheduled + alloc[c] < max_reps) {
+          ++alloc[c];
+          --freed;
+          granted = true;
+        }
+      }
+    }
+    for (std::size_t c : live) {
+      if (alloc[c] > 0) schedule(c, alloc[c]);
+    }
+    scheduled_cells.fetch_add(work.size(), std::memory_order_relaxed);
+  }
+
+  if (parent_sink != nullptr) {
+    for (std::size_t w = 0; w < workers; ++w) {
+      parent_sink->merge(worker_sinks[w],
+                         kWorkerTrackBase + static_cast<int>(w) * kWorkerTrackStride);
     }
   }
 
@@ -461,11 +670,48 @@ CampaignResult CampaignRunner::run() {
   result.journal_hits = journal_hits.load();
   result.interrupted = interrupted.load();
   result.retries = retries.load();
+  result.rounds = round;
 
-  // Final telemetry: one complete snapshot after the join (finished is
-  // true even when the cell budget interrupted the grid -- the watcher
-  // learns exactly how far the run got), written atomically so no
-  // reader sees a torn metrics file.
+  // Flatten per-config state into the canonical (config.index, rep)
+  // cell order with explicit offsets; fill the fixed-mode /
+  // interrupted stop info for configs that never retired.
+  result.cell_offsets.assign(n_configs + 1, 0);
+  std::size_t total_cells = 0;
+  for (std::size_t c = 0; c < n_configs; ++c) {
+    total_cells += state[c].cells.size();
+    result.cell_offsets[c + 1] = total_cells;
+  }
+  result.cells.reserve(total_cells);
+  result.stopping.reserve(n_configs);
+  for (std::size_t c = 0; c < n_configs; ++c) {
+    ConfigState& st = state[c];
+    for (auto& cell : st.cells) result.cells.push_back(std::move(cell));
+    if (!st.retired) {
+      st.info.reps = st.scheduled;
+      st.info.stop_round = round;
+      st.info.converged = false;
+      st.info.stop_reason = sequential ? "interrupted" : "fixed";
+    }
+    result.stopping.push_back(std::move(st.info));
+  }
+
+  // Rule 9 documentation of the adaptive design actually executed:
+  // rounds taken and the per-config rep counts. Both are deterministic,
+  // so exported CSV headers stay byte-identical at any worker count.
+  if (sequential) {
+    result.experiment.set("campaign.rounds", std::to_string(round));
+    std::string counts;
+    for (std::size_t c = 0; c < n_configs; ++c) {
+      if (!counts.empty()) counts += ',';
+      counts += std::to_string(result.cell_offsets[c + 1] - result.cell_offsets[c]);
+    }
+    result.experiment.set("campaign.rep_counts", counts);
+  }
+
+  // Final telemetry: one complete snapshot after the rounds finish
+  // (finished is true even when the cell budget interrupted the grid --
+  // the watcher learns exactly how far the run got), written atomically
+  // so no reader sees a torn metrics file.
   if (telemetry) {
     const ProgressSnapshot snapshot = make_snapshot(/*finished=*/true);
     if (!options_.metrics_path.empty()) {

@@ -1,12 +1,26 @@
 // CampaignRunner: deterministic parallel execution of a Campaign.
 //
-// The runner flattens the grid into cells (config x replication),
-// shards them across a std::thread worker pool, and reassembles the
+// The runner schedules cells (config x replication) in rounds, shards
+// each round across a std::thread worker pool, and reassembles the
 // results in grid order. Because every cell is a pure function of its
 // (config, seed) pair -- seeds derive from (campaign_seed, config_index,
 // rep), never from execution order -- the assembled CampaignResult and
 // every CSV exported from it are byte-identical for ANY worker count.
 // That contract is enforced by tests/test_exec.cpp.
+//
+// Measurement control (StoppingPolicy): with the default fixed policy
+// there is a single round containing the whole grid -- exactly the
+// historical behavior, byte-for-byte. Under sequential stopping the
+// first round gives every config min_reps replications; after each
+// round the pooled samples of every live config are tested against the
+// rank-CI criterion (stats::OnlineSeries), converged configs retire
+// with their stop decision journaled, and the next round grants each
+// live config its quantum plus a share of the budget freed by retired
+// configs, ranked by relative CI width (widest first, CellKey hash then
+// config index as tie-breaks). Round boundaries and worker counts never
+// influence seeds or sample values, so sequential campaigns are as
+// byte-deterministic as fixed ones -- including across kill/resume
+// (tests/test_exec_sequential.cpp).
 //
 // An in-memory result cache keyed by (backend name, config levels,
 // seed) lets a partially-completed campaign resume without repeating
@@ -35,6 +49,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -92,12 +107,43 @@ struct CellKeyHash {
 
 using CellCache = std::unordered_map<CellKey, CellResult, CellKeyHash>;
 
+/// Per-config measurement-control outcome (why this config stopped
+/// getting replications). Fixed campaigns carry it too, with
+/// stop_reason "fixed" and no CI facts.
+struct ConfigStopInfo {
+  std::size_t reps = 0;        ///< replications present in the result
+  std::size_t stop_round = 0;  ///< 1-based round after which it retired
+  bool converged = false;      ///< rank-CI criterion met before the cap
+  /// "fixed" | "converged" | "max_reps" | "interrupted".
+  std::string stop_reason = "fixed";
+  /// Facts at stop time (sequential mode, n > 5 only; NaN otherwise).
+  double median = std::numeric_limits<double>::quiet_NaN();
+  double rel_ci_half_width = std::numeric_limits<double>::quiet_NaN();
+  double ess = std::numeric_limits<double>::quiet_NaN();
+};
+
 struct CampaignResult {
   /// Compiled Rule 9 documentation of what ran (grid + environment).
   core::Experiment experiment;
   /// Cells ordered by (config.index, rep), independent of worker count.
+  /// Under sequential stopping different configs carry different rep
+  /// counts; cell_offsets maps a config to its slice.
   std::vector<CampaignCell> cells;
+  /// Replications per config in fixed mode; 0 under sequential stopping
+  /// (per-config counts live in cell_offsets / stopping).
   std::size_t replications = 1;
+  /// Number of grid configs, stored explicitly -- NEVER derived from
+  /// cells.size() / replications, which mis-groups once per-config rep
+  /// counts vary.
+  std::size_t configs = 0;
+  /// Prefix sums: config c owns cells [cell_offsets[c], cell_offsets[c+1]).
+  std::vector<std::size_t> cell_offsets;
+  /// Per-config stop decisions, size configs.
+  std::vector<ConfigStopInfo> stopping;
+  /// Scheduling rounds executed (1 for fixed campaigns).
+  std::size_t rounds = 0;
+  /// True when the campaign ran under sequential stopping.
+  bool sequential = false;
   /// Backend calls actually made / served from the result cache.
   std::size_t executed = 0;
   std::size_t cache_hits = 0;
@@ -116,9 +162,10 @@ struct CampaignResult {
   /// Extra backend calls spent on retries (attempts beyond the first).
   std::size_t retries = 0;
 
-  [[nodiscard]] std::size_t config_count() const {
-    return replications == 0 ? 0 : cells.size() / replications;
-  }
+  [[nodiscard]] std::size_t config_count() const { return configs; }
+  /// Replications present for one config (varies under sequential
+  /// stopping; == replications in fixed mode).
+  [[nodiscard]] std::size_t rep_count(std::size_t config_index) const;
   [[nodiscard]] const CampaignCell& cell(std::size_t config_index,
                                          std::size_t rep = 0) const;
   /// Samples of one cell (throws when the cell failed).

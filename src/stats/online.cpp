@@ -1,0 +1,118 @@
+#include "stats/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sci::stats {
+
+OnlineSeries::OnlineSeries(std::size_t max_lag) : max_lag_(max_lag) {
+  if (max_lag_ == 0) throw std::invalid_argument("OnlineSeries: max_lag >= 1");
+  ring_.assign(max_lag_, 0.0);
+  lag_products_.assign(max_lag_, 0.0);
+  first_.reserve(max_lag_);
+}
+
+void OnlineSeries::add(double x) {
+  const std::size_t n = moments_.count();  // samples seen before this one
+  // x is x_{n+1} (1-based); pair it with the trailing window for the
+  // lag products sum_i x_i * x_{i+k}: partner at lag k is x_{n+1-k}.
+  const std::size_t pairs = std::min(max_lag_, n);
+  for (std::size_t k = 1; k <= pairs; ++k) {
+    lag_products_[k - 1] += x * ring_[(n - k) % max_lag_];
+  }
+  ring_[n % max_lag_] = x;
+  if (first_.size() < max_lag_) first_.push_back(x);
+  sum_ += x;
+  moments_.add(x);
+  pending_.push_back(x);
+}
+
+void OnlineSeries::add(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+void OnlineSeries::flush_pending() const {
+  if (pending_.empty()) return;
+  std::sort(pending_.begin(), pending_.end());
+  const std::size_t old = sorted_.size();
+  sorted_.insert(sorted_.end(), pending_.begin(), pending_.end());
+  std::inplace_merge(sorted_.begin(), sorted_.begin() + static_cast<std::ptrdiff_t>(old),
+                     sorted_.end());
+  pending_.clear();
+}
+
+std::span<const double> OnlineSeries::sorted() const {
+  flush_pending();
+  return sorted_;
+}
+
+double OnlineSeries::quantile(double p, QuantileMethod method) const {
+  return quantile_sorted(sorted(), p, method);
+}
+
+Interval OnlineSeries::quantile_ci(double p, double confidence) const {
+  return quantile_confidence_interval_sorted(sorted(), p, confidence);
+}
+
+double OnlineSeries::relative_ci_half_width(double p, double confidence) const {
+  if (count() < 6) return std::numeric_limits<double>::infinity();
+  const std::span<const double> view = sorted();
+  const Interval ci = quantile_confidence_interval_sorted(view, p, confidence);
+  const double center = quantile_sorted(view, p);
+  if (center == 0.0)
+    return ci.width() == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  const double half = std::max(ci.upper - center, center - ci.lower);
+  return half / std::fabs(center);
+}
+
+bool OnlineSeries::quantile_converged(double p, double relative_error,
+                                      double confidence) const {
+  if (count() < 6) return false;
+  const std::span<const double> view = sorted();
+  const Interval ci = quantile_confidence_interval_sorted(view, p, confidence);
+  const double center = quantile_sorted(view, p);
+  if (center == 0.0) return ci.width() == 0.0;
+  return ci.lower >= center * (1.0 - relative_error) &&
+         ci.upper <= center * (1.0 + relative_error);
+}
+
+double OnlineSeries::autocorrelation(std::size_t lag) const {
+  const std::size_t n = count();
+  if (n < 2) throw std::invalid_argument("OnlineSeries::autocorrelation: need n >= 2");
+  if (lag == 0) return 1.0;
+  if (lag >= n) throw std::invalid_argument("OnlineSeries::autocorrelation: lag < n");
+  if (lag > max_lag_)
+    throw std::invalid_argument("OnlineSeries::autocorrelation: lag > max_lag");
+  const double m = sum_ / static_cast<double>(n);
+  // Edge sums: F = sum of the first `lag` samples, T = of the last.
+  double head = 0.0, tail = 0.0;
+  for (std::size_t i = 0; i < lag; ++i) head += first_[i];
+  for (std::size_t k = 1; k <= lag; ++k) tail += ring_[(n - k) % max_lag_];
+  // sum_{i=1..n-lag} (x_i - m)(x_{i+lag} - m) expanded around the raw
+  // cross products: pairs exclude the last `lag` left factors and the
+  // first `lag` right factors.
+  const double num = lag_products_[lag - 1] - m * (sum_ - head) - m * (sum_ - tail) +
+                     static_cast<double>(n - lag) * m * m;
+  // Denominator sum (x - m)^2: Welford's M2 (same quantity, stable).
+  const double den = moments_.variance() * static_cast<double>(n - 1);
+  if (den == 0.0) return 0.0;  // constant series: no signal either way
+  return num / den;
+}
+
+double OnlineSeries::effective_sample_size() const {
+  const std::size_t n = count();
+  if (n < 2) return static_cast<double>(n);
+  double tau = 1.0;  // integrated autocorrelation time
+  const std::size_t limit = std::min(max_lag_, n - 1);
+  for (std::size_t k = 1; k <= limit; ++k) {
+    const double rho = autocorrelation(k);
+    if (rho <= 0.0) break;  // initial positive sequence truncation
+    tau += 2.0 * rho;
+  }
+  const double ess = static_cast<double>(n) / tau;
+  return std::clamp(ess, 1.0, static_cast<double>(n));
+}
+
+}  // namespace sci::stats

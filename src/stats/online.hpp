@@ -1,0 +1,96 @@
+// Online accumulators for sequential measurement control (Rules 9/10
+// made adaptive). One OnlineSeries per measured cell is enough to
+// decide "keep sampling or stop": it maintains, incrementally,
+//
+//   - Welford mean/variance (via OnlineMoments),
+//   - the nonparametric rank CI of any quantile over *all* samples seen
+//     so far (new samples are buffered and merged into a sorted view
+//     lazily, so adding is O(1) and each CI evaluation costs
+//     O(pending log pending + n) instead of a full re-sort),
+//   - lag-k autocorrelation for k = 1..max_lag from O(max_lag) state
+//     (ring buffer of the trailing window plus running lag products),
+//     giving an effective sample size without retaining the series.
+//
+// The CI and quantile values are computed from the same sorted data the
+// batch functions in confidence.hpp/descriptive.hpp would see, so they
+// are bit-identical to the batch results -- pinned by differential
+// tests. That property is what lets core::measure_adaptive and the
+// campaign runner's sequential stopping share this type without
+// changing any previously published numbers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "stats/descriptive.hpp"
+
+namespace sci::stats {
+
+class OnlineSeries {
+ public:
+  /// `max_lag` bounds the autocorrelation window used for the
+  /// effective-sample-size estimate (and the trailing-state memory).
+  explicit OnlineSeries(std::size_t max_lag = 32);
+
+  void add(double x);
+  void add(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t count() const noexcept { return moments_.count(); }
+  [[nodiscard]] double mean() const noexcept { return moments_.mean(); }
+  [[nodiscard]] double variance() const noexcept { return moments_.variance(); }
+  [[nodiscard]] double stddev() const noexcept { return moments_.stddev(); }
+  [[nodiscard]] double min() const noexcept { return moments_.min(); }
+  [[nodiscard]] double max() const noexcept { return moments_.max(); }
+  [[nodiscard]] const OnlineMoments& moments() const noexcept { return moments_; }
+
+  /// p-quantile over all samples seen so far; identical to
+  /// stats::quantile over the same data.
+  [[nodiscard]] double quantile(double p,
+                                QuantileMethod method = QuantileMethod::kR7Linear) const;
+
+  /// Nonparametric rank CI of the p-quantile over all samples seen so
+  /// far; identical to stats::quantile_confidence_interval. Requires
+  /// n > 5 for meaningful output, like the batch function.
+  [[nodiscard]] Interval quantile_ci(double p, double confidence = 0.95) const;
+
+  /// Relative CI half-width of the p-quantile:
+  /// max(upper - q, q - lower) / |q|. Returns +inf when n <= 5 (CI not
+  /// meaningful yet) or when q == 0 with a nonzero-width interval;
+  /// returns 0 for a zero-width interval about q == 0.
+  [[nodiscard]] double relative_ci_half_width(double p, double confidence = 0.95) const;
+
+  /// Mirrors stats::quantile_ci_converged over all samples seen so far
+  /// (bit-identical decision).
+  [[nodiscard]] bool quantile_converged(double p, double relative_error,
+                                        double confidence = 0.95) const;
+
+  /// Lag-k autocorrelation (biased Box-Jenkins estimator, matching
+  /// stats::autocorrelation up to final-mean centering roundoff).
+  /// Requires 1 <= lag <= min(max_lag, n-1).
+  [[nodiscard]] double autocorrelation(std::size_t lag) const;
+
+  /// Effective sample size n / (1 + 2 sum rho_k) with Geyer's
+  /// initial-positive-sequence truncation, over lags 1..max_lag.
+  /// Bounded to [1, n]; returns n for n < 2.
+  [[nodiscard]] double effective_sample_size() const;
+
+  /// Sorted view of everything seen so far (merges the pending buffer
+  /// first). Valid until the next add().
+  [[nodiscard]] std::span<const double> sorted() const;
+
+ private:
+  void flush_pending() const;
+
+  std::size_t max_lag_;
+  OnlineMoments moments_;
+  double sum_ = 0.0;               ///< exact running sum (for ACF centering)
+  std::vector<double> first_;      ///< first max_lag_ samples, in order
+  std::vector<double> ring_;       ///< trailing max_lag_ samples (ring buffer)
+  std::vector<double> lag_products_;  ///< sum_i x_i * x_{i+k}, k = 1..max_lag_
+  mutable std::vector<double> sorted_;   ///< merged sorted samples
+  mutable std::vector<double> pending_;  ///< samples not yet merged into sorted_
+};
+
+}  // namespace sci::stats

@@ -292,6 +292,46 @@ TEST(Detect, SmallChangesBelowMinEffectStayStable) {
   EXPECT_EQ(findings[0].verdict, Verdict::kStable);
 }
 
+TEST(Detect, DegenerateBaselineCiIsFlaggedAsBlindSpot) {
+  // Default 8-point window: the median rank CI over 8 points always
+  // clamps to ranks [1, 8] -- the observed range -- so the overlap gate
+  // has almost no power there. The finding must say so.
+  const std::string path = temp_path("hist_degenerate.jsonl");
+  std::vector<double> medians;
+  for (int i = 0; i < 10; ++i) medians.push_back(1.0 + 0.001 * (i % 3));
+  const auto findings = analyze_all(store_with(path, medians).series());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].baseline_ci_degenerate);
+  EXPECT_NE(findings[0].note.find("degenerate"), std::string::npos) << findings[0].note;
+  const std::string markdown =
+      render_markdown_dashboard(findings, store_with(path, medians).series());
+  EXPECT_NE(markdown.find("degenerate-baseline-ci"), std::string::npos);
+
+  // A constant window is a zero-width interval, not a wide one.
+  const std::string flat = temp_path("hist_degenerate_flat.jsonl");
+  const auto flat_findings =
+      analyze_all(store_with(flat, std::vector<double>(10, 1.0)).series());
+  ASSERT_EQ(flat_findings.size(), 1u);
+  EXPECT_FALSE(flat_findings[0].baseline_ci_degenerate);
+}
+
+TEST(Detect, WideBaselineWindowEscapesDegeneracy) {
+  // With 20 baseline points the rank CI's clamped indices pull inside
+  // the observed range and the flag clears.
+  const std::string path = temp_path("hist_wide_window.jsonl");
+  rng::Xoshiro256 gen(0xbead);
+  std::vector<double> medians;
+  for (int i = 0; i < 25; ++i) {
+    medians.push_back(1.0 + 0.01 * rng::normal(gen, 0.0, 1.0));
+  }
+  DetectionOptions options;
+  options.baseline_window = 20;
+  const auto findings = analyze_all(store_with(path, medians).series(), options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_FALSE(findings[0].baseline_ci_degenerate);
+  EXPECT_EQ(findings[0].note.find("degenerate"), std::string::npos);
+}
+
 // --------------------------------------------------------- dashboard
 
 TEST(Dashboard, MarkdownAndHtmlRenderFindings) {

@@ -1,0 +1,147 @@
+// stats::OnlineSeries -- the streaming accumulator behind sequential
+// stopping -- differentially tested against the batch estimators it
+// mirrors. The contract is bit-identical agreement: the campaign
+// runner's stop decisions must not depend on whether a statistic was
+// computed incrementally or over the full vector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "rng/xoshiro.hpp"
+#include "stats/confidence.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/independence.hpp"
+#include "stats/online.hpp"
+
+namespace sci::stats {
+namespace {
+
+/// Deterministic test stream: AR(1)-ish positive values with enough
+/// autocorrelation that the ESS path is exercised nontrivially.
+std::vector<double> make_stream(std::size_t n, std::uint64_t seed, double rho = 0.6) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  std::uint64_t state = seed;
+  double prev = 100.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u =
+        static_cast<double>(rng::splitmix64_next(state) >> 11) * 0x1.0p-53;
+    prev = rho * prev + (1.0 - rho) * (90.0 + 20.0 * u);
+    xs.push_back(prev);
+  }
+  return xs;
+}
+
+TEST(OnlineSeries, MomentsMatchBatch) {
+  const auto xs = make_stream(257, 17);
+  OnlineSeries acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_NEAR(acc.mean(), arithmetic_mean(xs), 1e-12);
+  EXPECT_NEAR(acc.variance(), sample_variance(xs), 1e-10);
+  EXPECT_DOUBLE_EQ(acc.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(acc.max(), max_value(xs));
+}
+
+TEST(OnlineSeries, QuantilesBitIdenticalToBatch) {
+  const auto xs = make_stream(123, 3);
+  OnlineSeries acc;
+  acc.add(std::span<const double>(xs));
+  for (double p : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    // Bit-identical, not approximately equal: both paths must sort the
+    // same values and run the same interpolation.
+    EXPECT_EQ(acc.quantile(p), quantile(xs, p)) << "p=" << p;
+  }
+}
+
+TEST(OnlineSeries, RankCiBitIdenticalToBatch) {
+  for (std::size_t n : {6u, 7u, 25u, 100u, 313u}) {
+    const auto xs = make_stream(n, 41 + n);
+    OnlineSeries acc;
+    for (double x : xs) acc.add(x);
+    for (double p : {0.5, 0.9}) {
+      const Interval batch = quantile_confidence_interval(xs, p, 0.95);
+      const Interval online = acc.quantile_ci(p, 0.95);
+      EXPECT_EQ(online.lower, batch.lower) << "n=" << n << " p=" << p;
+      EXPECT_EQ(online.upper, batch.upper) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(OnlineSeries, ConvergenceDecisionMatchesBatchPredicate) {
+  // The decision the campaign runner actually takes, swept across
+  // stream lengths: any divergence here would make sequential stopping
+  // depend on the code path, not the data.
+  const auto xs = make_stream(400, 99);
+  OnlineSeries acc;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc.add(xs[i]);
+    const std::span<const double> prefix(xs.data(), i + 1);
+    for (double rel : {0.0005, 0.005, 0.05}) {
+      const bool batch = i + 1 > 5 && quantile_ci_converged(prefix, 0.5, rel, 0.95);
+      EXPECT_EQ(acc.quantile_converged(0.5, rel, 0.95), batch)
+          << "n=" << i + 1 << " rel=" << rel;
+    }
+  }
+}
+
+TEST(OnlineSeries, AutocorrelationMatchesBatchWithinLagWindow) {
+  const auto xs = make_stream(200, 7);
+  OnlineSeries acc(16);
+  for (double x : xs) acc.add(x);
+  for (std::size_t lag = 0; lag <= 16; ++lag) {
+    // The streaming covariance is algebraically rearranged, so allow
+    // floating-point noise -- but only that.
+    EXPECT_NEAR(acc.autocorrelation(lag), autocorrelation(xs, lag), 1e-9)
+        << "lag=" << lag;
+  }
+  EXPECT_THROW((void)acc.autocorrelation(17), std::invalid_argument);
+}
+
+TEST(OnlineSeries, EffectiveSampleSizeMatchesBatch) {
+  for (double rho : {0.0, 0.4, 0.9}) {
+    const auto xs = make_stream(300, 5, rho);
+    OnlineSeries acc(100);
+    for (double x : xs) acc.add(x);
+    EXPECT_NEAR(acc.effective_sample_size(), effective_sample_size(xs, 100),
+                1e-6 * static_cast<double>(xs.size()))
+        << "rho=" << rho;
+  }
+}
+
+TEST(OnlineSeries, RelativeCiHalfWidthContract) {
+  OnlineSeries acc;
+  // Too few points: infinitely wide, never "converged".
+  for (double x : {3.0, 1.0, 2.0}) acc.add(x);
+  EXPECT_TRUE(std::isinf(acc.relative_ci_half_width(0.5)));
+  EXPECT_FALSE(acc.quantile_converged(0.5, 0.5));
+  // A tight cluster converges at a loose tolerance.
+  for (double x : {2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0}) acc.add(x);
+  EXPECT_TRUE(acc.quantile_converged(0.5, 0.5));
+  EXPECT_LT(acc.relative_ci_half_width(0.5), 0.51);
+}
+
+TEST(OnlineSeries, InterleavedBulkAndScalarAddsAgree) {
+  const auto xs = make_stream(97, 23);
+  OnlineSeries scalar;
+  OnlineSeries bulk;
+  for (double x : xs) scalar.add(x);
+  bulk.add(std::span<const double>(xs.data(), 40));
+  bulk.add(xs[40]);
+  bulk.add(std::span<const double>(xs.data() + 41, xs.size() - 41));
+  EXPECT_EQ(bulk.count(), scalar.count());
+  EXPECT_EQ(bulk.quantile(0.5), scalar.quantile(0.5));
+  EXPECT_EQ(bulk.quantile_ci(0.5).lower, scalar.quantile_ci(0.5).lower);
+  EXPECT_NEAR(bulk.effective_sample_size(), scalar.effective_sample_size(), 1e-9);
+}
+
+TEST(OnlineSeries, RejectsZeroLagWindow) {
+  EXPECT_THROW(OnlineSeries(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sci::stats

@@ -161,6 +161,19 @@ int do_check(const sci::ci::HistoryStore& store, const Args& args) {
     std::fprintf(stderr, "warning: %zu corrupt history line%s skipped during load\n",
                  store.skipped_lines(), store.skipped_lines() == 1 ? "" : "s");
   }
+  // A baseline window whose rank CI collapsed to [min, max] makes the
+  // overlap gate near-blind for that series: the widest expressible
+  // interval overlaps almost anything. Warn (exit code unchanged) so a
+  // "stable" verdict on a short/noisy window is read with suspicion.
+  for (const auto& f : findings) {
+    if (f.baseline_ci_degenerate) {
+      std::fprintf(stderr,
+                   "warning: %s/%s baseline CI degenerated to [min, max] over the "
+                   "window; the overlap gate has little power here until more "
+                   "history accumulates\n",
+                   f.bench.c_str(), f.metric.c_str());
+    }
+  }
   if (sci::ci::any_regression(findings)) {
     std::fprintf(stderr, "REGRESSION detected -- see dashboard above\n");
     return 2;

@@ -16,7 +16,10 @@
 // partially-failed campaign cannot pass as a thinner grid. This is the
 // "analyze my existing numbers soundly" entry point for users who
 // measured elsewhere.
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
 
 #include "core/dataset.hpp"
@@ -25,9 +28,66 @@
 #include "core/report.hpp"
 #include "exec/ingest.hpp"
 #include "obs/counters.hpp"
+#include "stats/confidence.hpp"
 #include "stats/descriptive.hpp"
 
 namespace {
+
+/// "key=value" token lookup in a stopping-policy description like
+/// "sequential quantile=0.5 target=0.05 ... max_reps=64 ...".
+double policy_value(const std::string& text, const std::string& key, double fallback) {
+  const std::string needle = key + "=";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str() + pos + needle.size(), &end);
+  return end == text.c_str() + pos + needle.size() ? fallback : v;
+}
+
+/// Per-config stop lines for a sequential-stopping campaign export:
+/// which configs stopped early, at how many reps, and how tight the
+/// pooled rank CI actually is. Fixed-arity campaigns print nothing.
+void print_measurement_control(const sci::exec::Ingested& ingested) {
+  if (ingested.stopping.empty()) return;
+  std::printf("measurement control: %s (%zu round%s)\n", ingested.stopping.c_str(),
+              ingested.rounds, ingested.rounds == 1 ? "" : "s");
+  const double quantile = policy_value(ingested.stopping, "quantile", 0.5);
+  const double confidence = policy_value(ingested.stopping, "confidence", 0.95);
+  const auto max_reps =
+      static_cast<std::size_t>(policy_value(ingested.stopping, "max_reps", 0.0));
+
+  // Pool each config's replications; per-config rep counts vary, so the
+  // grouping comes from the rows themselves, never from division.
+  std::map<std::size_t, std::pair<std::size_t, std::vector<double>>> configs;
+  for (const auto& cell : ingested.cells) {
+    auto& [reps, values] = configs[cell.config];
+    ++reps;
+    values.insert(values.end(), cell.values.begin(), cell.values.end());
+  }
+  for (const auto& [config, group] : configs) {
+    const auto& [reps, values] = group;
+    std::string ci_text = "CI n/a (n too small)";
+    if (values.size() > 5) {
+      const auto ci = sci::stats::quantile_confidence_interval(values, quantile, confidence);
+      const double center = sci::stats::quantile(values, quantile);
+      if (center != 0.0) {
+        const double half =
+            std::max(ci.upper - center, center - ci.lower) / std::fabs(center);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "CI +-%.1f%%", half * 100.0);
+        ci_text = buf;
+      }
+    }
+    if (max_reps != 0 && reps < max_reps) {
+      std::printf("  config %zu: stopped early at %zu/%zu reps, %s (n=%zu samples)\n",
+                  config, reps, max_reps, ci_text.c_str(), values.size());
+    } else {
+      std::printf("  config %zu: %zu reps (cap reached), %s (n=%zu samples)\n", config,
+                  reps, ci_text.c_str(), values.size());
+    }
+  }
+  std::printf("\n");
+}
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
@@ -119,6 +179,7 @@ int main(int argc, char** argv) {
   if (campaign) {
     std::printf("%s: campaign export, %zu cells, %zu observations\n\n", path.c_str(),
                 ingested.cells.size(), values.size());
+    print_measurement_control(ingested);
   } else {
     std::printf("%s: column '%s', %zu observations\n\n", path.c_str(), column.c_str(),
                 values.size());
