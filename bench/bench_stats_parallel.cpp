@@ -1,0 +1,334 @@
+// Acceptance benchmark for the vectorized bootstrap stack (multi-lane
+// xoshiro streams + branchless selection + thread-sharded lanes),
+// dogfooding the library's methodology: medians with 95% nonparametric
+// CIs, interleaved duels so drift hits every configuration equally.
+//
+// Part 1 times a fig7ab-style CI computation -- a batch of latency
+// series, each needing a 1000-replicate bootstrap percentile CI -- in
+// three configurations:
+//   baseline     the legacy single-stream path (ExecPolicy{1,1},
+//                draw-for-draw identical to the pre-engine code);
+//   vectorized   one thread, 8 RNG lanes: batch index fills and 4-wide
+//                accumulation waves, no parallelism;
+//   parallel     hardware_concurrency threads x 8 lanes.
+// The metric is bootstrap CIs per second. Two statistics are duelled
+// because they stress different kernels: the mean (generation- and
+// accumulation-bound -- where the in-core waves win single-threaded)
+// and the median (selection-bound -- where lanes exist to be sharded
+// across threads, and the single-thread delta is honestly ~1x).
+//
+// Part 2 pins what the speedup must not buy: distributions byte-equal
+// across {1,2,4,8} threads at fixed lanes, and lanes=1 byte-equal to
+// the legacy path.
+//
+// Part 3 audits the alloc-free steady state: a warmed engine's
+// distribution() makes exactly zero calls into the global allocator.
+//
+// `--smoke` shrinks sizes for CI; determinism and allocation invariants
+// are still asserted, timing gates only run in full mode (and the >=4x
+// multi-core gate only arms when the host actually has >= 4 hardware
+// threads -- Rule 4: report the environment, don't gate on what it
+// cannot show).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/bench_report.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/bootstrap_engine.hpp"
+#include "stats/confidence.hpp"
+#include "stats/descriptive.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: every allocator call in the process goes through
+// here, so "zero allocations" is an observed fact, not a claim.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_calls{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+using namespace sci;
+
+namespace {
+
+bool g_smoke = false;
+int g_failures = 0;
+obs::BenchReporter* g_reporter = nullptr;  ///< set when --json DIR is given
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::printf("FAILED: %s\n", what);
+    ++g_failures;
+  }
+}
+
+struct Summary {
+  double median = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Median + 95% nonparametric CI (order-statistic ranks) when n permits.
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  const auto sorted = stats::sorted_copy(samples);
+  s.median = stats::quantile_sorted(sorted, 0.5);
+  if (sorted.size() > 5) {
+    const auto ci = stats::quantile_confidence_interval_sorted(sorted, 0.5, 0.95);
+    s.lo = ci.lower;
+    s.hi = ci.upper;
+  } else {
+    s.lo = sorted.front();
+    s.hi = sorted.back();
+  }
+  return s;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The workload: right-skewed latency-like series, as in the fig7ab
+/// bound studies.
+std::vector<std::vector<double>> make_series(std::size_t count, std::size_t n) {
+  std::vector<std::vector<double>> series(count);
+  rng::Xoshiro256 gen(0xf16ab);
+  for (auto& s : series) {
+    s.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) s.push_back(rng::lognormal(gen, 3.0, 0.5));
+  }
+  return series;
+}
+
+// ------------------------------------------------------------ the duel
+
+struct Workload {
+  std::vector<std::vector<double>> series;
+  std::size_t replicates = 0;
+};
+
+/// Times one pass of "bootstrap-CI every series" through a warm
+/// engine; returns CIs per second.
+double time_pass(stats::BootstrapEngine& engine, const Workload& w,
+                 const stats::ResampleStat& stat) {
+  const double t0 = now_s();
+  double sink = 0.0;
+  for (std::size_t i = 0; i < w.series.size(); ++i) {
+    const auto ci =
+        engine.percentile_ci(w.series[i], stat, w.replicates, 0.95, 0xb00f + i);
+    sink += ci.lower + ci.upper;
+  }
+  const double dt = now_s() - t0;
+  check(sink != 0.0, "CI pass produced nonzero bounds");
+  return static_cast<double>(w.series.size()) / dt;
+}
+
+struct DuelOutcome {
+  Summary baseline;
+  Summary vectorized;
+  Summary parallel;
+  std::size_t parallel_threads = 1;
+};
+
+DuelOutcome duel(const char* name, const char* slug, const stats::ResampleStat& stat,
+                 const Workload& w, std::size_t reps) {
+  const std::size_t hc = std::thread::hardware_concurrency();
+  DuelOutcome outcome;
+  outcome.parallel_threads = hc > 1 ? hc : 1;
+
+  stats::BootstrapEngine baseline(stats::ExecPolicy{1, 1});
+  stats::BootstrapEngine vectorized(stats::ExecPolicy{1, 8});
+  stats::BootstrapEngine parallel(stats::ExecPolicy{outcome.parallel_threads, 8});
+
+  std::vector<double> baseline_s, vectorized_s, parallel_s;
+  // Warm-up pass per engine: size the scratch, fault the code.
+  (void)time_pass(baseline, w, stat);
+  (void)time_pass(vectorized, w, stat);
+  (void)time_pass(parallel, w, stat);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    baseline_s.push_back(time_pass(baseline, w, stat));
+    vectorized_s.push_back(time_pass(vectorized, w, stat));
+    parallel_s.push_back(time_pass(parallel, w, stat));
+  }
+  if (g_reporter != nullptr) {
+    const std::string base = slug;
+    g_reporter->add_metric(base + ".baseline", "ci/s", baseline_s,
+                           obs::Improve::kHigher);
+    g_reporter->add_metric(base + ".vectorized", "ci/s", vectorized_s,
+                           obs::Improve::kHigher);
+    g_reporter->add_metric(base + ".parallel", "ci/s", parallel_s,
+                           obs::Improve::kHigher);
+  }
+  outcome.baseline = summarize(baseline_s);
+  outcome.vectorized = summarize(vectorized_s);
+  outcome.parallel = summarize(parallel_s);
+  std::printf("  %s\n", name);
+  std::printf("    %-24s %8.1f [%8.1f, %8.1f] ci/s\n", "baseline {1t, 1 lane}",
+              outcome.baseline.median, outcome.baseline.lo, outcome.baseline.hi);
+  std::printf("    %-24s %8.1f [%8.1f, %8.1f] ci/s   %.2fx\n", "vectorized {1t, 8 lanes}",
+              outcome.vectorized.median, outcome.vectorized.lo, outcome.vectorized.hi,
+              outcome.vectorized.median / outcome.baseline.median);
+  std::printf("    %-18s %2zut  %8.1f [%8.1f, %8.1f] ci/s   %.2fx\n",
+              "parallel {8 lanes}", outcome.parallel_threads, outcome.parallel.median,
+              outcome.parallel.lo, outcome.parallel.hi,
+              outcome.parallel.median / outcome.baseline.median);
+  return outcome;
+}
+
+// -------------------------------------------------- determinism checks
+
+void determinism_checks(const Workload& w) {
+  const stats::ResampleStat stat = stats::ResampleStat::median();
+  const auto& xs = w.series.front();
+
+  // Thread count never changes the answer at fixed lanes.
+  std::vector<double> want;
+  stats::BootstrapEngine reference(stats::ExecPolicy{1, 8});
+  reference.distribution(xs, stat, w.replicates, 0xb00f, want);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    stats::BootstrapEngine engine(stats::ExecPolicy{threads, 8});
+    std::vector<double> got;
+    engine.distribution(xs, stat, w.replicates, 0xb00f, got);
+    char what[96];
+    std::snprintf(what, sizeof what,
+                  "distribution byte-equal: %zu threads vs 1 thread (8 lanes)", threads);
+    check(got == want, what);
+  }
+
+  // lanes = 1 reproduces the legacy single-stream path exactly.
+  const auto legacy = stats::bootstrap_distribution(xs, stat, w.replicates, 0xb00f);
+  stats::BootstrapEngine single(stats::ExecPolicy{4, 1});
+  std::vector<double> got;
+  single.distribution(xs, stat, w.replicates, 0xb00f, got);
+  check(got == legacy, "distribution byte-equal: engine {4t, 1 lane} vs legacy path");
+  std::printf(
+      "  distributions byte-equal across {1,2,4,8} threads; lanes=1 == legacy path\n");
+}
+
+// --------------------------------------------------- allocation audit
+
+void audit_global_allocator(const Workload& w) {
+  const stats::ResampleStat stat = stats::ResampleStat::median();
+  const auto& xs = w.series.front();
+  stats::BootstrapEngine engine(stats::ExecPolicy{1, 8});
+  std::vector<double> out;
+  engine.distribution(xs, stat, w.replicates, 1, out);  // warm: size the scratch
+
+  std::uint64_t allocs = 0;
+  for (std::uint64_t rep = 0; rep < 5; ++rep) {
+    const std::uint64_t before = g_alloc_calls.load(std::memory_order_relaxed);
+    engine.distribution(xs, stat, w.replicates, 1 + rep, out);
+    allocs += g_alloc_calls.load(std::memory_order_relaxed) - before;
+  }
+  check(allocs == 0, "zero allocator calls across 5 warmed distribution() invocations");
+  std::printf("  global allocator calls across 5 warmed invocations: %llu\n",
+              static_cast<unsigned long long>(allocs));
+  if (g_reporter != nullptr) {
+    g_reporter->add_counter("global_alloc_calls_warmed_distribution", allocs);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_dir = argv[++i];
+  }
+  obs::BenchReporter reporter("stats_parallel");
+  reporter.set_context("mode", g_smoke ? "smoke" : "full");
+  if (!json_dir.empty()) g_reporter = &reporter;
+  const unsigned hc = std::thread::hardware_concurrency();
+  std::printf("bench_stats_parallel (%s, %u hardware thread(s))\n",
+              g_smoke ? "smoke" : "full", hc);
+
+  Workload w;
+  w.series = make_series(g_smoke ? 4 : 16, g_smoke ? 80 : 1000);
+  w.replicates = g_smoke ? 200 : 1000;
+  const std::size_t reps = g_smoke ? 3 : 25;
+  std::printf("  workload: %zu series x n=%zu, %zu bootstrap replicates each\n",
+              w.series.size(), w.series.front().size(), w.replicates);
+
+  std::printf("\n[1] bootstrap CI throughput\n");
+  const DuelOutcome mean_ci =
+      duel("mean CI (generation/accumulation-bound)", "mean_ci",
+           stats::ResampleStat::mean(), w, reps);
+  const DuelOutcome median_ci =
+      duel("median CI (selection-bound)", "median_ci", stats::ResampleStat::median(), w,
+           reps);
+
+  std::printf("\n[2] determinism\n");
+  determinism_checks(w);
+
+  std::printf("\n[3] allocation audit\n");
+  audit_global_allocator(w);
+
+  if (!g_smoke) {
+    // Single-thread acceptance, on the statistic whose kernels the
+    // in-core waves actually accelerate: the mean path's 4-wide fills
+    // and Kahan rows must pay for themselves with disjoint CIs. (The
+    // median path is selection-bound; its single-thread delta is
+    // reported above but only gated as "no regression".)
+    check(mean_ci.vectorized.lo > mean_ci.baseline.hi,
+          "mean CI, vectorized {1t, 8 lanes}: faster than baseline, 95% CIs disjoint");
+    check(median_ci.vectorized.median >= 0.9 * median_ci.baseline.median,
+          "median CI, vectorized {1t, 8 lanes}: no single-thread regression");
+    // Multi-core acceptance: the end-to-end >= 4x target needs enough
+    // cores to show it (threads shard 8 lanes, so >= 8 hardware threads
+    // leaves headroom; at 4-7 the honest bar is hc/2). A 1-CPU runner
+    // records the single-thread account instead -- see
+    // bench/RESULTS_stats_parallel.md.
+    if (hc >= 4) {
+      const double required = hc >= 8 ? 4.0 : static_cast<double>(hc) / 2.0;
+      char what[96];
+      std::snprintf(what, sizeof what,
+                    "median CI, parallel {%ut, 8 lanes}: >= %.1fx baseline median", hc,
+                    required);
+      check(median_ci.parallel.median >= required * median_ci.baseline.median, what);
+      check(median_ci.parallel.lo > median_ci.baseline.hi,
+            "median CI, parallel: 95% CIs disjoint from baseline");
+    } else {
+      std::printf("  (multi-core gates skipped: %u hardware thread(s))\n", hc);
+    }
+  }
+
+  if (g_reporter != nullptr) {
+    const std::string path = reporter.write_json(json_dir);
+    if (path.empty()) {
+      std::printf("FAILED: could not write BENCH json into %s\n", json_dir.c_str());
+      ++g_failures;
+    } else {
+      std::printf("\nwrote %s\n", path.c_str());
+    }
+  }
+  if (g_failures == 0) {
+    std::printf("\nall checks passed\n");
+    return 0;
+  }
+  std::printf("\n%d check(s) FAILED\n", g_failures);
+  return 1;
+}

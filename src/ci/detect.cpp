@@ -9,17 +9,17 @@
 #include "stats/compare.hpp"
 #include "stats/confidence.hpp"
 #include "stats/descriptive.hpp"
+#include "stats/parallel.hpp"
 #include "stats/quantile_regression.hpp"
 
 namespace sci::ci {
 
 namespace {
 
-/// Rank CI over a handful of medians: the nonparametric interval when n
-/// permits, the observed range otherwise (same fallback the bench
+/// Rank CI over a *sorted* window of medians: the nonparametric interval
+/// when n permits, the observed range otherwise (same fallback the bench
 /// harnesses use for tiny n).
-stats::Interval interval_over(std::span<const double> values) {
-  const auto sorted = stats::sorted_copy(values);
+stats::Interval interval_over_sorted(std::span<const double> sorted) {
   if (sorted.size() > 5) {
     return stats::quantile_confidence_interval_sorted(sorted, 0.5, 0.95);
   }
@@ -69,16 +69,19 @@ Finding analyze_series(const MetricSeries& series, const DetectionOptions& optio
   // ---- CI-overlap gate: latest point vs the baseline window. -------
   const std::size_t window = std::min<std::size_t>(options.baseline_window, n - 1);
   const std::span<const double> baseline(medians.data() + (n - 1 - window), window);
-  finding.baseline_median = stats::median(baseline);
+  // One sort feeds the baseline median, the rank CI, and the extremes
+  // (PR 3 convention: sort once, then quantile_sorted).
+  const auto sorted_baseline = stats::sorted_copy(baseline);
+  finding.baseline_median = stats::quantile_sorted(sorted_baseline, 0.5);
   finding.change_fraction = relative_change(finding.latest_median, finding.baseline_median);
 
-  const stats::Interval baseline_ci = interval_over(baseline);
+  const stats::Interval baseline_ci = interval_over_sorted(sorted_baseline);
   // Detect the blind spot, not just its tiny-n cause: rank CIs over few
   // points clamp to the extremes even when n > 5 lets the formula run.
   // A constant window (min == max) is a zero-width interval, not a wide
   // one, so it does not qualify.
-  const double baseline_min = stats::min_value(baseline);
-  const double baseline_max = stats::max_value(baseline);
+  const double baseline_min = sorted_baseline.front();
+  const double baseline_max = sorted_baseline.back();
   finding.baseline_ci_degenerate = baseline_min < baseline_max &&
                                    baseline_ci.lower <= baseline_min &&
                                    baseline_ci.upper >= baseline_max;
@@ -149,8 +152,9 @@ Finding analyze_series(const MetricSeries& series, const DetectionOptions& optio
     const auto fit = stats::quantile_regression(y, design, 0.5);
     if (fit.converged && fit.coefficients.size() >= 2) {
       finding.trend_slope = fit.coefficients[1];
-      const auto ci =
-          stats::quantile_regression_bootstrap_ci(y, design, 0.5, 200, 0.95, 0x5c1b3);
+      const auto ci = stats::quantile_regression_bootstrap_ci(
+          y, design, 0.5, 200, 0.95, 0x5c1b3,
+          stats::ExecPolicy{1, options.policy.effective_lanes()});
       const bool slope_significant =
           ci.lower.size() >= 2 && ci.upper.size() >= 2 &&
           (ci.lower[1] > 0.0 || ci.upper[1] < 0.0);
@@ -176,9 +180,15 @@ Finding analyze_series(const MetricSeries& series, const DetectionOptions& optio
 
 std::vector<Finding> analyze_all(const std::vector<MetricSeries>& series,
                                  const DetectionOptions& options) {
-  std::vector<Finding> findings;
-  findings.reserve(series.size());
-  for (const auto& s : series) findings.push_back(analyze_series(s, options));
+  // Series are independent; shard them across the policy's workers.
+  // Output slots are preassigned, so findings order -- and every byte in
+  // them -- is the same at any thread count.
+  std::vector<Finding> findings(series.size());
+  stats::policy_partition(options.policy, series.size(),
+                          [&](std::size_t, std::size_t lo, std::size_t hi) {
+                            for (std::size_t i = lo; i < hi; ++i)
+                              findings[i] = analyze_series(series[i], options);
+                          });
   return findings;
 }
 

@@ -76,7 +76,10 @@ MeasurementSummary summarize_series(std::span<const double> xs,
     s.mean_ci = stats::mean_confidence_interval(xs, options.confidence);
   }
   if (s.n > 5) {
-    s.median_ci = stats::median_confidence_interval(xs, options.confidence);
+    // `sorted` already exists from the quantile block above; the
+    // unsorted entry point would re-sort the whole series.
+    s.median_ci =
+        stats::quantile_confidence_interval_sorted(sorted, 0.5, options.confidence);
   }
 
   // Right-skewed nondeterministic data: lead with the median (robust);

@@ -125,4 +125,32 @@ Ingested load_measurements(const std::string& path) {
   return out;
 }
 
+std::vector<ConfigSummary> summarize_configs(const Ingested& ingested, double p,
+                                             double confidence,
+                                             const stats::ExecPolicy& policy) {
+  // Pool each config's replications; per-config rep counts vary under
+  // sequential stopping, so the grouping comes from the rows themselves.
+  std::map<std::size_t, std::pair<std::size_t, std::vector<double>>> configs;
+  for (const auto& cell : ingested.cells) {
+    auto& [reps, values] = configs[cell.config];
+    ++reps;
+    values.insert(values.end(), cell.values.begin(), cell.values.end());
+  }
+
+  std::vector<ConfigSummary> out;
+  std::vector<std::vector<double>> groups;
+  out.reserve(configs.size());
+  groups.reserve(configs.size());
+  for (auto& [config, group] : configs) {
+    ConfigSummary cs;
+    cs.config = config;
+    cs.reps = group.first;
+    out.push_back(cs);
+    groups.push_back(std::move(group.second));
+  }
+  const auto summaries = stats::grouped_quantile_summary(groups, p, confidence, policy);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i].summary = summaries[i];
+  return out;
+}
+
 }  // namespace sci::exec

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/dataset.hpp"
+#include "stats/confidence.hpp"
 
 namespace sci::exec {
 
@@ -52,5 +53,21 @@ struct Ingested {
 /// campaign exports. Throws (with file/line/column positions) on
 /// malformed input.
 [[nodiscard]] Ingested load_measurements(const std::string& path);
+
+/// One config's pooled measurement summary (all reps concatenated in
+/// cell order, the long-form row order of the export).
+struct ConfigSummary {
+  std::size_t config = 0;
+  std::size_t reps = 0;  ///< replication series pooled into this config
+  stats::QuantileSummary summary;
+};
+
+/// Pools each config's replications and computes the p-quantile + rank
+/// CI per config (one sort per config, stats::grouped_quantile_summary
+/// underneath, sharded over policy.threads workers). Output is ordered
+/// by config id and byte-identical at any thread count.
+[[nodiscard]] std::vector<ConfigSummary> summarize_configs(
+    const Ingested& ingested, double p, double confidence = 0.95,
+    const stats::ExecPolicy& policy = {});
 
 }  // namespace sci::exec

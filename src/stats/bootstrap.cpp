@@ -7,16 +7,12 @@
 
 #include "rng/distributions.hpp"
 #include "rng/xoshiro.hpp"
+#include "stats/bootstrap_detail.hpp"
+#include "stats/bootstrap_engine.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/special_functions.hpp"
 
 namespace sci::stats {
-namespace {
-
-void require_valid(std::span<const double> xs, std::size_t replicates) {
-  if (xs.size() < 2) throw std::invalid_argument("bootstrap: need n >= 2");
-  if (replicates == 0) throw std::invalid_argument("bootstrap: replicates >= 1");
-}
 
 // ---------------------------------------------------------------------------
 // Selection fast path.
@@ -28,99 +24,42 @@ void require_valid(std::span<const double> xs, std::size_t replicates) {
 // the k-th order statistic of the resample is sorted[k-th smallest
 // resampled rank] -- equal values share a value even though their ranks
 // differ, so ties cannot perturb the result. Each replicate costs one
-// nth_element + one linear scan instead of a full sort, and never
+// selection + one linear scan instead of a full sort, and never
 // materializes a resample vector of doubles.
+//
+// The kernels live in stats::detail (shared with BootstrapEngine, the
+// multi-lane/threaded variant) and stats::selection_quantile
+// (selection.hpp). The ResampleStat overloads below delegate to a
+// single-lane engine: one code path, pinned bit-identical to the
+// callback reference by test_bootstrap.cpp.
 // ---------------------------------------------------------------------------
 
-struct RankedSample {
-  std::vector<double> sorted;       // xs ascending
-  std::vector<std::uint32_t> rank;  // xs index -> position in `sorted`
-};
+namespace detail {
 
-RankedSample rank_sample(std::span<const double> xs) {
+void require_valid(std::span<const double> xs, std::size_t replicates) {
+  if (xs.size() < 2) throw std::invalid_argument("bootstrap: need n >= 2");
+  if (replicates == 0) throw std::invalid_argument("bootstrap: replicates >= 1");
+}
+
+void rank_into(std::span<const double> xs, std::vector<double>& sorted,
+               std::vector<std::uint32_t>& rank,
+               std::vector<std::uint32_t>& order_scratch) {
   const std::size_t n = xs.size();
-  std::vector<std::uint32_t> order(n);
-  std::iota(order.begin(), order.end(), std::uint32_t{0});
-  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    if (xs[a] != xs[b]) return xs[a] < xs[b];
-    return a < b;
-  });
-  RankedSample rs;
-  rs.sorted.resize(n);
-  rs.rank.resize(n);
+  order_scratch.resize(n);
+  std::iota(order_scratch.begin(), order_scratch.end(), std::uint32_t{0});
+  std::sort(order_scratch.begin(), order_scratch.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (xs[a] != xs[b]) return xs[a] < xs[b];
+              return a < b;
+            });
+  sorted.resize(n);
+  rank.resize(n);
   for (std::size_t pos = 0; pos < n; ++pos) {
-    rs.sorted[pos] = xs[order[pos]];
-    rs.rank[order[pos]] = static_cast<std::uint32_t>(pos);
+    sorted[pos] = xs[order_scratch[pos]];
+    rank[order_scratch[pos]] = static_cast<std::uint32_t>(pos);
   }
-  return rs;
 }
 
-/// One mean replicate: Kahan-sums the draws in draw order -- the exact
-/// FP operation sequence arithmetic_mean performs on a materialized
-/// resample, so results are bit-identical to the callback path.
-double mean_replicate(std::span<const double> xs, rng::Xoshiro256& gen) {
-  const std::size_t n = xs.size();
-  double sum = 0.0, comp = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double x = xs[static_cast<std::size_t>(rng::uniform_below(gen, n))];
-    const double y = x - comp;
-    const double t = sum + y;
-    comp = (t - sum) - y;
-    sum = t;
-  }
-  return sum / static_cast<double>(n);
-}
-
-/// p-quantile of the resample whose ranks are in `picks` (destroyed by
-/// selection). Mirrors quantile_sorted() term for term per method; the
-/// interpolation neighbor k+1 is the minimum of the post-nth_element
-/// suffix, which nth_element guarantees holds every element > the k-th.
-double selection_quantile(std::vector<std::uint32_t>& picks, std::span<const double> sorted,
-                          double p, QuantileMethod method) {
-  const std::size_t n = picks.size();
-  const auto nth = [&](std::size_t k) {
-    std::nth_element(picks.begin(), picks.begin() + static_cast<std::ptrdiff_t>(k),
-                     picks.end());
-  };
-  switch (method) {
-    case QuantileMethod::kR1InverseEcdf: {
-      if (p == 0.0) return sorted[*std::min_element(picks.begin(), picks.end())];
-      const auto idx = std::min(
-          static_cast<std::size_t>(std::ceil(p * static_cast<double>(n))) - 1, n - 1);
-      nth(idx);
-      return sorted[picks[idx]];
-    }
-    case QuantileMethod::kR6Weibull: {
-      const double h = (static_cast<double>(n) + 1.0) * p;
-      if (h <= 1.0) return sorted[*std::min_element(picks.begin(), picks.end())];
-      if (h >= static_cast<double>(n))
-        return sorted[*std::max_element(picks.begin(), picks.end())];
-      const auto k = static_cast<std::size_t>(std::floor(h));
-      const double frac = h - static_cast<double>(k);
-      nth(k - 1);
-      const double a = sorted[picks[k - 1]];
-      const double b = sorted[*std::min_element(
-          picks.begin() + static_cast<std::ptrdiff_t>(k), picks.end())];
-      return a + frac * (b - a);
-    }
-    case QuantileMethod::kR7Linear: {
-      const double h = (static_cast<double>(n) - 1.0) * p;
-      const auto k = static_cast<std::size_t>(std::floor(h));
-      const double frac = h - static_cast<double>(k);
-      if (k + 1 >= n) return sorted[*std::max_element(picks.begin(), picks.end())];
-      nth(k);
-      const double a = sorted[picks[k]];
-      const double b = sorted[*std::min_element(
-          picks.begin() + static_cast<std::ptrdiff_t>(k + 1), picks.end())];
-      return a + frac * (b - a);
-    }
-  }
-  throw std::logic_error("bootstrap: unknown quantile method");
-}
-
-/// p-quantile of `sorted` with position `skip` removed, without copying:
-/// leave-one-out position q maps to sorted[q < skip ? q : q + 1].
-/// Mirrors quantile_sorted() on the (n-1)-element view.
 double loo_quantile(std::span<const double> sorted, std::size_t skip, double p,
                     QuantileMethod method) {
   const std::size_t m = sorted.size() - 1;
@@ -151,28 +90,12 @@ double loo_quantile(std::span<const double> sorted, std::size_t skip, double p,
   throw std::logic_error("bootstrap: unknown quantile method");
 }
 
-/// Leave-one-out statistic values, generic path: materializes each loo
-/// vector and calls the statistic, exactly as before the fast path
-/// existed.
-template <typename Stat>
-std::vector<double> generic_jackknife(std::span<const double> xs, const Stat& statistic) {
+void fast_jackknife_into(std::span<const double> xs, const ResampleStat& stat,
+                         std::vector<double>& jack, std::vector<double>& sorted_scratch,
+                         std::vector<std::uint32_t>& rank_scratch,
+                         std::vector<std::uint32_t>& order_scratch) {
   const std::size_t n = xs.size();
-  std::vector<double> jack(n);
-  std::vector<double> loo;
-  loo.reserve(n - 1);
-  for (std::size_t i = 0; i < n; ++i) {
-    loo.clear();
-    for (std::size_t j = 0; j < n; ++j) {
-      if (j != i) loo.push_back(xs[j]);
-    }
-    jack[i] = statistic(loo);
-  }
-  return jack;
-}
-
-std::vector<double> fast_jackknife(std::span<const double> xs, const ResampleStat& stat) {
-  const std::size_t n = xs.size();
-  std::vector<double> jack(n);
+  jack.resize(n);
   if (stat.kind() == ResampleStat::Kind::kMean) {
     // Kahan over xs skipping i, in original order: the same op sequence
     // arithmetic_mean runs on the materialized loo vector.
@@ -188,17 +111,13 @@ std::vector<double> fast_jackknife(std::span<const double> xs, const ResampleSta
       jack[i] = sum / static_cast<double>(n - 1);
     }
   } else {
-    const RankedSample rs = rank_sample(xs);
+    rank_into(xs, sorted_scratch, rank_scratch, order_scratch);
     for (std::size_t i = 0; i < n; ++i) {
-      jack[i] = loo_quantile(rs.sorted, rs.rank[i], stat.prob(), stat.method());
+      jack[i] = loo_quantile(sorted_scratch, rank_scratch[i], stat.prob(), stat.method());
     }
   }
-  return jack;
 }
 
-/// BCa interval from a *sorted* bootstrap distribution + jackknife
-/// values. Shared verbatim by the callback and fast paths, so the two
-/// cannot drift.
 Interval bca_interval(std::span<const double> dist, double theta_hat,
                       std::span<const double> jack, double confidence) {
   // Bias correction z0: fraction of bootstrap stats below the point estimate.
@@ -230,6 +149,29 @@ Interval bca_interval(std::span<const double> dist, double theta_hat,
           quantile_sorted(dist, adjusted(1.0 - alpha / 2.0)), confidence};
 }
 
+}  // namespace detail
+
+namespace {
+
+/// Leave-one-out statistic values, generic path: materializes each loo
+/// vector and calls the statistic, exactly as before the fast path
+/// existed.
+template <typename Stat>
+std::vector<double> generic_jackknife(std::span<const double> xs, const Stat& statistic) {
+  const std::size_t n = xs.size();
+  std::vector<double> jack(n);
+  std::vector<double> loo;
+  loo.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    loo.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) loo.push_back(xs[j]);
+    }
+    jack[i] = statistic(loo);
+  }
+  return jack;
+}
+
 }  // namespace
 
 ResampleStat ResampleStat::quantile(double p, QuantileMethod method) {
@@ -256,7 +198,7 @@ double ResampleStat::evaluate(std::span<const double> xs) const {
 std::vector<double> bootstrap_distribution(std::span<const double> xs,
                                            const Statistic& statistic,
                                            std::size_t replicates, std::uint64_t seed) {
-  require_valid(xs, replicates);
+  detail::require_valid(xs, replicates);
   rng::Xoshiro256 gen(seed);
   const std::size_t n = xs.size();
   std::vector<double> resample(n);
@@ -274,31 +216,8 @@ std::vector<double> bootstrap_distribution(std::span<const double> xs,
 std::vector<double> bootstrap_distribution(std::span<const double> xs,
                                            const ResampleStat& statistic,
                                            std::size_t replicates, std::uint64_t seed) {
-  require_valid(xs, replicates);
-  if (statistic.kind() == ResampleStat::Kind::kCustom) {
-    // Opaque callable: nothing structural to exploit; run the exact
-    // callback-path loop.
-    return bootstrap_distribution(
-        xs, [&](std::span<const double> s) { return statistic.evaluate(s); }, replicates,
-        seed);
-  }
-  rng::Xoshiro256 gen(seed);
-  const std::size_t n = xs.size();
-  std::vector<double> stats;
-  stats.reserve(replicates);
-  if (statistic.kind() == ResampleStat::Kind::kMean) {
-    for (std::size_t r = 0; r < replicates; ++r) stats.push_back(mean_replicate(xs, gen));
-    return stats;
-  }
-  const RankedSample rs = rank_sample(xs);
-  std::vector<std::uint32_t> picks(n);
-  for (std::size_t r = 0; r < replicates; ++r) {
-    for (std::size_t i = 0; i < n; ++i) {
-      picks[i] = rs.rank[static_cast<std::size_t>(rng::uniform_below(gen, n))];
-    }
-    stats.push_back(selection_quantile(picks, rs.sorted, statistic.prob(), statistic.method()));
-  }
-  return stats;
+  // Single-lane engine == the historical scalar fast path, draw for draw.
+  return bootstrap_distribution(xs, statistic, replicates, seed, ExecPolicy{});
 }
 
 Interval bootstrap_percentile_ci(std::span<const double> xs, const Statistic& statistic,
@@ -314,11 +233,7 @@ Interval bootstrap_percentile_ci(std::span<const double> xs, const Statistic& st
 Interval bootstrap_percentile_ci(std::span<const double> xs, const ResampleStat& statistic,
                                  std::size_t replicates, double confidence,
                                  std::uint64_t seed) {
-  auto dist = bootstrap_distribution(xs, statistic, replicates, seed);
-  std::sort(dist.begin(), dist.end());
-  const double alpha = 1.0 - confidence;
-  return {quantile_sorted(dist, alpha / 2.0), quantile_sorted(dist, 1.0 - alpha / 2.0),
-          confidence};
+  return bootstrap_percentile_ci(xs, statistic, replicates, confidence, seed, ExecPolicy{});
 }
 
 Interval bootstrap_bca_ci(std::span<const double> xs, const Statistic& statistic,
@@ -327,19 +242,12 @@ Interval bootstrap_bca_ci(std::span<const double> xs, const Statistic& statistic
   std::sort(dist.begin(), dist.end());
   const double theta_hat = statistic(xs);
   const auto jack = generic_jackknife(xs, statistic);
-  return bca_interval(dist, theta_hat, jack, confidence);
+  return detail::bca_interval(dist, theta_hat, jack, confidence);
 }
 
 Interval bootstrap_bca_ci(std::span<const double> xs, const ResampleStat& statistic,
                           std::size_t replicates, double confidence, std::uint64_t seed) {
-  auto dist = bootstrap_distribution(xs, statistic, replicates, seed);
-  std::sort(dist.begin(), dist.end());
-  const double theta_hat = statistic.evaluate(xs);
-  const auto jack = (statistic.kind() == ResampleStat::Kind::kCustom)
-                        ? generic_jackknife(
-                              xs, [&](std::span<const double> s) { return statistic.evaluate(s); })
-                        : fast_jackknife(xs, statistic);
-  return bca_interval(dist, theta_hat, jack, confidence);
+  return bootstrap_bca_ci(xs, statistic, replicates, confidence, seed, ExecPolicy{});
 }
 
 }  // namespace sci::stats

@@ -1,0 +1,43 @@
+// Internal kernels shared by the scalar bootstrap fast path
+// (bootstrap.cpp) and the multi-lane BootstrapEngine
+// (bootstrap_engine.cpp). One definition each, so the two paths cannot
+// drift apart arithmetically. Not part of the public stats API.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/bootstrap.hpp"
+#include "stats/descriptive.hpp"
+
+namespace sci::stats::detail {
+
+/// Sorts `xs` into `sorted` and fills rank[i] = position of xs[i] in the
+/// sorted order (ties broken by index). Caller-owned buffers; alloc-free
+/// once capacities are warm.
+void rank_into(std::span<const double> xs, std::vector<double>& sorted,
+               std::vector<std::uint32_t>& rank,
+               std::vector<std::uint32_t>& order_scratch);
+
+/// p-quantile of `sorted` with position `skip` removed, without copying.
+[[nodiscard]] double loo_quantile(std::span<const double> sorted, std::size_t skip,
+                                  double p, QuantileMethod method);
+
+/// Jackknife (leave-one-out) statistic values for structural statistics:
+/// O(n^2) adds for the mean, O(n) for quantiles. `stat` must not be
+/// kCustom.
+void fast_jackknife_into(std::span<const double> xs, const ResampleStat& stat,
+                         std::vector<double>& jack, std::vector<double>& sorted_scratch,
+                         std::vector<std::uint32_t>& rank_scratch,
+                         std::vector<std::uint32_t>& order_scratch);
+
+/// BCa interval from a *sorted* bootstrap distribution + jackknife values.
+[[nodiscard]] Interval bca_interval(std::span<const double> dist, double theta_hat,
+                                    std::span<const double> jack, double confidence);
+
+/// Argument validation shared by all bootstrap entry points.
+void require_valid(std::span<const double> xs, std::size_t replicates);
+
+}  // namespace sci::stats::detail

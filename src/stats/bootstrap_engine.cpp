@@ -1,0 +1,241 @@
+#include "stats/bootstrap_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "rng/xoshiro.hpp"
+#include "stats/bootstrap_detail.hpp"
+#include "stats/parallel.hpp"
+#include "stats/selection.hpp"
+#include "threads/team.hpp"
+
+namespace sci::stats {
+
+namespace {
+
+/// Kahan-sums one index row in draw order -- the exact op sequence
+/// arithmetic_mean performs on a materialized resample.
+double kahan_mean_row(const double* xs, const std::uint32_t* idx, std::size_t n) noexcept {
+  double sum = 0.0, comp = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = xs[idx[i]];
+    const double y = x - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return sum / static_cast<double>(n);
+}
+
+/// Four rows at once: four independent Kahan chains in flight instead of
+/// one 3-cycle serial chain. Per-row op order is identical to
+/// kahan_mean_row, so results do not depend on the tiling.
+void kahan_mean_rows4(const double* xs, const std::uint32_t* idx, std::size_t n,
+                      std::size_t stride, double* out) noexcept {
+  double s0 = 0.0, c0 = 0.0, s1 = 0.0, c1 = 0.0;
+  double s2 = 0.0, c2 = 0.0, s3 = 0.0, c3 = 0.0;
+  const std::uint32_t* r0 = idx;
+  const std::uint32_t* r1 = idx + stride;
+  const std::uint32_t* r2 = idx + 2 * stride;
+  const std::uint32_t* r3 = idx + 3 * stride;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = xs[r0[i]], y0 = x0 - c0, t0 = s0 + y0;
+    c0 = (t0 - s0) - y0;
+    s0 = t0;
+    const double x1 = xs[r1[i]], y1 = x1 - c1, t1 = s1 + y1;
+    c1 = (t1 - s1) - y1;
+    s1 = t1;
+    const double x2 = xs[r2[i]], y2 = x2 - c2, t2 = s2 + y2;
+    c2 = (t2 - s2) - y2;
+    s2 = t2;
+    const double x3 = xs[r3[i]], y3 = x3 - c3, t3 = s3 + y3;
+    c3 = (t3 - s3) - y3;
+    s3 = t3;
+  }
+  const auto nd = static_cast<double>(n);
+  out[0] = s0 / nd;
+  out[1] = s1 / nd;
+  out[2] = s2 / nd;
+  out[3] = s3 / nd;
+}
+
+}  // namespace
+
+BootstrapEngine::BootstrapEngine(ExecPolicy policy) {
+  policy_.threads = policy.effective_threads();
+  policy_.lanes = policy.effective_lanes();
+  team_size_ = std::min(policy_.threads, policy_.lanes);
+  if (team_size_ > 1) {
+    team_ = shared_team(team_size_);
+    // Captures a single pointer (fits the std::function SBO) and is
+    // built once here, so team fan-out never allocates in steady state.
+    region_ = [this](std::size_t worker) {
+      const std::size_t lanes = policy_.lanes;
+      process_lanes(worker * lanes / team_size_, (worker + 1) * lanes / team_size_);
+    };
+  }
+}
+
+BootstrapEngine::~BootstrapEngine() = default;
+
+void BootstrapEngine::distribution(std::span<const double> xs, const ResampleStat& stat,
+                                   std::size_t replicates, std::uint64_t seed,
+                                   std::vector<double>& out) {
+  detail::require_valid(xs, replicates);
+  if (xs.size() > std::numeric_limits<std::uint32_t>::max())
+    throw std::invalid_argument("BootstrapEngine: n exceeds u32 index range");
+
+  const std::size_t n = xs.size();
+  const std::size_t lanes = policy_.lanes;
+  rng_.reset(seed, lanes);
+  out.resize(replicates);
+
+  xs_ = xs;
+  stat_ = &stat;
+  out_ = out.data();
+  base_ = replicates / lanes;
+  rem_ = replicates % lanes;
+
+  if (stat.kind() == ResampleStat::Kind::kQuantile) {
+    detail::rank_into(xs, sorted_, rank_, order_);
+  } else if (stat.kind() == ResampleStat::Kind::kCustom) {
+    resample_.resize(lanes * n);
+  }
+  idx_.resize(lanes * n);
+
+  if (team_size_ <= 1) {
+    process_lanes(0, lanes);
+  } else {
+    team_->run(region_);
+  }
+  stat_ = nullptr;
+  out_ = nullptr;
+}
+
+void BootstrapEngine::process_lanes(std::size_t lane_lo, std::size_t lane_hi) {
+  if (lane_hi <= lane_lo) return;
+  const std::size_t n = xs_.size();
+  const ResampleStat& stat = *stat_;
+  const std::uint32_t* map =
+      stat.kind() == ResampleStat::Kind::kQuantile ? rank_.data() : nullptr;
+  const std::size_t waves = base_ + (rem_ > 0 ? 1 : 0);
+
+  // Lane block lengths are non-increasing, so the lanes still active in
+  // wave w form a prefix of [lane_lo, lane_hi).
+  for (std::size_t w = 0; w < waves; ++w) {
+    const std::size_t hi_active = (w < base_) ? lane_hi : std::min(lane_hi, rem_);
+    if (hi_active <= lane_lo) break;
+    const std::size_t active = hi_active - lane_lo;
+    std::uint32_t* rows = idx_.data() + lane_lo * n;
+    rng_.fill_indices(n, n, lane_lo, active, map, rows, n);
+
+    switch (stat.kind()) {
+      case ResampleStat::Kind::kMean: {
+        std::size_t l = 0;
+        double tile[4];
+        for (; l + 4 <= active; l += 4) {
+          kahan_mean_rows4(xs_.data(), rows + l * n, n, n, tile);
+          for (std::size_t j = 0; j < 4; ++j)
+            out_[block_start(lane_lo + l + j) + w] = tile[j];
+        }
+        for (; l < active; ++l)
+          out_[block_start(lane_lo + l) + w] = kahan_mean_row(xs_.data(), rows + l * n, n);
+        break;
+      }
+      case ResampleStat::Kind::kQuantile: {
+        for (std::size_t l = 0; l < active; ++l) {
+          out_[block_start(lane_lo + l) + w] = selection_quantile(
+              std::span(rows + l * n, n), sorted_, stat.prob(), stat.method());
+        }
+        break;
+      }
+      case ResampleStat::Kind::kCustom: {
+        for (std::size_t l = 0; l < active; ++l) {
+          double* res = resample_.data() + (lane_lo + l) * n;
+          const std::uint32_t* row = rows + l * n;
+          for (std::size_t i = 0; i < n; ++i) res[i] = xs_[row[i]];
+          out_[block_start(lane_lo + l) + w] = stat.evaluate(std::span(res, n));
+        }
+        break;
+      }
+    }
+  }
+}
+
+Interval BootstrapEngine::percentile_ci(std::span<const double> xs, const ResampleStat& stat,
+                                        std::size_t replicates, double confidence,
+                                        std::uint64_t seed) {
+  distribution(xs, stat, replicates, seed, dist_);
+  std::sort(dist_.begin(), dist_.end());
+  const double alpha = 1.0 - confidence;
+  return {quantile_sorted(dist_, alpha / 2.0), quantile_sorted(dist_, 1.0 - alpha / 2.0),
+          confidence};
+}
+
+Interval BootstrapEngine::bca_ci(std::span<const double> xs, const ResampleStat& stat,
+                                 std::size_t replicates, double confidence,
+                                 std::uint64_t seed) {
+  distribution(xs, stat, replicates, seed, dist_);
+  std::sort(dist_.begin(), dist_.end());
+  const double theta_hat = stat.evaluate(xs);
+  if (stat.kind() == ResampleStat::Kind::kCustom) {
+    // Opaque callable: generic O(n^2) jackknife, allocation allowed.
+    jack_.resize(xs.size());
+    std::vector<double> loo;
+    loo.reserve(xs.size() - 1);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      loo.clear();
+      for (std::size_t j = 0; j < xs.size(); ++j)
+        if (j != i) loo.push_back(xs[j]);
+      jack_[i] = stat.evaluate(loo);
+    }
+  } else {
+    detail::fast_jackknife_into(xs, stat, jack_, sorted_, rank_, order_);
+  }
+  return detail::bca_interval(dist_, theta_hat, jack_, confidence);
+}
+
+std::vector<double> bootstrap_distribution(std::span<const double> xs,
+                                           const ResampleStat& statistic,
+                                           std::size_t replicates, std::uint64_t seed,
+                                           const ExecPolicy& policy) {
+  BootstrapEngine engine(policy);
+  std::vector<double> out;
+  engine.distribution(xs, statistic, replicates, seed, out);
+  return out;
+}
+
+Interval bootstrap_percentile_ci(std::span<const double> xs, const ResampleStat& statistic,
+                                 std::size_t replicates, double confidence,
+                                 std::uint64_t seed, const ExecPolicy& policy) {
+  BootstrapEngine engine(policy);
+  return engine.percentile_ci(xs, statistic, replicates, confidence, seed);
+}
+
+Interval bootstrap_bca_ci(std::span<const double> xs, const ResampleStat& statistic,
+                          std::size_t replicates, double confidence, std::uint64_t seed,
+                          const ExecPolicy& policy) {
+  BootstrapEngine engine(policy);
+  return engine.bca_ci(xs, statistic, replicates, confidence, seed);
+}
+
+std::vector<Interval> grouped_bootstrap_percentile_ci(
+    std::span<const std::span<const double>> groups, const ResampleStat& statistic,
+    std::size_t replicates, double confidence, std::uint64_t seed,
+    const ExecPolicy& policy) {
+  std::vector<Interval> out(groups.size());
+  policy_partition(policy, groups.size(),
+                   [&](std::size_t, std::size_t lo, std::size_t hi) {
+                     BootstrapEngine engine(ExecPolicy{1, policy.effective_lanes()});
+                     for (std::size_t g = lo; g < hi; ++g) {
+                       std::uint64_t state = seed + g;
+                       out[g] = engine.percentile_ci(groups[g], statistic, replicates,
+                                                     confidence,
+                                                     rng::splitmix64_next(state));
+                     }
+                   });
+  return out;
+}
+
+}  // namespace sci::stats

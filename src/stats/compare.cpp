@@ -79,12 +79,15 @@ TestResult kruskal_wallis(Groups groups) {
     if (g.empty()) throw std::invalid_argument("kruskal_wallis: empty group");
     total_n += g.size();
   }
-  // Pool all observations, rank with midranks for ties.
+  // Pool all observations, rank with midranks for ties. The ranking
+  // sort also yields the tie-correction term (sort once, PR 3
+  // convention; this used to re-sort the pool just to find ties).
   std::vector<double> pooled;
   pooled.reserve(total_n);
   for (const auto& g : groups)
     pooled.insert(pooled.end(), g.begin(), g.end());
-  const auto ranks = midranks(pooled);
+  double tie_term = 0.0;
+  const auto ranks = midranks(pooled, &tie_term);
 
   const auto n = static_cast<double>(total_n);
   double h = 0.0;
@@ -98,16 +101,6 @@ TestResult kruskal_wallis(Groups groups) {
   h = 12.0 / (n * (n + 1.0)) * h - 3.0 * (n + 1.0);
 
   // Tie correction: divide by 1 - sum(t^3 - t)/(n^3 - n).
-  auto sorted = sorted_copy(pooled);
-  double tie_term = 0.0;
-  std::size_t i = 0;
-  while (i < sorted.size()) {
-    std::size_t j = i;
-    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[i]) ++j;
-    const auto t = static_cast<double>(j - i + 1);
-    if (t > 1.0) tie_term += t * t * t - t;
-    i = j + 1;
-  }
   const double correction = 1.0 - tie_term / (n * n * n - n);
   if (correction > 0.0) h /= correction;
 

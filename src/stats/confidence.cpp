@@ -6,6 +6,7 @@
 
 #include "stats/descriptive.hpp"
 #include "stats/distributions.hpp"
+#include "stats/parallel.hpp"
 #include "stats/special_functions.hpp"
 
 namespace sci::stats {
@@ -48,6 +49,42 @@ Interval quantile_confidence_interval_sorted(std::span<const double> sorted, dou
 
 Interval median_confidence_interval(std::span<const double> xs, double confidence) {
   return quantile_confidence_interval(xs, 0.5, confidence);
+}
+
+std::vector<QuantileSummary> grouped_quantile_summary(
+    std::span<const std::span<const double>> groups, double p, double confidence,
+    const ExecPolicy& policy) {
+  std::vector<QuantileSummary> out(groups.size());
+  policy_partition(policy, groups.size(), [&](std::size_t, std::size_t lo, std::size_t hi) {
+    std::vector<double> sorted;  // per-worker scratch, reused across its groups
+    for (std::size_t g = lo; g < hi; ++g) {
+      if (groups[g].empty())
+        throw std::invalid_argument("grouped_quantile_summary: empty group");
+      sorted.assign(groups[g].begin(), groups[g].end());
+      std::sort(sorted.begin(), sorted.end());
+      QuantileSummary& s = out[g];
+      s.n = sorted.size();
+      s.value = quantile_sorted(sorted, p);
+      if (s.n > 5 && p > 0.0 && p < 1.0) {
+        s.ci = quantile_confidence_interval_sorted(sorted, p, confidence);
+        s.ci_rank_based = true;
+      } else {
+        s.ci = {sorted.front(), sorted.back(), confidence};
+        s.ci_rank_based = false;
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<QuantileSummary> grouped_quantile_summary(
+    std::span<const std::vector<double>> groups, double p, double confidence,
+    const ExecPolicy& policy) {
+  std::vector<std::span<const double>> views;
+  views.reserve(groups.size());
+  for (const auto& g : groups) views.emplace_back(g);
+  return grouped_quantile_summary(std::span<const std::span<const double>>(views), p,
+                                  confidence, policy);
 }
 
 std::size_t required_samples_mean(std::span<const double> pilot, double relative_error,

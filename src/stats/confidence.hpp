@@ -10,6 +10,9 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
+
+#include "stats/exec_policy.hpp"
 
 namespace sci::stats {
 
@@ -56,6 +59,28 @@ struct Interval {
 [[nodiscard]] std::size_t required_samples_mean(std::span<const double> pilot,
                                                 double relative_error,
                                                 double confidence = 0.95);
+
+/// Center + CI of one group, as reported per campaign cell / config.
+struct QuantileSummary {
+  double value = 0.0;        ///< the p-quantile itself
+  Interval ci;               ///< rank CI when possible, observed [min, max] otherwise
+  bool ci_rank_based = false;  ///< false: n <= 5 (or degenerate p) forced the fallback
+  std::size_t n = 0;
+};
+
+/// Per-group p-quantile + CI with one sort per group, fanned out over
+/// `policy.threads` pooled workers. Output order matches input order and
+/// is independent of the thread count; each entry is bit-identical to
+/// the scalar quantile()/quantile_confidence_interval() pair on the same
+/// group. Throws on an empty group.
+[[nodiscard]] std::vector<QuantileSummary> grouped_quantile_summary(
+    std::span<const std::span<const double>> groups, double p, double confidence = 0.95,
+    const ExecPolicy& policy = {});
+
+/// Convenience overload for vector-of-vectors group sets.
+[[nodiscard]] std::vector<QuantileSummary> grouped_quantile_summary(
+    std::span<const std::vector<double>> groups, double p, double confidence = 0.95,
+    const ExecPolicy& policy = {});
 
 /// Sequential stopping rule for non-normal data: true once the
 /// nonparametric CI of the p-quantile is within +-relative_error of the

@@ -209,12 +209,17 @@ double OnlineMoments::variance() const noexcept {
 double OnlineMoments::stddev() const noexcept { return std::sqrt(variance()); }
 
 std::vector<double> midranks(std::span<const double> xs) {
+  return midranks(xs, nullptr);
+}
+
+std::vector<double> midranks(std::span<const double> xs, double* tie_cubes) {
   const std::size_t n = xs.size();
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
   std::vector<double> ranks(n);
+  if (tie_cubes != nullptr) *tie_cubes = 0.0;
   std::size_t i = 0;
   while (i < n) {
     std::size_t j = i;
@@ -222,6 +227,13 @@ std::vector<double> midranks(std::span<const double> xs) {
     // Average rank for the tie group [i, j] (1-based ranks).
     const double avg = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
     for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    // Tie groups surface here in ascending value order -- the same
+    // accumulation order as a scan over the sorted data, so the summed
+    // correction term is bit-identical to the two-sort formulation.
+    if (tie_cubes != nullptr) {
+      const auto t = static_cast<double>(j - i + 1);
+      if (t > 1.0) *tie_cubes += t * t * t - t;
+    }
     i = j + 1;
   }
   return ranks;

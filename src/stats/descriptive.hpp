@@ -118,4 +118,9 @@ class OnlineMoments {
 /// Midranks (average ranks for ties), 1-based, as used by Kruskal-Wallis.
 [[nodiscard]] std::vector<double> midranks(std::span<const double> xs);
 
+/// Same, also accumulating the tie-correction term sum(t^3 - t) over tie
+/// groups (ascending value order) into *tie_cubes. Lets Kruskal-Wallis
+/// rank and tie-correct with one sort instead of two.
+[[nodiscard]] std::vector<double> midranks(std::span<const double> xs, double* tie_cubes);
+
 }  // namespace sci::stats

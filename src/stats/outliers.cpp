@@ -8,8 +8,13 @@ namespace sci::stats {
 
 TukeyFences tukey_fences(std::span<const double> xs, double constant) {
   if (xs.empty()) throw std::invalid_argument("tukey_fences: empty input");
-  if (constant <= 0.0) throw std::domain_error("tukey_fences: constant > 0");
   const auto sorted = sorted_copy(xs);
+  return tukey_fences_sorted(sorted, constant);
+}
+
+TukeyFences tukey_fences_sorted(std::span<const double> sorted, double constant) {
+  if (sorted.empty()) throw std::invalid_argument("tukey_fences: empty input");
+  if (constant <= 0.0) throw std::domain_error("tukey_fences: constant > 0");
   const double q1 = quantile_sorted(sorted, 0.25);
   const double q3 = quantile_sorted(sorted, 0.75);
   const double iqr = q3 - q1;

@@ -21,6 +21,12 @@ struct TukeyFences {
 /// c = 1.5, larger values are more conservative.
 [[nodiscard]] TukeyFences tukey_fences(std::span<const double> xs, double constant = 1.5);
 
+/// Fences for data already sorted ascending (no copy, no sort). Callers
+/// that computed other rank statistics from the same sorted series pair
+/// this with quantile_sorted() -- the PR 3 sort-once convention.
+[[nodiscard]] TukeyFences tukey_fences_sorted(std::span<const double> sorted,
+                                              double constant = 1.5);
+
 struct OutlierFilterResult {
   std::vector<double> kept;
   std::size_t removed_low = 0;

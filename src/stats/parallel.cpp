@@ -1,0 +1,37 @@
+#include "stats/parallel.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "threads/team.hpp"
+
+namespace sci::stats {
+
+std::shared_ptr<threads::ThreadTeam> shared_team(std::size_t size) {
+  static std::mutex mutex;
+  static std::map<std::size_t, std::weak_ptr<threads::ThreadTeam>> pool;
+  const std::lock_guard lock(mutex);
+  auto& slot = pool[size];
+  if (auto team = slot.lock()) return team;
+  auto team = std::make_shared<threads::ThreadTeam>(size);
+  slot = team;
+  return team;
+}
+
+void policy_partition(const ExecPolicy& policy, std::size_t count,
+                      const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t workers = std::min(policy.effective_threads(), count);
+  if (workers <= 1) {
+    body(0, 0, count);
+    return;
+  }
+  const auto team = shared_team(workers);
+  team->run([&](std::size_t worker) {
+    const std::size_t lo = worker * count / workers;
+    const std::size_t hi = (worker + 1) * count / workers;
+    if (lo < hi) body(worker, lo, hi);
+  });
+}
+
+}  // namespace sci::stats

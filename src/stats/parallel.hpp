@@ -1,0 +1,35 @@
+// Process-wide ThreadTeam pooling for ExecPolicy consumers.
+//
+// Spawning a thread costs more than most grouped-CI workloads, so teams
+// are shared: one live team per size, handed out as shared_ptr and torn
+// down when the last holder releases it. Everything here is
+// coarse-grained fan-out plumbing; the deterministic fine-grained lane
+// sharding lives in BootstrapEngine.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "stats/exec_policy.hpp"
+
+namespace sci::threads {
+class ThreadTeam;
+}
+
+namespace sci::stats {
+
+/// The pooled team of `size` workers (size >= 2). Creates it on first
+/// use; concurrent callers of the same size share one team.
+[[nodiscard]] std::shared_ptr<threads::ThreadTeam> shared_team(std::size_t size);
+
+/// Runs body(worker, lo, hi) over a static contiguous partition of
+/// [0, count): worker w gets [w*count/W, (w+1)*count/W). Inline on the
+/// calling thread (single call, worker 0) when the policy is serial or
+/// count <= 1; otherwise fans out over min(threads, count) pooled
+/// workers. Exceptions from workers propagate (first one wins).
+void policy_partition(const ExecPolicy& policy, std::size_t count,
+                      const std::function<void(std::size_t worker, std::size_t lo,
+                                               std::size_t hi)>& body);
+
+}  // namespace sci::stats

@@ -5,7 +5,9 @@
 
 #include "lp/simplex.hpp"
 #include "rng/distributions.hpp"
+#include "rng/lanes.hpp"
 #include "stats/descriptive.hpp"
+#include "stats/parallel.hpp"
 
 namespace sci::stats {
 namespace {
@@ -76,23 +78,51 @@ std::vector<QuantRegResult> quantile_regression_sweep(
 QuantRegCI quantile_regression_bootstrap_ci(std::span<const double> y,
                                             std::span<const std::vector<double>> design,
                                             double tau, std::size_t replicates,
-                                            double confidence, std::uint64_t seed) {
+                                            double confidence, std::uint64_t seed,
+                                            const ExecPolicy& policy) {
   const std::size_t n = y.size();
   const std::size_t p = (design.empty() ? 0 : design.front().size()) + 1;
-  std::vector<std::vector<double>> coef_samples(p);
-  rng::Xoshiro256 gen(seed);
 
-  std::vector<double> yb(n);
-  std::vector<std::vector<double>> xb(design.empty() ? 0 : n);
+  // Lane l refits the contiguous replicate block [l*base + min(l, rem),
+  // ...) using Xoshiro256(seed) jumped l times -- the same sharding
+  // contract as BootstrapEngine, so CIs depend on `lanes` but never on
+  // `threads`, and lanes = 1 is the historical single-stream sequence.
+  const std::size_t lanes = std::min(policy.effective_lanes(),
+                                     std::max<std::size_t>(replicates, 1));
+  rng::LaneRng lane_rng;
+  lane_rng.reset(seed, lanes);
+  const std::size_t base = replicates / lanes;
+  const std::size_t rem = replicates % lanes;
+
+  // fits[rep]: coefficient vector of replicate rep, empty if the refit
+  // failed to converge. Indexed by global replicate so the later scan
+  // reproduces the exact legacy push order.
+  std::vector<std::vector<double>> fits(replicates);
+  policy_partition(ExecPolicy{policy.effective_threads(), 1}, lanes,
+                   [&](std::size_t, std::size_t lane_lo, std::size_t lane_hi) {
+                     std::vector<double> yb(n);
+                     std::vector<std::vector<double>> xb(design.empty() ? 0 : n);
+                     for (std::size_t l = lane_lo; l < lane_hi; ++l) {
+                       rng::Xoshiro256 gen = lane_rng.lane(l);
+                       const std::size_t start = l * base + std::min(l, rem);
+                       const std::size_t len = base + (l < rem ? 1 : 0);
+                       for (std::size_t rep = start; rep < start + len; ++rep) {
+                         for (std::size_t i = 0; i < n; ++i) {
+                           const auto idx =
+                               static_cast<std::size_t>(rng::uniform_below(gen, n));
+                           yb[i] = y[idx];
+                           if (!design.empty()) xb[i] = design[idx];
+                         }
+                         const auto fit = solve_one(yb, xb, tau);
+                         if (fit.converged) fits[rep] = fit.coefficients;
+                       }
+                     }
+                   });
+
+  std::vector<std::vector<double>> coef_samples(p);
   for (std::size_t rep = 0; rep < replicates; ++rep) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto idx = static_cast<std::size_t>(rng::uniform_below(gen, n));
-      yb[i] = y[idx];
-      if (!design.empty()) xb[i] = design[idx];
-    }
-    const auto fit = solve_one(yb, xb, tau);
-    if (!fit.converged) continue;
-    for (std::size_t j = 0; j < p; ++j) coef_samples[j].push_back(fit.coefficients[j]);
+    if (fits[rep].empty()) continue;
+    for (std::size_t j = 0; j < p; ++j) coef_samples[j].push_back(fits[rep][j]);
   }
 
   QuantRegCI ci;

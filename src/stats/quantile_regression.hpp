@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "stats/exec_policy.hpp"
+
 namespace sci::stats {
 
 struct QuantRegResult {
@@ -36,6 +38,11 @@ struct QuantRegResult {
 
 /// Bootstrap percentile CI half-widths for each coefficient (xy-pair
 /// bootstrap, `replicates` refits on resampled data, deterministic seed).
+/// Refits are sharded across `policy.lanes` RNG lanes and
+/// min(policy.threads, lanes) pooled workers; results are a pure
+/// function of (data, tau, replicates, seed, lanes) -- any thread count
+/// produces identical CIs, and the default {1, 1} policy reproduces the
+/// historical single-stream refit sequence draw for draw.
 struct QuantRegCI {
   std::vector<double> lower;
   std::vector<double> upper;
@@ -43,6 +50,6 @@ struct QuantRegCI {
 [[nodiscard]] QuantRegCI quantile_regression_bootstrap_ci(
     std::span<const double> y, std::span<const std::vector<double>> design, double tau,
     std::size_t replicates = 200, double confidence = 0.95,
-    std::uint64_t seed = 0x5eedc0ffee);
+    std::uint64_t seed = 0x5eedc0ffee, const ExecPolicy& policy = {});
 
 }  // namespace sci::stats

@@ -1,0 +1,162 @@
+#include "stats/selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace sci::stats {
+
+namespace {
+
+// Below this the partition machinery costs more than a straight
+// insertion sort of the remaining window.
+constexpr std::size_t kSmallCutoff = 24;
+
+void insertion_sort(std::uint32_t* a, std::size_t n) noexcept {
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::uint32_t v = a[i];
+    std::size_t j = i;
+    while (j > 0 && a[j - 1] > v) {
+      a[j] = a[j - 1];
+      --j;
+    }
+    a[j] = v;
+  }
+}
+
+/// Branchless Lomuto: unconditional swap, predicated advance. After the
+/// loop a[0..ret) < pivot and a[ret..n) >= pivot.
+std::size_t partition_less(std::uint32_t* a, std::size_t n, std::uint32_t pivot) noexcept {
+  std::size_t store = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t v = a[i];
+    a[i] = a[store];
+    a[store] = v;
+    store += static_cast<std::size_t>(v < pivot);
+  }
+  return store;
+}
+
+/// Same, splitting == pivot from > pivot; callers apply it to a region
+/// already known to be >= pivot, so the prefix it returns is the tie run.
+std::size_t partition_leq(std::uint32_t* a, std::size_t n, std::uint32_t pivot) noexcept {
+  std::size_t store = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t v = a[i];
+    a[i] = a[store];
+    a[store] = v;
+    store += static_cast<std::size_t>(v <= pivot);
+  }
+  return store;
+}
+
+std::uint32_t median3(std::uint32_t x, std::uint32_t y, std::uint32_t z) noexcept {
+  const std::uint32_t lo = std::min(x, y);
+  const std::uint32_t hi = std::max(x, y);
+  return std::max(lo, std::min(hi, z));
+}
+
+}  // namespace
+
+std::uint32_t min_of(const std::uint32_t* a, std::size_t n) noexcept {
+  std::uint32_t best = a[0];
+  for (std::size_t i = 1; i < n; ++i) best = std::min(best, a[i]);
+  return best;
+}
+
+std::uint32_t max_of(const std::uint32_t* a, std::size_t n) noexcept {
+  std::uint32_t best = a[0];
+  for (std::size_t i = 1; i < n; ++i) best = std::max(best, a[i]);
+  return best;
+}
+
+std::uint32_t select_kth(std::uint32_t* a, std::size_t n, std::size_t k) noexcept {
+  while (n > kSmallCutoff) {
+    const std::uint32_t pivot = median3(a[0], a[n / 2], a[n - 1]);
+    const std::size_t lt = partition_less(a, n, pivot);
+    if (k < lt) {
+      n = lt;
+      continue;
+    }
+    // a[lt..n) >= pivot, and the pivot value itself lives there, so the
+    // <= prefix is a nonempty tie run: guaranteed progress.
+    const std::size_t eq = partition_leq(a + lt, n - lt, pivot);
+    if (k < lt + eq) return pivot;
+    a += lt + eq;
+    n -= lt + eq;
+    k -= lt + eq;
+  }
+  insertion_sort(a, n);
+  return a[k];
+}
+
+SelectedPair select_kth_pair(std::uint32_t* a, std::size_t n, std::size_t k) noexcept {
+  // Minimum over every discarded right region. Each such region's
+  // minimum is its pivot (it holds the >= pivot elements, pivot
+  // included), so a running min of discarded pivots suffices.
+  std::uint32_t right_min = std::numeric_limits<std::uint32_t>::max();
+  bool have_right = false;
+  while (n > kSmallCutoff) {
+    const std::uint32_t pivot = median3(a[0], a[n / 2], a[n - 1]);
+    const std::size_t lt = partition_less(a, n, pivot);
+    if (k < lt) {
+      right_min = have_right ? std::min(right_min, pivot) : pivot;
+      have_right = true;
+      n = lt;
+      continue;
+    }
+    const std::size_t eq = partition_leq(a + lt, n - lt, pivot);
+    if (k < lt + eq) {
+      if (k + 1 < lt + eq) return {pivot, pivot};
+      std::uint32_t next = have_right ? right_min : std::numeric_limits<std::uint32_t>::max();
+      if (lt + eq < n) next = std::min(next, min_of(a + lt + eq, n - lt - eq));
+      return {pivot, next};
+    }
+    a += lt + eq;
+    n -= lt + eq;
+    k -= lt + eq;
+  }
+  insertion_sort(a, n);
+  const std::uint32_t kth = a[k];
+  const std::uint32_t next = (k + 1 < n) ? a[k + 1] : right_min;
+  return {kth, next};
+}
+
+double selection_quantile(std::span<std::uint32_t> picks, std::span<const double> sorted,
+                          double p, QuantileMethod method) {
+  const std::size_t n = picks.size();
+  std::uint32_t* a = picks.data();
+  switch (method) {
+    case QuantileMethod::kR1InverseEcdf: {
+      if (p == 0.0) return sorted[min_of(a, n)];
+      const auto idx = std::min(
+          static_cast<std::size_t>(std::ceil(p * static_cast<double>(n))) - 1, n - 1);
+      return sorted[select_kth(a, n, idx)];
+    }
+    case QuantileMethod::kR6Weibull: {
+      const double h = (static_cast<double>(n) + 1.0) * p;
+      if (h <= 1.0) return sorted[min_of(a, n)];
+      if (h >= static_cast<double>(n)) return sorted[max_of(a, n)];
+      const auto k = static_cast<std::size_t>(std::floor(h));
+      const double frac = h - static_cast<double>(k);
+      const SelectedPair pair = select_kth_pair(a, n, k - 1);
+      const double a_val = sorted[pair.kth];
+      const double b_val = sorted[pair.next];
+      return a_val + frac * (b_val - a_val);
+    }
+    case QuantileMethod::kR7Linear: {
+      const double h = (static_cast<double>(n) - 1.0) * p;
+      const auto k = static_cast<std::size_t>(std::floor(h));
+      const double frac = h - static_cast<double>(k);
+      if (k + 1 >= n) return sorted[max_of(a, n)];
+      const SelectedPair pair = select_kth_pair(a, n, k);
+      const double a_val = sorted[pair.kth];
+      const double b_val = sorted[pair.next];
+      return a_val + frac * (b_val - a_val);
+    }
+  }
+  throw std::logic_error("selection_quantile: unknown quantile method");
+}
+
+}  // namespace sci::stats

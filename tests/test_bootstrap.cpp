@@ -172,6 +172,22 @@ TEST(BootstrapFastPath, BcaCiBitIdenticalToGenericPath) {
   }
 }
 
+TEST(BootstrapFastPath, SmallSamplesAndOddReplicateCountsStayBitIdentical) {
+  // Edge shapes for the engine the fast path now delegates to: n below
+  // the 4-wide wave width, replicate counts that don't divide evenly,
+  // and a single replicate.
+  for (const std::size_t n : {2u, 3u, 5u}) {
+    const auto xs = normal_sample(n, 70 + n);
+    for (const auto& pair : stat_pairs()) {
+      for (const std::size_t replicates : {1u, 7u, 33u}) {
+        const auto fast = bootstrap_distribution(xs, pair.fast, replicates, 23);
+        const auto slow = bootstrap_distribution(xs, pair.generic, replicates, 23);
+        ASSERT_EQ(fast, slow) << pair.name << " n " << n << " R " << replicates;
+      }
+    }
+  }
+}
+
 TEST(BootstrapFastPath, CustomKindMatchesStatisticOverloadExactly) {
   const auto v = normal_sample(40, 17);
   const Statistic cov = [](std::span<const double> xs) {

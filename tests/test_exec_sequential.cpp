@@ -219,6 +219,43 @@ TEST(SequentialStopping, ByteDeterministicAcrossWorkerCounts) {
   }
 }
 
+TEST(SequentialStopping, TailQuantileStoppingIsByteDeterministicAcrossWorkers) {
+  // The ci:WIDTH@p99 study design (latency_study --stopping ci:W@p99):
+  // converge the 99th percentile's rank CI instead of the median's.
+  // Tail ranks converge slower, so the target is looser; determinism
+  // must hold regardless -- stop decisions are functions of pooled
+  // sample values only, never of scheduling.
+  StoppingPolicy p99 = StoppingPolicy::sequential_ci(0.25, 3, 12);
+  p99.quantile = 0.99;
+  std::string reference_samples;
+  std::string reference_summary;
+  std::vector<std::size_t> reference_reps;
+  for (std::size_t workers : {1u, 4u}) {
+    NoiseLadderBackend backend;
+    CampaignRunnerOptions opts;
+    opts.workers = workers;
+    CampaignRunner runner(backend, ladder_campaign(p99), opts);
+    const CampaignResult result = runner.run();
+    std::vector<std::size_t> reps;
+    for (const auto& info : result.stopping) reps.push_back(info.reps);
+    const std::string samples = csv_of(result.samples_dataset());
+    const std::string summary = csv_of(result.summary_dataset());
+    if (reference_samples.empty()) {
+      reference_samples = samples;
+      reference_summary = summary;
+      reference_reps = reps;
+    } else {
+      EXPECT_EQ(samples, reference_samples) << "workers=" << workers;
+      EXPECT_EQ(summary, reference_summary) << "workers=" << workers;
+      EXPECT_EQ(reps, reference_reps) << "workers=" << workers;
+    }
+  }
+  // The tail target is a different stopping rule than the median's:
+  // its fingerprint must differ so journals cannot cross-resume.
+  EXPECT_NE(CampaignJournal::fingerprint(ladder_campaign(p99), "noise-ladder"),
+            CampaignJournal::fingerprint(ladder_campaign(ladder_policy()), "noise-ladder"));
+}
+
 TEST(SequentialStopping, MergedSeriesPoolsVariableRepCounts) {
   NoiseLadderBackend backend;
   CampaignRunnerOptions opts;

@@ -1,0 +1,416 @@
+// Differential and property tests for the vectorized bootstrap stack:
+// multi-lane RNG streams, branchless selection kernels, the
+// BootstrapEngine's thread/lane determinism contract, and the grouped
+// policy-taking entry points.
+//
+// The oracle throughout is a deliberately naive scalar reference: lane
+// l draws from Xoshiro256(seed) jumped l times and evaluates each
+// replicate on a materialized resample. The engine -- waves, selection,
+// Kahan rows, thread sharding -- must reproduce it bit for bit at every
+// thread count.
+//
+// Own test binary: overrides global operator new/delete to count
+// allocator entries, proving the engine's warmed steady state performs
+// zero allocations per distribution() call.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/lanes.hpp"
+#include "rng/xoshiro.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/bootstrap_engine.hpp"
+#include "stats/confidence.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/quantile_regression.hpp"
+#include "stats/selection.hpp"
+
+namespace {
+std::atomic<std::size_t> g_alloc_calls{0};
+}
+
+void* operator new(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sci::stats {
+namespace {
+
+std::vector<double> lognormal_sample(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng::lognormal(gen, 0.0, 0.7));
+  return v;
+}
+
+/// The naive multi-lane oracle: contiguous per-lane replicate blocks,
+/// lane l = Xoshiro256(seed) jumped l times, every replicate evaluated
+/// on a materialized resample. No waves, no selection, no threads.
+std::vector<double> reference_multilane(std::span<const double> xs, const Statistic& stat,
+                                        std::size_t replicates, std::uint64_t seed,
+                                        std::size_t lanes) {
+  rng::Xoshiro256 root(seed);
+  std::vector<rng::Xoshiro256> gens;
+  for (std::size_t l = 0; l < lanes; ++l) gens.push_back(root.split());
+
+  const std::size_t n = xs.size();
+  const std::size_t base = replicates / lanes;
+  const std::size_t rem = replicates % lanes;
+  std::vector<double> out(replicates);
+  std::vector<double> resample(n);
+  std::size_t start = 0;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const std::size_t len = base + (l < rem ? 1 : 0);
+    auto& gen = gens[l];
+    for (std::size_t r = 0; r < len; ++r) {
+      for (std::size_t i = 0; i < n; ++i) {
+        resample[i] = xs[rng::uniform_below(gen, n)];
+      }
+      out[start + r] = stat(resample);
+    }
+    start += len;
+  }
+  return out;
+}
+
+struct StatCase {
+  const char* name;
+  ResampleStat fast;
+  Statistic generic;
+};
+
+std::vector<StatCase> stat_cases() {
+  std::vector<StatCase> cases;
+  cases.push_back({"mean", ResampleStat::mean(),
+                   [](std::span<const double> xs) { return arithmetic_mean(xs); }});
+  cases.push_back({"median", ResampleStat::median(),
+                   [](std::span<const double> xs) { return median(xs); }});
+  cases.push_back({"q90_r6", ResampleStat::quantile(0.9, QuantileMethod::kR6Weibull),
+                   [](std::span<const double> xs) {
+                     return quantile(xs, 0.9, QuantileMethod::kR6Weibull);
+                   }});
+  cases.push_back({"q25_r1", ResampleStat::quantile(0.25, QuantileMethod::kR1InverseEcdf),
+                   [](std::span<const double> xs) {
+                     return quantile(xs, 0.25, QuantileMethod::kR1InverseEcdf);
+                   }});
+  const Statistic cov = [](std::span<const double> xs) {
+    return coefficient_of_variation(xs);
+  };
+  cases.push_back({"custom_cov", ResampleStat::custom(cov), cov});
+  return cases;
+}
+
+// ------------------------------------------------------- lane RNG
+
+TEST(LaneRng, LaneLIsSeedGeneratorJumpedLTimes) {
+  rng::LaneRng lanes;
+  lanes.reset(0xfeedface, 5);
+  for (std::size_t l = 0; l < 5; ++l) {
+    rng::Xoshiro256 want(0xfeedface);
+    for (std::size_t j = 0; j < l; ++j) want.jump();
+    rng::Xoshiro256 got = lanes.lane(l);  // copy; don't advance the member
+    for (int i = 0; i < 64; ++i) ASSERT_EQ(got(), want()) << "lane " << l;
+  }
+}
+
+TEST(LaneRng, FillIndicesMatchesScalarUniformBelowDrawForDraw) {
+  // Every (bound, count) cell, with and without a rank map, against the
+  // scalar loop -- including bounds that trigger Lemire rejections.
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 641ull}) {
+    for (std::size_t count : {1u, 2u, 5u, 33u}) {
+      const std::size_t kLanes = 6;
+      std::vector<std::uint32_t> map(bound);
+      for (std::uint32_t i = 0; i < bound; ++i) map[i] = i * 2 + 1;
+
+      for (const bool mapped : {false, true}) {
+        rng::LaneRng lanes;
+        lanes.reset(99, kLanes);
+        const std::size_t stride = count + 3;  // padding must stay untouched
+        std::vector<std::uint32_t> out(kLanes * stride, 0xdeadbeef);
+        // Fill in two calls to exercise first/active offsets.
+        lanes.fill_indices(bound, count, 0, 2, mapped ? map.data() : nullptr, out.data(),
+                           stride);
+        lanes.fill_indices(bound, count, 2, kLanes - 2, mapped ? map.data() : nullptr,
+                           out.data() + 2 * stride, stride);
+
+        rng::Xoshiro256 root(99);
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          rng::Xoshiro256 gen = root.split();
+          for (std::size_t i = 0; i < count; ++i) {
+            const auto draw =
+                static_cast<std::uint32_t>(rng::uniform_below(gen, bound));
+            const std::uint32_t want = mapped ? map[draw] : draw;
+            ASSERT_EQ(out[l * stride + i], want)
+                << "lane " << l << " draw " << i << " bound " << bound;
+          }
+          for (std::size_t i = count; i < stride; ++i) {
+            ASSERT_EQ(out[l * stride + i], 0xdeadbeefu) << "padding clobbered";
+          }
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------ selection kernels
+
+TEST(Selection, SelectKthMatchesNthElementUnderDuplicates) {
+  rng::Xoshiro256 gen(7);
+  for (std::size_t n : {1u, 2u, 3u, 5u, 24u, 25u, 100u, 257u}) {
+    // Small bounds force heavy duplication -- the three-way partition's
+    // worst case and the reason it exists.
+    for (std::uint64_t bound : {1ull, 3ull, 8ull, 1000ull}) {
+      std::vector<std::uint32_t> data(n);
+      for (auto& v : data) v = static_cast<std::uint32_t>(rng::uniform_below(gen, bound));
+      auto sorted = data;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t k : {std::size_t{0}, n / 2, n - 1}) {
+        auto scratch = data;
+        ASSERT_EQ(select_kth(scratch.data(), n, k), sorted[k])
+            << "n " << n << " bound " << bound << " k " << k;
+      }
+      if (n >= 2) {
+        auto scratch = data;
+        const auto pair = select_kth_pair(scratch.data(), n, n / 2 - 1);
+        ASSERT_EQ(pair.kth, sorted[n / 2 - 1]);
+        ASSERT_EQ(pair.next, sorted[n / 2]);
+      }
+      ASSERT_EQ(min_of(data.data(), n), sorted.front());
+      ASSERT_EQ(max_of(data.data(), n), sorted.back());
+    }
+  }
+}
+
+TEST(Selection, SelectionQuantileMatchesMaterializedResample) {
+  const auto values = lognormal_sample(41, 3);
+  const auto sorted = sorted_copy(values);
+  rng::Xoshiro256 gen(11);
+  for (const auto method : {QuantileMethod::kR1InverseEcdf, QuantileMethod::kR6Weibull,
+                            QuantileMethod::kR7Linear}) {
+    for (const double p : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+      for (const std::size_t m : {1u, 2u, 7u, 41u}) {
+        std::vector<std::uint32_t> picks(m);
+        std::vector<double> resample(m);
+        for (std::size_t i = 0; i < m; ++i) {
+          picks[i] = static_cast<std::uint32_t>(rng::uniform_below(gen, sorted.size()));
+          resample[i] = sorted[picks[i]];
+        }
+        const double want = quantile(resample, p, method);
+        const double got = selection_quantile(picks, sorted, p, method);
+        ASSERT_EQ(got, want) << "p " << p << " m " << m;
+      }
+    }
+  }
+}
+
+// ------------------------------------------- engine bit-determinism
+
+TEST(BootstrapEngine, MatchesScalarReferenceAtEveryThreadAndLaneCount) {
+  // The tentpole contract: output is a pure function of (data, stat,
+  // replicates, seed, lanes). Threads shard lanes and never appear in
+  // the answer; waves/selection/Kahan are invisible relative to the
+  // naive per-lane oracle.
+  const auto cases = stat_cases();
+  for (const std::size_t n : {2u, 3u, 23u}) {
+    const auto xs = lognormal_sample(n, 41 + n);
+    for (const auto& sc : cases) {
+      // Replicate counts: R < lanes, odd R, R % lanes != 0.
+      for (const std::size_t replicates : {1u, 7u, 33u}) {
+        for (const std::size_t lanes : {1u, 2u, 3u, 8u}) {
+          const auto want =
+              reference_multilane(xs, sc.generic, replicates, 17, lanes);
+          for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+            BootstrapEngine engine(ExecPolicy{threads, lanes});
+            std::vector<double> got;
+            engine.distribution(xs, sc.fast, replicates, 17, got);
+            ASSERT_EQ(got, want) << sc.name << " n=" << n << " R=" << replicates
+                                 << " lanes=" << lanes << " threads=" << threads;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BootstrapEngine, SingleLaneIsByteIdenticalToLegacyEntryPoints) {
+  // lanes = 1 at any thread count == the historical single-stream path,
+  // through the free-function conveniences as callers use them.
+  const auto xs = lognormal_sample(31, 5);
+  for (const auto& sc : stat_cases()) {
+    const auto legacy = bootstrap_distribution(xs, sc.fast, 250, 0xb00f);
+    const auto legacy_ci = bootstrap_percentile_ci(xs, sc.fast, 250, 0.95, 0xb00f);
+    const auto legacy_bca = bootstrap_bca_ci(xs, sc.fast, 250, 0.95, 0xb00f);
+    for (const std::size_t threads : {1u, 4u}) {
+      const ExecPolicy policy{threads, 1};
+      EXPECT_EQ(bootstrap_distribution(xs, sc.fast, 250, 0xb00f, policy), legacy)
+          << sc.name;
+      const auto ci = bootstrap_percentile_ci(xs, sc.fast, 250, 0.95, 0xb00f, policy);
+      EXPECT_EQ(ci.lower, legacy_ci.lower) << sc.name;
+      EXPECT_EQ(ci.upper, legacy_ci.upper) << sc.name;
+      const auto bca = bootstrap_bca_ci(xs, sc.fast, 250, 0.95, 0xb00f, policy);
+      EXPECT_EQ(bca.lower, legacy_bca.lower) << sc.name;
+      EXPECT_EQ(bca.upper, legacy_bca.upper) << sc.name;
+    }
+  }
+}
+
+TEST(BootstrapEngine, ReusedEngineMatchesFreshEngineAcrossShapes) {
+  // Scratch reuse across calls of different (n, R, stat) shapes must
+  // never leak state between jobs.
+  BootstrapEngine engine(ExecPolicy{2, 4});
+  std::vector<double> got;
+  for (const std::size_t n : {23u, 2u, 57u, 3u}) {
+    const auto xs = lognormal_sample(n, 100 + n);
+    for (const std::size_t replicates : {33u, 5u}) {
+      for (const auto& sc : stat_cases()) {
+        BootstrapEngine fresh(ExecPolicy{2, 4});
+        std::vector<double> want;
+        fresh.distribution(xs, sc.fast, replicates, 7, want);
+        engine.distribution(xs, sc.fast, replicates, 7, got);
+        ASSERT_EQ(got, want) << sc.name << " n=" << n << " R=" << replicates;
+      }
+    }
+  }
+}
+
+TEST(BootstrapEngine, ValidatesInput) {
+  BootstrapEngine engine(ExecPolicy{2, 4});
+  std::vector<double> out;
+  const std::vector<double> one = {1.0};
+  const std::vector<double> ok = {1.0, 2.0, 3.0};
+  EXPECT_THROW(engine.distribution(one, ResampleStat::mean(), 10, 1, out),
+               std::invalid_argument);
+  EXPECT_THROW(engine.distribution(ok, ResampleStat::mean(), 0, 1, out),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------- grouped entry points
+
+TEST(GroupedStats, QuantileSummaryIsThreadInvariantAndMatchesScalar) {
+  std::vector<std::vector<double>> groups;
+  for (std::size_t g = 0; g < 9; ++g) {
+    // Mix of rank-CI-eligible (n > 5) and fallback (n <= 5) groups.
+    groups.push_back(lognormal_sample(g % 3 == 0 ? 4 : 40 + g, 7 * g + 1));
+  }
+  const auto want = grouped_quantile_summary(groups, 0.5, 0.95, ExecPolicy{1, 1});
+  ASSERT_EQ(want.size(), groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    EXPECT_EQ(want[g].value, quantile(groups[g], 0.5)) << "group " << g;
+    EXPECT_EQ(want[g].n, groups[g].size());
+    if (groups[g].size() > 5) {
+      EXPECT_TRUE(want[g].ci_rank_based);
+      const auto ci = quantile_confidence_interval(groups[g], 0.5, 0.95);
+      EXPECT_EQ(want[g].ci.lower, ci.lower) << "group " << g;
+      EXPECT_EQ(want[g].ci.upper, ci.upper) << "group " << g;
+    } else {
+      EXPECT_FALSE(want[g].ci_rank_based);
+      EXPECT_EQ(want[g].ci.lower, min_value(groups[g]));
+      EXPECT_EQ(want[g].ci.upper, max_value(groups[g]));
+    }
+  }
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    const auto got = grouped_quantile_summary(groups, 0.5, 0.95, ExecPolicy{threads, 1});
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t g = 0; g < want.size(); ++g) {
+      EXPECT_EQ(got[g].value, want[g].value) << "threads " << threads;
+      EXPECT_EQ(got[g].ci.lower, want[g].ci.lower) << "threads " << threads;
+      EXPECT_EQ(got[g].ci.upper, want[g].ci.upper) << "threads " << threads;
+    }
+  }
+}
+
+TEST(GroupedStats, BootstrapPercentileCiIsThreadInvariant) {
+  std::vector<std::vector<double>> storage;
+  for (std::size_t g = 0; g < 5; ++g) storage.push_back(lognormal_sample(30 + g, g + 1));
+  std::vector<std::span<const double>> groups(storage.begin(), storage.end());
+
+  const auto want = grouped_bootstrap_percentile_ci(groups, ResampleStat::median(), 300,
+                                                    0.95, 42, ExecPolicy{1, 4});
+  ASSERT_EQ(want.size(), groups.size());
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto got = grouped_bootstrap_percentile_ci(groups, ResampleStat::median(), 300,
+                                                     0.95, 42, ExecPolicy{threads, 4});
+    for (std::size_t g = 0; g < want.size(); ++g) {
+      EXPECT_EQ(got[g].lower, want[g].lower) << "threads " << threads;
+      EXPECT_EQ(got[g].upper, want[g].upper) << "threads " << threads;
+    }
+  }
+}
+
+TEST(GroupedStats, QuantileRegressionCiDefaultPolicyMatchesLegacyAndIsThreadInvariant) {
+  // Two-level design: y = 1 + 2x + lognormal noise.
+  rng::Xoshiro256 gen(3);
+  std::vector<double> y;
+  std::vector<std::vector<double>> design;
+  for (std::size_t i = 0; i < 60; ++i) {
+    const double x = static_cast<double>(i % 2);
+    y.push_back(1.0 + 2.0 * x + rng::lognormal(gen, 0.0, 0.4));
+    design.push_back({x});
+  }
+  const auto legacy = quantile_regression_bootstrap_ci(y, design, 0.5, 120, 0.95, 77);
+  const auto explicit_default =
+      quantile_regression_bootstrap_ci(y, design, 0.5, 120, 0.95, 77, ExecPolicy{1, 1});
+  EXPECT_EQ(explicit_default.lower, legacy.lower);
+  EXPECT_EQ(explicit_default.upper, legacy.upper);
+
+  const auto lanes4 =
+      quantile_regression_bootstrap_ci(y, design, 0.5, 120, 0.95, 77, ExecPolicy{1, 4});
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto got = quantile_regression_bootstrap_ci(y, design, 0.5, 120, 0.95, 77,
+                                                      ExecPolicy{threads, 4});
+    EXPECT_EQ(got.lower, lanes4.lower) << "threads " << threads;
+    EXPECT_EQ(got.upper, lanes4.upper) << "threads " << threads;
+  }
+}
+
+// --------------------------------------------------- alloc audit
+
+TEST(BootstrapEngine, WarmedDistributionIsAllocFree) {
+  const auto xs = lognormal_sample(64, 9);
+  for (const std::size_t lanes : {1u, 8u}) {
+    BootstrapEngine engine(ExecPolicy{1, lanes});
+    std::vector<double> out;
+    const ResampleStat stats[] = {ResampleStat::mean(), ResampleStat::median()};
+    for (const ResampleStat& stat : stats) {
+      engine.distribution(xs, stat, 500, 3, out);  // warm-up: sizes scratch
+      const std::size_t before = g_alloc_calls.load(std::memory_order_relaxed);
+      engine.distribution(xs, stat, 500, 3, out);
+      const std::size_t after = g_alloc_calls.load(std::memory_order_relaxed);
+      EXPECT_EQ(after - before, 0u) << "lanes " << lanes;
+    }
+  }
+}
+
+TEST(BootstrapEngine, WarmedThreadedDistributionIsAllocFree) {
+  // The fan-out path: the preconstructed region closure captures only
+  // `this` (fits std::function's SBO) and ThreadTeam::run takes it by
+  // reference, so even the threaded steady state stays off the heap.
+  const auto xs = lognormal_sample(64, 9);
+  BootstrapEngine engine(ExecPolicy{4, 8});
+  std::vector<double> out;
+  const ResampleStat stat = ResampleStat::median();
+  engine.distribution(xs, stat, 500, 3, out);
+  const std::size_t before = g_alloc_calls.load(std::memory_order_relaxed);
+  engine.distribution(xs, stat, 500, 3, out);
+  const std::size_t after = g_alloc_calls.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+}  // namespace
+}  // namespace sci::stats

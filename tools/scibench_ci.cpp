@@ -44,6 +44,7 @@ int usage(const char* argv0) {
                "  check  --history FILE [--markdown OUT] [--html OUT]\n"
                "  gate   --history FILE [--markdown OUT] [--html OUT] <report.json | dir>...\n"
                "options: --alpha P  --min-effect F  --baseline-window N  --min-points N\n"
+               "         --threads N (parallel per-metric analysis; same output bytes)\n"
                "exit: 0 clean, 1 usage/IO error, 2 regression detected\n",
                argv0);
   return 1;
@@ -113,6 +114,12 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.detect.min_points = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--threads") {
+      // Shards per-metric analysis across workers; findings (and every
+      // output byte) are identical at any thread count.
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.detect.policy.threads = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       return false;

@@ -1,6 +1,6 @@
 // scibench_report: analyze a measurement CSV from the command line.
 //
-//   scibench_report [--markdown] [--strict] data.csv [column]
+//   scibench_report [--markdown] [--strict] [--threads N] data.csv [column]
 //
 // Reads a CSV (as written by core::Dataset or any plain numeric CSV
 // with a header row; '#' comment lines are ignored) through
@@ -47,7 +47,8 @@ double policy_value(const std::string& text, const std::string& key, double fall
 /// Per-config stop lines for a sequential-stopping campaign export:
 /// which configs stopped early, at how many reps, and how tight the
 /// pooled rank CI actually is. Fixed-arity campaigns print nothing.
-void print_measurement_control(const sci::exec::Ingested& ingested) {
+void print_measurement_control(const sci::exec::Ingested& ingested,
+                               const sci::stats::ExecPolicy& policy) {
   if (ingested.stopping.empty()) return;
   std::printf("measurement control: %s (%zu round%s)\n", ingested.stopping.c_str(),
               ingested.rounds, ingested.rounds == 1 ? "" : "s");
@@ -56,34 +57,27 @@ void print_measurement_control(const sci::exec::Ingested& ingested) {
   const auto max_reps =
       static_cast<std::size_t>(policy_value(ingested.stopping, "max_reps", 0.0));
 
-  // Pool each config's replications; per-config rep counts vary, so the
-  // grouping comes from the rows themselves, never from division.
-  std::map<std::size_t, std::pair<std::size_t, std::vector<double>>> configs;
-  for (const auto& cell : ingested.cells) {
-    auto& [reps, values] = configs[cell.config];
-    ++reps;
-    values.insert(values.end(), cell.values.begin(), cell.values.end());
-  }
-  for (const auto& [config, group] : configs) {
-    const auto& [reps, values] = group;
+  // One sort per config, center + rank CI from the same sorted pool,
+  // sharded over --threads workers; bytes are identical at any count.
+  const auto summaries =
+      sci::exec::summarize_configs(ingested, quantile, confidence, policy);
+  for (const auto& cs : summaries) {
     std::string ci_text = "CI n/a (n too small)";
-    if (values.size() > 5) {
-      const auto ci = sci::stats::quantile_confidence_interval(values, quantile, confidence);
-      const double center = sci::stats::quantile(values, quantile);
-      if (center != 0.0) {
-        const double half =
-            std::max(ci.upper - center, center - ci.lower) / std::fabs(center);
-        char buf[64];
-        std::snprintf(buf, sizeof buf, "CI +-%.1f%%", half * 100.0);
-        ci_text = buf;
-      }
+    if (cs.summary.ci_rank_based && cs.summary.value != 0.0) {
+      const double center = cs.summary.value;
+      const double half =
+          std::max(cs.summary.ci.upper - center, center - cs.summary.ci.lower) /
+          std::fabs(center);
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "CI +-%.1f%%", half * 100.0);
+      ci_text = buf;
     }
-    if (max_reps != 0 && reps < max_reps) {
+    if (max_reps != 0 && cs.reps < max_reps) {
       std::printf("  config %zu: stopped early at %zu/%zu reps, %s (n=%zu samples)\n",
-                  config, reps, max_reps, ci_text.c_str(), values.size());
+                  cs.config, cs.reps, max_reps, ci_text.c_str(), cs.summary.n);
     } else {
-      std::printf("  config %zu: %zu reps (cap reached), %s (n=%zu samples)\n", config,
-                  reps, ci_text.c_str(), values.size());
+      std::printf("  config %zu: %zu reps (cap reached), %s (n=%zu samples)\n",
+                  cs.config, cs.reps, ci_text.c_str(), cs.summary.n);
     }
   }
   std::printf("\n");
@@ -91,11 +85,13 @@ void print_measurement_control(const sci::exec::Ingested& ingested) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--markdown] [--strict] <file.csv> [column]\n"
+               "usage: %s [--markdown] [--strict] [--threads N] <file.csv> [column]\n"
                "  column defaults to the last one; '#' lines are ignored\n"
                "  --markdown: emit a paste-ready GitHub-flavored report\n"
                "  --strict:   exit 2 if the campaign export has failed or\n"
-               "              unexecuted (interrupted) cells\n",
+               "              unexecuted (interrupted) cells\n"
+               "  --threads:  worker threads for per-config summarization\n"
+               "              (output is byte-identical at any count)\n",
                argv0);
   return 1;
 }
@@ -105,6 +101,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   bool markdown = false;
   bool strict = false;
+  sci::stats::ExecPolicy policy;
   int arg = 1;
   while (arg < argc && argv[arg][0] == '-') {
     const std::string flag = argv[arg];
@@ -112,6 +109,8 @@ int main(int argc, char** argv) {
       markdown = true;
     } else if (flag == "--strict") {
       strict = true;
+    } else if (flag == "--threads" && arg + 1 < argc) {
+      policy.threads = static_cast<std::size_t>(std::strtoul(argv[++arg], nullptr, 10));
     } else {
       return usage(argv[0]);
     }
@@ -179,7 +178,7 @@ int main(int argc, char** argv) {
   if (campaign) {
     std::printf("%s: campaign export, %zu cells, %zu observations\n\n", path.c_str(),
                 ingested.cells.size(), values.size());
-    print_measurement_control(ingested);
+    print_measurement_control(ingested, policy);
   } else {
     std::printf("%s: column '%s', %zu observations\n\n", path.c_str(), column.c_str(),
                 values.size());
