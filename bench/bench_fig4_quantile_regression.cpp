@@ -59,9 +59,12 @@ int main() {
   const double mean_diff = (mean_pilatus - mean_dora) / kSamples * 1e6;
   std::printf("\ndifference of the means: %.3f us (paper: 0.108 us)\n", mean_diff);
 
-  // Bootstrap CI at the extremes for the difference coefficient.
+  // Bootstrap CI at the extremes for the difference coefficient,
+  // through the engine path: ExecPolicy{} ({1, 1}) keeps the historical
+  // bytes, and multi-core runs raise threads/lanes in one place.
   for (double tau : {0.1, 0.9}) {
-    const auto ci = stats::quantile_regression_bootstrap_ci(y, x, tau, 30, 0.95, 7);
+    const auto ci = stats::quantile_regression_bootstrap_ci(y, x, tau, 30, 0.95, 7,
+                                                            stats::ExecPolicy{});
     std::printf("tau=%.1f: difference 95%% bootstrap CI [%.3f, %.3f] us\n", tau,
                 ci.lower[1], ci.upper[1]);
   }

@@ -47,6 +47,8 @@
 #include "stats/bootstrap_engine.hpp"
 #include "stats/confidence.hpp"
 #include "stats/descriptive.hpp"
+#include "stats/histogram_select.hpp"
+#include "stats/simd_dispatch.hpp"
 
 // ---------------------------------------------------------------------------
 // Allocation counting: every allocator call in the process goes through
@@ -198,6 +200,153 @@ DuelOutcome duel(const char* name, const char* slug, const stats::ResampleStat& 
   return outcome;
 }
 
+// ------------------------------------- small-n duel: PR 8 vs histogram
+
+struct SmallnOutcome {
+  Summary partition;
+  Summary histogram;
+};
+
+/// Interleaved duel on the small-n resample regime: the same vectorized
+/// engine configuration {1t, 8 lanes} with the histogram path disabled
+/// (crossover 0 == the PR 8 median kernel: partition selection) vs
+/// always-on. The crossover is re-set around every pass, so both
+/// configurations see identical drift.
+SmallnOutcome smalln_median_duel(const Workload& w, std::size_t reps) {
+  const stats::ResampleStat stat = stats::ResampleStat::median();
+  const std::size_t saved = stats::histogram_select_crossover();
+  constexpr std::size_t kAlways = static_cast<std::size_t>(-1);
+
+  stats::BootstrapEngine partition_engine(stats::ExecPolicy{1, 8});
+  stats::BootstrapEngine histogram_engine(stats::ExecPolicy{1, 8});
+  stats::set_histogram_select_crossover(0);
+  (void)time_pass(partition_engine, w, stat);
+  stats::set_histogram_select_crossover(kAlways);
+  (void)time_pass(histogram_engine, w, stat);
+
+  std::vector<double> partition_s, histogram_s;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    stats::set_histogram_select_crossover(0);
+    partition_s.push_back(time_pass(partition_engine, w, stat));
+    stats::set_histogram_select_crossover(kAlways);
+    histogram_s.push_back(time_pass(histogram_engine, w, stat));
+  }
+  stats::set_histogram_select_crossover(saved);
+
+  if (g_reporter != nullptr) {
+    g_reporter->add_metric("median_ci_smalln.partition", "ci/s", partition_s,
+                           obs::Improve::kHigher);
+    g_reporter->add_metric("median_ci_smalln.histogram", "ci/s", histogram_s,
+                           obs::Improve::kHigher);
+  }
+  SmallnOutcome outcome;
+  outcome.partition = summarize(partition_s);
+  outcome.histogram = summarize(histogram_s);
+  std::printf("  median CI, n=%zu, {1t, 8 lanes}, isa=%s\n", w.series.front().size(),
+              to_string(stats::simd::active_isa()));
+  std::printf("    %-24s %8.1f [%8.1f, %8.1f] ci/s\n", "partition (PR 8 kernel)",
+              outcome.partition.median, outcome.partition.lo, outcome.partition.hi);
+  std::printf("    %-24s %8.1f [%8.1f, %8.1f] ci/s   %.2fx\n", "histogram select",
+              outcome.histogram.median, outcome.histogram.lo, outcome.histogram.hi,
+              outcome.histogram.median / outcome.partition.median);
+  return outcome;
+}
+
+// --------------------------------------------- BCa jackknife scaling
+
+double time_bca_pass(stats::BootstrapEngine& engine, const Workload& w,
+                     const stats::ResampleStat& stat) {
+  const double t0 = now_s();
+  double sink = 0.0;
+  for (std::size_t i = 0; i < w.series.size(); ++i) {
+    const auto ci = engine.bca_ci(w.series[i], stat, w.replicates, 0.95, 0xb00f + i);
+    sink += ci.lower + ci.upper;
+  }
+  const double dt = now_s() - t0;
+  check(sink != 0.0, "BCa pass produced nonzero bounds");
+  return static_cast<double>(w.series.size()) / dt;
+}
+
+struct BcaOutcome {
+  Summary serial;
+  Summary parallel;
+  std::size_t parallel_threads = 1;
+};
+
+/// BCa CI wall-clock: serial {1t} vs {hc t}. The mean's O(n^2)
+/// jackknife is the dominant serial term this PR sharded across the
+/// team, so the thread column is the one to watch.
+BcaOutcome bca_duel(const Workload& w, std::size_t reps) {
+  const std::size_t hc = std::thread::hardware_concurrency();
+  BcaOutcome outcome;
+  outcome.parallel_threads = hc > 1 ? hc : 1;
+  const stats::ResampleStat stat = stats::ResampleStat::mean();
+
+  stats::BootstrapEngine serial(stats::ExecPolicy{1, 8});
+  stats::BootstrapEngine parallel(stats::ExecPolicy{outcome.parallel_threads, 8});
+  (void)time_bca_pass(serial, w, stat);
+  (void)time_bca_pass(parallel, w, stat);
+  std::vector<double> serial_s, parallel_s;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    serial_s.push_back(time_bca_pass(serial, w, stat));
+    parallel_s.push_back(time_bca_pass(parallel, w, stat));
+  }
+  if (g_reporter != nullptr) {
+    g_reporter->add_metric("bca_mean_ci.serial", "ci/s", serial_s, obs::Improve::kHigher);
+    g_reporter->add_metric("bca_mean_ci.parallel", "ci/s", parallel_s,
+                           obs::Improve::kHigher);
+  }
+  outcome.serial = summarize(serial_s);
+  outcome.parallel = summarize(parallel_s);
+  std::printf("  BCa mean CI (jackknife n=%zu per series)\n", w.series.front().size());
+  std::printf("    %-24s %8.1f [%8.1f, %8.1f] ci/s\n", "serial {1t, 8 lanes}",
+              outcome.serial.median, outcome.serial.lo, outcome.serial.hi);
+  std::printf("    %-18s %2zut  %8.1f [%8.1f, %8.1f] ci/s   %.2fx\n",
+              "parallel {8 lanes}", outcome.parallel_threads, outcome.parallel.median,
+              outcome.parallel.lo, outcome.parallel.hi,
+              outcome.parallel.median / outcome.serial.median);
+  return outcome;
+}
+
+// ------------------------------------------------- crossover sweep
+
+/// Measures the histogram/partition crossover: per sample size n, the
+/// median-CI replicate throughput of each kernel, interleaved. This is
+/// how the kDefaultCrossover in histogram_select.cpp was chosen (table
+/// in DESIGN.md); rerun with --crossover on new hardware.
+void crossover_sweep(std::size_t reps) {
+  const stats::ResampleStat stat = stats::ResampleStat::median();
+  const std::size_t saved = stats::histogram_select_crossover();
+  constexpr std::size_t kAlways = static_cast<std::size_t>(-1);
+  std::printf("  isa=%s; replicates/s per kernel (median of %zu interleaved reps)\n",
+              to_string(stats::simd::active_isa()), reps);
+  std::printf("    %8s %14s %14s %8s\n", "n", "partition", "histogram", "ratio");
+  for (const std::size_t n : {16u, 64u, 256u, 1024u, 4096u, 16384u, 65536u, 262144u}) {
+    Workload w;
+    w.series = make_series(4, n);
+    // Keep the per-cell draw count roughly constant so each pass stays
+    // around a few milliseconds at every n.
+    w.replicates = std::max<std::size_t>(200'000 / n, 50);
+    stats::BootstrapEngine partition_engine(stats::ExecPolicy{1, 8});
+    stats::BootstrapEngine histogram_engine(stats::ExecPolicy{1, 8});
+    stats::set_histogram_select_crossover(0);
+    (void)time_pass(partition_engine, w, stat);
+    stats::set_histogram_select_crossover(kAlways);
+    (void)time_pass(histogram_engine, w, stat);
+    std::vector<double> partition_s, histogram_s;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      stats::set_histogram_select_crossover(0);
+      partition_s.push_back(time_pass(partition_engine, w, stat));
+      stats::set_histogram_select_crossover(kAlways);
+      histogram_s.push_back(time_pass(histogram_engine, w, stat));
+    }
+    const double part = summarize(partition_s).median * static_cast<double>(w.replicates);
+    const double hist = summarize(histogram_s).median * static_cast<double>(w.replicates);
+    std::printf("    %8zu %14.0f %14.0f %7.2fx\n", n, part, hist, hist / part);
+  }
+  stats::set_histogram_select_crossover(saved);
+}
+
 // -------------------------------------------------- determinism checks
 
 void determinism_checks(const Workload& w) {
@@ -224,8 +373,48 @@ void determinism_checks(const Workload& w) {
   std::vector<double> got;
   single.distribution(xs, stat, w.replicates, 0xb00f, got);
   check(got == legacy, "distribution byte-equal: engine {4t, 1 lane} vs legacy path");
+
+  // ISA never changes bytes: {scalar, SIMD} x {1,4,8} threads must all
+  // produce one distribution and one BCa interval. On hosts without
+  // AVX2 both tables are scalar and the check is trivially green --
+  // which is itself the fallback contract.
+  std::vector<double> isa_want;
+  stats::Interval bca_want{0.0, 0.0, 0.0};
+  bool first = true;
+  const char* auto_label = "scalar";
+  for (const bool force_scalar : {true, false}) {
+    if (force_scalar) {
+      stats::simd::force_isa(stats::simd::Isa::kScalar);
+    } else {
+      stats::simd::reset_isa();
+      auto_label = to_string(stats::simd::active_isa());
+    }
+    for (const std::size_t threads : {1u, 4u, 8u}) {
+      stats::BootstrapEngine engine(stats::ExecPolicy{threads, 8});
+      std::vector<double> dist;
+      engine.distribution(xs, stat, w.replicates, 0xb00f, dist);
+      const auto bca = engine.bca_ci(xs, stat, w.replicates, 0.95, 0xb00f);
+      if (first) {
+        isa_want = std::move(dist);
+        bca_want = bca;
+        first = false;
+        continue;
+      }
+      char what[96];
+      std::snprintf(what, sizeof what, "distribution byte-equal: isa=%s, %zu threads",
+                    to_string(stats::simd::active_isa()), threads);
+      check(dist == isa_want, what);
+      std::snprintf(what, sizeof what, "BCa interval byte-equal: isa=%s, %zu threads",
+                    to_string(stats::simd::active_isa()), threads);
+      check(bca.lower == bca_want.lower && bca.upper == bca_want.upper, what);
+    }
+  }
+  stats::simd::reset_isa();
   std::printf(
       "  distributions byte-equal across {1,2,4,8} threads; lanes=1 == legacy path\n");
+  std::printf(
+      "  distribution + BCa byte-equal across {scalar, %s} x {1,4,8} threads\n",
+      auto_label);
 }
 
 // --------------------------------------------------- allocation audit
@@ -255,9 +444,18 @@ void audit_global_allocator(const Workload& w) {
 
 int main(int argc, char** argv) {
   std::string json_dir;
+  bool crossover_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_dir = argv[++i];
+    if (std::strcmp(argv[i], "--crossover") == 0) crossover_only = true;
+  }
+  if (crossover_only) {
+    std::printf("bench_stats_parallel --crossover\n");
+    crossover_sweep(g_smoke ? 3 : 15);
+    if (g_failures == 0) return 0;
+    std::printf("\n%d check(s) FAILED\n", g_failures);
+    return 1;
   }
   obs::BenchReporter reporter("stats_parallel");
   reporter.set_context("mode", g_smoke ? "smoke" : "full");
@@ -281,11 +479,27 @@ int main(int argc, char** argv) {
       duel("median CI (selection-bound)", "median_ci", stats::ResampleStat::median(), w,
            reps);
 
-  std::printf("\n[2] determinism\n");
+  std::printf("\n[2] small-n median duel: partition (PR 8) vs histogram select\n");
+  Workload smalln;
+  smalln.series = make_series(g_smoke ? 8 : 32, 64);
+  smalln.replicates = w.replicates;
+  std::printf("  workload: %zu series x n=%zu, %zu bootstrap replicates each\n",
+              smalln.series.size(), smalln.series.front().size(), smalln.replicates);
+  const SmallnOutcome hist = smalln_median_duel(smalln, reps);
+
+  std::printf("\n[3] BCa CI thread scaling\n");
+  const BcaOutcome bca = bca_duel(w, reps);
+
+  std::printf("\n[4] determinism\n");
   determinism_checks(w);
 
-  std::printf("\n[3] allocation audit\n");
+  std::printf("\n[5] allocation audit\n");
   audit_global_allocator(w);
+
+  if (!g_smoke) {
+    std::printf("\n[6] crossover sweep (informational)\n");
+    crossover_sweep(5);
+  }
 
   if (!g_smoke) {
     // Single-thread acceptance, on the statistic whose kernels the
@@ -313,6 +527,24 @@ int main(int argc, char** argv) {
             "median CI, parallel: 95% CIs disjoint from baseline");
     } else {
       std::printf("  (multi-core gates skipped: %u hardware thread(s))\n", hc);
+    }
+    // Small-n acceptance: the counting-sort kernel must beat the PR 8
+    // partition kernel on the same single thread -- no hardware gate,
+    // this is pure per-core work.
+    check(hist.histogram.median >= 1.5 * hist.partition.median,
+          "small-n median CI: histogram select >= 1.5x partition kernel");
+    check(hist.histogram.lo > hist.partition.hi,
+          "small-n median CI: 95% CIs disjoint from partition kernel");
+    // BCa scaling is a thread story; arm it only where threads exist.
+    // (Serial-vs-serial there is a wash by construction: the jackknife
+    // kernels are byte-for-byte the PR 8 loops, just range-sharded.)
+    if (hc >= 4) {
+      check(bca.parallel.median >= 2.0 * bca.serial.median,
+            "BCa mean CI, parallel: >= 2x serial median");
+      check(bca.parallel.lo > bca.serial.hi,
+            "BCa mean CI, parallel: 95% CIs disjoint from serial");
+    } else {
+      std::printf("  (BCa multi-core gates skipped: %u hardware thread(s))\n", hc);
     }
   }
 

@@ -104,24 +104,34 @@ Finding analyze_series(const MetricSeries& series, const DetectionOptions& optio
 
   // ---- Change-point scan (Kruskal-Wallis over every split). --------
   if (n >= 4) {
+    // Splits are independent KW tests, so shard them across the
+    // policy's workers into preassigned slots; the argmin below stays
+    // serial with strict '<' (first split wins ties), making the scan
+    // byte-identical to the sequential loop at any thread count.
+    const std::size_t candidates = n - 3;  // k = 2 .. n-2
+    std::vector<double> split_p(candidates);
+    stats::policy_partition(
+        options.policy, candidates, [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t c = lo; c < hi; ++c) {
+            const std::size_t k = c + 2;
+            const std::vector<std::vector<double>> groups = {
+                {medians.begin(), medians.begin() + static_cast<std::ptrdiff_t>(k)},
+                {medians.begin() + static_cast<std::ptrdiff_t>(k), medians.end()}};
+            split_p[c] = stats::kruskal_wallis(groups).p_value;
+          }
+        });
     double best_p = 1.0;
     std::size_t best_split = 0;
-    std::size_t candidates = 0;
-    for (std::size_t k = 2; k + 2 <= n; ++k) {
-      const std::vector<std::vector<double>> groups = {
-          {medians.begin(), medians.begin() + static_cast<std::ptrdiff_t>(k)},
-          {medians.begin() + static_cast<std::ptrdiff_t>(k), medians.end()}};
-      const auto kw = stats::kruskal_wallis(groups);
-      ++candidates;
-      if (kw.p_value < best_p) {
-        best_p = kw.p_value;
-        best_split = k;
+    for (std::size_t c = 0; c < candidates; ++c) {
+      if (split_p[c] < best_p) {
+        best_p = split_p[c];
+        best_split = c + 2;
       }
     }
     // best_split == 0 means no split beat p = 1.0 (a perfectly constant
     // series): there is no candidate step, and the empty prefix below
     // would otherwise throw.
-    if (candidates > 0 && best_split > 0) {
+    if (best_split > 0) {
       // Bonferroni across the scanned splits: the scan asks `candidates`
       // questions, so a single raw p of alpha would fire spuriously on
       // flat noise roughly once per alpha*candidates series.
@@ -183,11 +193,21 @@ std::vector<Finding> analyze_all(const std::vector<MetricSeries>& series,
   // Series are independent; shard them across the policy's workers.
   // Output slots are preassigned, so findings order -- and every byte in
   // them -- is the same at any thread count.
+  //
+  // Nested fan-out guard: once series are sharded, each per-series
+  // change-point scan must run serially -- re-entering the pooled team
+  // from inside one of its own workers would deadlock. With a single
+  // series (or one thread) the outer partition runs inline, and the
+  // scan keeps the split-level parallelism instead.
   std::vector<Finding> findings(series.size());
+  const std::size_t outer =
+      std::min<std::size_t>(options.policy.effective_threads(), series.size());
+  DetectionOptions inner = options;
+  if (outer > 1) inner.policy.threads = 1;
   stats::policy_partition(options.policy, series.size(),
                           [&](std::size_t, std::size_t lo, std::size_t hi) {
                             for (std::size_t i = lo; i < hi; ++i)
-                              findings[i] = analyze_series(series[i], options);
+                              findings[i] = analyze_series(series[i], inner);
                           });
   return findings;
 }

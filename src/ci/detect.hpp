@@ -41,11 +41,14 @@ struct DetectionOptions {
   double min_effect = 0.05;  ///< relative change below which nothing flags
   std::size_t baseline_window = 8;  ///< prior points forming the gate baseline
   std::size_t min_points = 4;  ///< shorter series: verdict = insufficient history
-  /// analyze_all() shards series across policy.threads workers (output
-  /// order and bytes independent of the count); policy.lanes feeds the
-  /// trend detector's bootstrap refits (lanes != 1 changes its RNG
-  /// stream deterministically). The default {1, 1} is byte-identical to
-  /// the historical serial path.
+  /// analyze_all() shards series across policy.threads workers; with a
+  /// single series the threads shard the Kruskal-Wallis change-point
+  /// scan's splits instead (never both at once -- the outer fan-out
+  /// pins the inner scan serial). Output order and bytes are
+  /// independent of the count either way. policy.lanes feeds the trend
+  /// detector's bootstrap refits (lanes != 1 changes its RNG stream
+  /// deterministically). The default {1, 1} is byte-identical to the
+  /// historical serial path.
   stats::ExecPolicy policy;
 };
 

@@ -90,6 +90,30 @@ double loo_quantile(std::span<const double> sorted, std::size_t skip, double p,
   throw std::logic_error("bootstrap: unknown quantile method");
 }
 
+void jackknife_mean_range(std::span<const double> xs, double* jack, std::size_t lo,
+                          std::size_t hi) noexcept {
+  const std::size_t n = xs.size();
+  for (std::size_t i = lo; i < hi; ++i) {
+    double sum = 0.0, comp = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double y = xs[j] - comp;
+      const double t = sum + y;
+      comp = (t - sum) - y;
+      sum = t;
+    }
+    jack[i] = sum / static_cast<double>(n - 1);
+  }
+}
+
+void jackknife_quantile_range(std::span<const double> sorted, const std::uint32_t* rank,
+                              double p, QuantileMethod method, double* jack,
+                              std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    jack[i] = loo_quantile(sorted, rank[i], p, method);
+  }
+}
+
 void fast_jackknife_into(std::span<const double> xs, const ResampleStat& stat,
                          std::vector<double>& jack, std::vector<double>& sorted_scratch,
                          std::vector<std::uint32_t>& rank_scratch,
@@ -97,24 +121,11 @@ void fast_jackknife_into(std::span<const double> xs, const ResampleStat& stat,
   const std::size_t n = xs.size();
   jack.resize(n);
   if (stat.kind() == ResampleStat::Kind::kMean) {
-    // Kahan over xs skipping i, in original order: the same op sequence
-    // arithmetic_mean runs on the materialized loo vector.
-    for (std::size_t i = 0; i < n; ++i) {
-      double sum = 0.0, comp = 0.0;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (j == i) continue;
-        const double y = xs[j] - comp;
-        const double t = sum + y;
-        comp = (t - sum) - y;
-        sum = t;
-      }
-      jack[i] = sum / static_cast<double>(n - 1);
-    }
+    jackknife_mean_range(xs, jack.data(), 0, n);
   } else {
     rank_into(xs, sorted_scratch, rank_scratch, order_scratch);
-    for (std::size_t i = 0; i < n; ++i) {
-      jack[i] = loo_quantile(sorted_scratch, rank_scratch[i], stat.prob(), stat.method());
-    }
+    jackknife_quantile_range(sorted_scratch, rank_scratch.data(), stat.prob(),
+                             stat.method(), jack.data(), 0, n);
   }
 }
 

@@ -6,8 +6,8 @@
 
 #include "rng/xoshiro.hpp"
 #include "stats/bootstrap_detail.hpp"
+#include "stats/histogram_select.hpp"
 #include "stats/parallel.hpp"
-#include "stats/selection.hpp"
 #include "threads/team.hpp"
 
 namespace sci::stats {
@@ -15,7 +15,9 @@ namespace sci::stats {
 namespace {
 
 /// Kahan-sums one index row in draw order -- the exact op sequence
-/// arithmetic_mean performs on a materialized resample.
+/// arithmetic_mean performs on a materialized resample. Remainder lanes
+/// of a wave (< 4) take this path; full tiles go through the dispatched
+/// 4-wide kernel (simd_dispatch.hpp), which runs the same chain per row.
 double kahan_mean_row(const double* xs, const std::uint32_t* idx, std::size_t n) noexcept {
   double sum = 0.0, comp = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -28,51 +30,35 @@ double kahan_mean_row(const double* xs, const std::uint32_t* idx, std::size_t n)
   return sum / static_cast<double>(n);
 }
 
-/// Four rows at once: four independent Kahan chains in flight instead of
-/// one 3-cycle serial chain. Per-row op order is identical to
-/// kahan_mean_row, so results do not depend on the tiling.
-void kahan_mean_rows4(const double* xs, const std::uint32_t* idx, std::size_t n,
-                      std::size_t stride, double* out) noexcept {
-  double s0 = 0.0, c0 = 0.0, s1 = 0.0, c1 = 0.0;
-  double s2 = 0.0, c2 = 0.0, s3 = 0.0, c3 = 0.0;
-  const std::uint32_t* r0 = idx;
-  const std::uint32_t* r1 = idx + stride;
-  const std::uint32_t* r2 = idx + 2 * stride;
-  const std::uint32_t* r3 = idx + 3 * stride;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double x0 = xs[r0[i]], y0 = x0 - c0, t0 = s0 + y0;
-    c0 = (t0 - s0) - y0;
-    s0 = t0;
-    const double x1 = xs[r1[i]], y1 = x1 - c1, t1 = s1 + y1;
-    c1 = (t1 - s1) - y1;
-    s1 = t1;
-    const double x2 = xs[r2[i]], y2 = x2 - c2, t2 = s2 + y2;
-    c2 = (t2 - s2) - y2;
-    s2 = t2;
-    const double x3 = xs[r3[i]], y3 = x3 - c3, t3 = s3 + y3;
-    c3 = (t3 - s3) - y3;
-    s3 = t3;
-  }
-  const auto nd = static_cast<double>(n);
-  out[0] = s0 / nd;
-  out[1] = s1 / nd;
-  out[2] = s2 / nd;
-  out[3] = s3 / nd;
-}
+// AVX2 gathers use signed i32 indices, so the dispatched table requires
+// every rank < 2^31; larger samples (never seen in practice) pin the
+// scalar table, which has no such precondition.
+constexpr std::size_t kGatherIndexLimit = std::size_t{1} << 31;
 
 }  // namespace
 
 BootstrapEngine::BootstrapEngine(ExecPolicy policy) {
   policy_.threads = policy.effective_threads();
   policy_.lanes = policy.effective_lanes();
-  team_size_ = std::min(policy_.threads, policy_.lanes);
+  lane_workers_ = std::min(policy_.threads, policy_.lanes);
+  // The team spans all threads (the jackknife shards sample indices, not
+  // lanes); lane fan-out uses the first lane_workers_ workers and keeps
+  // the exact lane partition of a min(threads, lanes)-sized team, so
+  // thread counts beyond lanes still never change bytes.
+  team_size_ = policy_.threads;
   if (team_size_ > 1) {
     team_ = shared_team(team_size_);
-    // Captures a single pointer (fits the std::function SBO) and is
+    // Each captures a single pointer (fits the std::function SBO) and is
     // built once here, so team fan-out never allocates in steady state.
     region_ = [this](std::size_t worker) {
+      if (worker >= lane_workers_) return;
       const std::size_t lanes = policy_.lanes;
-      process_lanes(worker * lanes / team_size_, (worker + 1) * lanes / team_size_);
+      process_lanes(worker, worker * lanes / lane_workers_,
+                    (worker + 1) * lanes / lane_workers_);
+    };
+    jack_region_ = [this](std::size_t worker) {
+      const std::size_t n = xs_.size();
+      jackknife_range(worker, worker * n / team_size_, (worker + 1) * n / team_size_);
     };
   }
 }
@@ -97,15 +83,22 @@ void BootstrapEngine::distribution(std::span<const double> xs, const ResampleSta
   base_ = replicates / lanes;
   rem_ = replicates % lanes;
 
+  kernels_ = (n < kGatherIndexLimit) ? &simd::dispatch() : &simd::scalar_kernels();
   if (stat.kind() == ResampleStat::Kind::kQuantile) {
     detail::rank_into(xs, sorted_, rank_, order_);
+    plan_ = make_quantile_plan(n, stat.prob(), stat.method());
+    const std::size_t crossover = histogram_select_crossover();
+    use_hist_ = crossover != 0 && n <= crossover &&
+                plan_.mode != QuantilePlan::Mode::kMin &&
+                plan_.mode != QuantilePlan::Mode::kMax;
+    if (use_hist_) counts_.resize(lane_workers_ * n);
   } else if (stat.kind() == ResampleStat::Kind::kCustom) {
     resample_.resize(lanes * n);
   }
   idx_.resize(lanes * n);
 
-  if (team_size_ <= 1) {
-    process_lanes(0, lanes);
+  if (lane_workers_ <= 1) {
+    process_lanes(0, 0, lanes);
   } else {
     team_->run(region_);
   }
@@ -113,10 +106,12 @@ void BootstrapEngine::distribution(std::span<const double> xs, const ResampleSta
   out_ = nullptr;
 }
 
-void BootstrapEngine::process_lanes(std::size_t lane_lo, std::size_t lane_hi) {
+void BootstrapEngine::process_lanes(std::size_t worker, std::size_t lane_lo,
+                                    std::size_t lane_hi) {
   if (lane_hi <= lane_lo) return;
   const std::size_t n = xs_.size();
   const ResampleStat& stat = *stat_;
+  const simd::Kernels& kernels = *kernels_;
   const std::uint32_t* map =
       stat.kind() == ResampleStat::Kind::kQuantile ? rank_.data() : nullptr;
   const std::size_t waves = base_ + (rem_ > 0 ? 1 : 0);
@@ -135,7 +130,7 @@ void BootstrapEngine::process_lanes(std::size_t lane_lo, std::size_t lane_hi) {
         std::size_t l = 0;
         double tile[4];
         for (; l + 4 <= active; l += 4) {
-          kahan_mean_rows4(xs_.data(), rows + l * n, n, n, tile);
+          kernels.mean_rows4(xs_.data(), rows + l * n, n, n, tile);
           for (std::size_t j = 0; j < 4; ++j)
             out_[block_start(lane_lo + l + j) + w] = tile[j];
         }
@@ -144,9 +139,18 @@ void BootstrapEngine::process_lanes(std::size_t lane_lo, std::size_t lane_hi) {
         break;
       }
       case ResampleStat::Kind::kQuantile: {
-        for (std::size_t l = 0; l < active; ++l) {
-          out_[block_start(lane_lo + l) + w] = selection_quantile(
-              std::span(rows + l * n, n), sorted_, stat.prob(), stat.method());
+        if (use_hist_) {
+          const std::span<std::uint32_t> counts(counts_.data() + worker * n, n);
+          for (std::size_t l = 0; l < active; ++l) {
+            out_[block_start(lane_lo + l) + w] = histogram_select_quantile(
+                std::span<const std::uint32_t>(rows + l * n, n), sorted_, counts, plan_,
+                kernels);
+          }
+        } else {
+          for (std::size_t l = 0; l < active; ++l) {
+            out_[block_start(lane_lo + l) + w] =
+                selection_quantile(std::span(rows + l * n, n), sorted_, plan_);
+          }
         }
         break;
       }
@@ -179,21 +183,54 @@ Interval BootstrapEngine::bca_ci(std::span<const double> xs, const ResampleStat&
   distribution(xs, stat, replicates, seed, dist_);
   std::sort(dist_.begin(), dist_.end());
   const double theta_hat = stat.evaluate(xs);
-  if (stat.kind() == ResampleStat::Kind::kCustom) {
-    // Opaque callable: generic O(n^2) jackknife, allocation allowed.
-    jack_.resize(xs.size());
-    std::vector<double> loo;
-    loo.reserve(xs.size() - 1);
-    for (std::size_t i = 0; i < xs.size(); ++i) {
-      loo.clear();
-      for (std::size_t j = 0; j < xs.size(); ++j)
-        if (j != i) loo.push_back(xs[j]);
-      jack_[i] = stat.evaluate(loo);
-    }
-  } else {
-    detail::fast_jackknife_into(xs, stat, jack_, sorted_, rank_, order_);
+
+  // Leave-one-out influence values, sharded across the team in static
+  // per-index blocks. jack[i] depends only on (xs, stat, i), so the
+  // sharding is pure scheduling: any thread count produces the bytes
+  // the serial loop does.
+  const std::size_t n = xs.size();
+  jack_.resize(n);
+  xs_ = xs;
+  stat_ = &stat;
+  if (stat.kind() == ResampleStat::Kind::kQuantile) {
+    // distribution() just ranked this exact sample; sorted_/rank_ are
+    // still current, so the O(n log n) prep is not repeated.
+  } else if (stat.kind() == ResampleStat::Kind::kCustom) {
+    jack_loo_.resize(team_size_ * (n - 1));
   }
+  if (team_size_ <= 1) {
+    jackknife_range(0, 0, n);
+  } else {
+    team_->run(jack_region_);
+  }
+  stat_ = nullptr;
   return detail::bca_interval(dist_, theta_hat, jack_, confidence);
+}
+
+void BootstrapEngine::jackknife_range(std::size_t worker, std::size_t lo, std::size_t hi) {
+  if (hi <= lo) return;
+  const std::size_t n = xs_.size();
+  switch (stat_->kind()) {
+    case ResampleStat::Kind::kMean:
+      detail::jackknife_mean_range(xs_, jack_.data(), lo, hi);
+      break;
+    case ResampleStat::Kind::kQuantile:
+      detail::jackknife_quantile_range(sorted_, rank_.data(), stat_->prob(),
+                                       stat_->method(), jack_.data(), lo, hi);
+      break;
+    case ResampleStat::Kind::kCustom: {
+      // Opaque callable: materialize each loo vector in worker-local
+      // scratch. Element order matches the legacy push_back loop.
+      double* loo = jack_loo_.data() + worker * (n - 1);
+      for (std::size_t i = lo; i < hi; ++i) {
+        std::size_t k = 0;
+        for (std::size_t j = 0; j < n; ++j)
+          if (j != i) loo[k++] = xs_[j];
+        jack_[i] = stat_->evaluate(std::span<const double>(loo, n - 1));
+      }
+      break;
+    }
+  }
 }
 
 std::vector<double> bootstrap_distribution(std::span<const double> xs,

@@ -12,6 +12,13 @@
 // for the mean). The wave tiling is pure instruction scheduling; it
 // never changes any per-lane draw or evaluation order.
 //
+// Hot kernels come from stats::simd::dispatch() (simd_dispatch.hpp):
+// AVX2 on hosts that have it, scalar elsewhere, bit-identical either
+// way. Quantile replicates use histogram rank selection
+// (histogram_select.hpp) when n is at or below the measured crossover
+// and the partition kernels above it; both consume one QuantilePlan,
+// so the switch affects speed only, never bytes.
+//
 // All scratch (sorted sample, rank permutation, index rows, resample
 // rows, distribution buffer) lives in reusable member buffers: after a
 // warm-up call of each shape, distribution() and the CI entry points
@@ -29,6 +36,8 @@
 #include "rng/lanes.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/exec_policy.hpp"
+#include "stats/selection.hpp"
+#include "stats/simd_dispatch.hpp"
 
 namespace sci::threads {
 class ThreadTeam;
@@ -59,21 +68,27 @@ class BootstrapEngine {
                                        double confidence = 0.95,
                                        std::uint64_t seed = 0xb00f);
 
-  /// BCa CI; the jackknife runs on the calling thread.
+  /// BCa CI. The leave-one-out jackknife is sharded across the thread
+  /// team in deterministic per-index blocks (jack[i] depends only on i,
+  /// so bytes never depend on thread count). For kCustom with
+  /// threads > 1 the callable is invoked concurrently here too.
   [[nodiscard]] Interval bca_ci(std::span<const double> xs, const ResampleStat& stat,
                                 std::size_t replicates = 1000, double confidence = 0.95,
                                 std::uint64_t seed = 0xb00f);
 
  private:
-  void process_lanes(std::size_t lane_lo, std::size_t lane_hi);
+  void process_lanes(std::size_t worker, std::size_t lane_lo, std::size_t lane_hi);
+  void jackknife_range(std::size_t worker, std::size_t lo, std::size_t hi);
   [[nodiscard]] std::size_t block_start(std::size_t lane) const noexcept {
     return lane * base_ + std::min(lane, rem_);
   }
 
   ExecPolicy policy_;                            // normalized (no zeros)
-  std::size_t team_size_ = 1;                    // min(threads, lanes)
+  std::size_t team_size_ = 1;                    // threads (jackknife fan-out)
+  std::size_t lane_workers_ = 1;                 // min(threads, lanes)
   std::shared_ptr<threads::ThreadTeam> team_;    // null when team_size_ == 1
   std::function<void(std::size_t)> region_;      // preconstructed: captures only `this`
+  std::function<void(std::size_t)> jack_region_; // ditto, for the jackknife
   rng::LaneRng rng_;
 
   // Job state for the active distribution() call (set before fan-out).
@@ -82,6 +97,9 @@ class BootstrapEngine {
   double* out_ = nullptr;
   std::size_t base_ = 0;  // replicates / lanes
   std::size_t rem_ = 0;   // replicates % lanes
+  const simd::Kernels* kernels_ = nullptr;  // picked once per job
+  QuantilePlan plan_;                       // kQuantile jobs
+  bool use_hist_ = false;                   // n <= histogram crossover
 
   // Reusable scratch.
   std::vector<double> sorted_;
@@ -89,8 +107,10 @@ class BootstrapEngine {
   std::vector<std::uint32_t> order_;
   std::vector<std::uint32_t> idx_;      // lanes x n index/rank rows
   std::vector<double> resample_;        // lanes x n rows (kCustom only)
+  std::vector<std::uint32_t> counts_;   // lane_workers x n histograms
   std::vector<double> dist_;            // CI entry points
   std::vector<double> jack_;            // bca_ci
+  std::vector<double> jack_loo_;        // bca_ci, kCustom: team_size x (n-1)
 };
 
 /// Policy-taking conveniences; ExecPolicy{} (or {1, 1}) is bit-identical

@@ -123,40 +123,75 @@ SelectedPair select_kth_pair(std::uint32_t* a, std::size_t n, std::size_t k) noe
   return {kth, next};
 }
 
-double selection_quantile(std::span<std::uint32_t> picks, std::span<const double> sorted,
-                          double p, QuantileMethod method) {
-  const std::size_t n = picks.size();
-  std::uint32_t* a = picks.data();
+QuantilePlan make_quantile_plan(std::size_t n, double p, QuantileMethod method) {
+  QuantilePlan plan;
   switch (method) {
     case QuantileMethod::kR1InverseEcdf: {
-      if (p == 0.0) return sorted[min_of(a, n)];
-      const auto idx = std::min(
+      if (p == 0.0) {
+        plan.mode = QuantilePlan::Mode::kMin;
+        return plan;
+      }
+      plan.mode = QuantilePlan::Mode::kSingle;
+      plan.k = std::min(
           static_cast<std::size_t>(std::ceil(p * static_cast<double>(n))) - 1, n - 1);
-      return sorted[select_kth(a, n, idx)];
+      return plan;
     }
     case QuantileMethod::kR6Weibull: {
       const double h = (static_cast<double>(n) + 1.0) * p;
-      if (h <= 1.0) return sorted[min_of(a, n)];
-      if (h >= static_cast<double>(n)) return sorted[max_of(a, n)];
+      if (h <= 1.0) {
+        plan.mode = QuantilePlan::Mode::kMin;
+        return plan;
+      }
+      if (h >= static_cast<double>(n)) {
+        plan.mode = QuantilePlan::Mode::kMax;
+        return plan;
+      }
       const auto k = static_cast<std::size_t>(std::floor(h));
-      const double frac = h - static_cast<double>(k);
-      const SelectedPair pair = select_kth_pair(a, n, k - 1);
-      const double a_val = sorted[pair.kth];
-      const double b_val = sorted[pair.next];
-      return a_val + frac * (b_val - a_val);
+      plan.mode = QuantilePlan::Mode::kPair;
+      plan.k = k - 1;
+      plan.frac = h - static_cast<double>(k);
+      return plan;
     }
     case QuantileMethod::kR7Linear: {
       const double h = (static_cast<double>(n) - 1.0) * p;
       const auto k = static_cast<std::size_t>(std::floor(h));
-      const double frac = h - static_cast<double>(k);
-      if (k + 1 >= n) return sorted[max_of(a, n)];
-      const SelectedPair pair = select_kth_pair(a, n, k);
-      const double a_val = sorted[pair.kth];
-      const double b_val = sorted[pair.next];
-      return a_val + frac * (b_val - a_val);
+      if (k + 1 >= n) {
+        plan.mode = QuantilePlan::Mode::kMax;
+        return plan;
+      }
+      plan.mode = QuantilePlan::Mode::kPair;
+      plan.k = k;
+      plan.frac = h - static_cast<double>(k);
+      return plan;
     }
   }
-  throw std::logic_error("selection_quantile: unknown quantile method");
+  throw std::logic_error("make_quantile_plan: unknown quantile method");
+}
+
+double selection_quantile(std::span<std::uint32_t> picks, std::span<const double> sorted,
+                          double p, QuantileMethod method) {
+  return selection_quantile(picks, sorted, make_quantile_plan(picks.size(), p, method));
+}
+
+double selection_quantile(std::span<std::uint32_t> picks, std::span<const double> sorted,
+                          const QuantilePlan& plan) noexcept {
+  const std::size_t n = picks.size();
+  std::uint32_t* a = picks.data();
+  switch (plan.mode) {
+    case QuantilePlan::Mode::kMin:
+      return sorted[min_of(a, n)];
+    case QuantilePlan::Mode::kMax:
+      return sorted[max_of(a, n)];
+    case QuantilePlan::Mode::kSingle:
+      return sorted[select_kth(a, n, plan.k)];
+    case QuantilePlan::Mode::kPair: {
+      const SelectedPair pair = select_kth_pair(a, n, plan.k);
+      const double a_val = sorted[pair.kth];
+      const double b_val = sorted[pair.next];
+      return a_val + plan.frac * (b_val - a_val);
+    }
+  }
+  return sorted[0];  // unreachable: all modes handled above
 }
 
 }  // namespace sci::stats

@@ -38,6 +38,30 @@ struct SelectedPair {
 [[nodiscard]] std::uint32_t min_of(const std::uint32_t* a, std::size_t n) noexcept;
 [[nodiscard]] std::uint32_t max_of(const std::uint32_t* a, std::size_t n) noexcept;
 
+/// Which order statistics a (p, method, n) quantile needs, precomputed
+/// so a hot loop over same-length resamples decides it once. Both
+/// replicate kernels -- partition selection below and histogram
+/// selection (histogram_select.hpp) -- consume the same plan and share
+/// the interpolation `a + frac * (b - a)` verbatim, which is what makes
+/// them bit-identical to each other and to quantile() on a materialized
+/// resample.
+struct QuantilePlan {
+  enum class Mode {
+    kMin,     ///< minimum of the resample
+    kMax,     ///< maximum
+    kSingle,  ///< the k-th order statistic, no interpolation (R1)
+    kPair,    ///< interpolate between the k-th and (k+1)-th
+  };
+  Mode mode = Mode::kSingle;
+  std::size_t k = 0;    ///< 0-based rank (kSingle / kPair)
+  double frac = 0.0;    ///< interpolation weight (kPair)
+};
+
+/// Plan for the p-quantile of an n-element resample. Mirrors
+/// quantile_sorted()'s per-method arithmetic term for term.
+[[nodiscard]] QuantilePlan make_quantile_plan(std::size_t n, double p,
+                                              QuantileMethod method);
+
 /// p-quantile of the resample whose sorted-sample ranks are in `picks`
 /// (destroyed by selection). Mirrors quantile_sorted() term for term per
 /// method, so results are bit-identical to evaluating the quantile on a
@@ -46,5 +70,10 @@ struct SelectedPair {
 [[nodiscard]] double selection_quantile(std::span<std::uint32_t> picks,
                                         std::span<const double> sorted, double p,
                                         QuantileMethod method);
+
+/// Same, with the plan hoisted out of the replicate loop.
+[[nodiscard]] double selection_quantile(std::span<std::uint32_t> picks,
+                                        std::span<const double> sorted,
+                                        const QuantilePlan& plan) noexcept;
 
 }  // namespace sci::stats

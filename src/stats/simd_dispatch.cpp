@@ -1,0 +1,256 @@
+#include "stats/simd_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SCIBENCH_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define SCIBENCH_SIMD_AVX2 0
+#endif
+
+namespace sci::stats::simd {
+
+namespace {
+
+// ------------------------------------------------------------- scalar
+
+/// Four interleaved Kahan chains (moved here from bootstrap_engine.cpp):
+/// per-row op order is identical to a single-row Kahan mean, so the
+/// tiling -- and, in the AVX2 twin, the ymm lane placement -- never
+/// changes a bit of any row's result.
+void mean_rows4_scalar(const double* xs, const std::uint32_t* idx, std::size_t n,
+                       std::size_t stride, double* out) noexcept {
+  double s0 = 0.0, c0 = 0.0, s1 = 0.0, c1 = 0.0;
+  double s2 = 0.0, c2 = 0.0, s3 = 0.0, c3 = 0.0;
+  const std::uint32_t* r0 = idx;
+  const std::uint32_t* r1 = idx + stride;
+  const std::uint32_t* r2 = idx + 2 * stride;
+  const std::uint32_t* r3 = idx + 3 * stride;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = xs[r0[i]], y0 = x0 - c0, t0 = s0 + y0;
+    c0 = (t0 - s0) - y0;
+    s0 = t0;
+    const double x1 = xs[r1[i]], y1 = x1 - c1, t1 = s1 + y1;
+    c1 = (t1 - s1) - y1;
+    s1 = t1;
+    const double x2 = xs[r2[i]], y2 = x2 - c2, t2 = s2 + y2;
+    c2 = (t2 - s2) - y2;
+    s2 = t2;
+    const double x3 = xs[r3[i]], y3 = x3 - c3, t3 = s3 + y3;
+    c3 = (t3 - s3) - y3;
+    s3 = t3;
+  }
+  const auto nd = static_cast<double>(n);
+  out[0] = s0 / nd;
+  out[1] = s1 / nd;
+  out[2] = s2 / nd;
+  out[3] = s3 / nd;
+}
+
+void histogram_fill_scalar(const std::uint32_t* row, std::size_t m, std::uint32_t* counts,
+                           std::size_t bins) noexcept {
+  std::memset(counts, 0, bins * sizeof(std::uint32_t));
+  // Scatter increments don't vectorize below AVX-512 CD; unroll by four
+  // so the (rare, random-rank) same-bin store-to-load stalls overlap.
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    ++counts[row[i]];
+    ++counts[row[i + 1]];
+    ++counts[row[i + 2]];
+    ++counts[row[i + 3]];
+  }
+  for (; i < m; ++i) ++counts[row[i]];
+}
+
+std::uint32_t rank_select_scalar(const std::uint32_t* counts, std::size_t /*bins*/,
+                                 std::size_t k) noexcept {
+  std::size_t cum = 0, b = 0;
+  while (cum + counts[b] <= k) cum += counts[b++];
+  return static_cast<std::uint32_t>(b);
+}
+
+SelectedPair rank_select_pair_scalar(const std::uint32_t* counts, std::size_t bins,
+                                     std::size_t k) noexcept {
+  std::size_t cum = 0, b = 0;
+  while (cum + counts[b] <= k) cum += counts[b++];
+  SelectedPair out;
+  out.kth = static_cast<std::uint32_t>(b);
+  if (cum + counts[b] > k + 1) {  // the (k+1)-th lives in the same bin
+    out.next = out.kth;
+    return out;
+  }
+  std::size_t nb = b + 1;
+  while (nb < bins && counts[nb] == 0) ++nb;
+  // Caller guarantees k + 1 < total count, so a populated bin exists.
+  out.next = static_cast<std::uint32_t>(nb);
+  return out;
+}
+
+[[maybe_unused]] constexpr Kernels kScalarKernels = {
+    Isa::kScalar, mean_rows4_scalar, histogram_fill_scalar,
+    rank_select_scalar, rank_select_pair_scalar,
+};
+
+// --------------------------------------------------------------- AVX2
+
+#if SCIBENCH_SIMD_AVX2
+
+/// Same four Kahan chains, one per ymm lane. vaddpd/vsubpd are per-lane
+/// IEEE adds and the gather is four loads, so lane j computes exactly
+/// the scalar chain for row j -- bit-identical by construction, pinned
+/// by differential tests. Requires indices < 2^31 (i32 gather).
+__attribute__((target("avx2"))) void mean_rows4_avx2(const double* xs,
+                                                     const std::uint32_t* idx,
+                                                     std::size_t n, std::size_t stride,
+                                                     double* out) noexcept {
+  const std::uint32_t* r0 = idx;
+  const std::uint32_t* r1 = idx + stride;
+  const std::uint32_t* r2 = idx + 2 * stride;
+  const std::uint32_t* r3 = idx + 3 * stride;
+  __m256d sum = _mm256_setzero_pd();
+  __m256d comp = _mm256_setzero_pd();
+  // Masked form with an all-ones mask: identical gather, but the
+  // explicit zero source dodges gcc's -Wmaybe-uninitialized false
+  // positive on _mm256_undefined_pd() in the unmasked intrinsic.
+  const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m128i vi =
+        _mm_setr_epi32(static_cast<int>(r0[i]), static_cast<int>(r1[i]),
+                       static_cast<int>(r2[i]), static_cast<int>(r3[i]));
+    const __m256d x = _mm256_mask_i32gather_pd(_mm256_setzero_pd(), xs, vi, all, 8);
+    const __m256d y = _mm256_sub_pd(x, comp);
+    const __m256d t = _mm256_add_pd(sum, y);
+    comp = _mm256_sub_pd(_mm256_sub_pd(t, sum), y);
+    sum = t;
+  }
+  const __m256d mean = _mm256_div_pd(sum, _mm256_set1_pd(static_cast<double>(n)));
+  _mm256_storeu_pd(out, mean);
+}
+
+/// Prefix walk eight bins at a stride: sum a whole block, skip it if the
+/// target rank lies beyond, refine the final block scalar. Counts are
+/// exact either way, so the selected bin is identical to the scalar walk.
+__attribute__((target("avx2"))) std::size_t
+walk_to_rank(const std::uint32_t* counts, std::size_t bins, std::size_t k,
+             std::size_t& cum_out) noexcept {
+  std::size_t cum = 0;
+  std::size_t b = 0;
+  for (; b + 8 <= bins; b += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(counts + b));
+    // Horizontal u32 sum of the block (counts fit u32 by construction:
+    // total draws per replicate <= bins' index range).
+    const __m128i lo = _mm256_castsi256_si128(v);
+    const __m128i hi = _mm256_extracti128_si256(v, 1);
+    __m128i s = _mm_add_epi32(lo, hi);
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4e));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xb1));
+    const std::size_t block = static_cast<std::uint32_t>(_mm_cvtsi128_si32(s));
+    if (cum + block > k) break;
+    cum += block;
+  }
+  while (cum + counts[b] <= k) cum += counts[b++];
+  cum_out = cum;
+  return b;
+}
+
+__attribute__((target("avx2"))) std::uint32_t rank_select_avx2(const std::uint32_t* counts,
+                                                               std::size_t bins,
+                                                               std::size_t k) noexcept {
+  std::size_t cum = 0;
+  return static_cast<std::uint32_t>(walk_to_rank(counts, bins, k, cum));
+}
+
+__attribute__((target("avx2"))) SelectedPair rank_select_pair_avx2(
+    const std::uint32_t* counts, std::size_t bins, std::size_t k) noexcept {
+  std::size_t cum = 0;
+  const std::size_t b = walk_to_rank(counts, bins, k, cum);
+  SelectedPair out;
+  out.kth = static_cast<std::uint32_t>(b);
+  if (cum + counts[b] > k + 1) {
+    out.next = out.kth;
+    return out;
+  }
+  std::size_t nb = b + 1;
+  while (nb < bins && counts[nb] == 0) ++nb;
+  out.next = static_cast<std::uint32_t>(nb);
+  return out;
+}
+
+constexpr Kernels kAvx2Kernels = {
+    // The fill's scatter-increment has no AVX2 form; the scalar fill's
+    // memset zeroing already vectorizes. Only the table differs.
+    Isa::kAvx2, mean_rows4_avx2, histogram_fill_scalar,
+    rank_select_avx2, rank_select_pair_avx2,
+};
+
+#endif  // SCIBENCH_SIMD_AVX2
+
+// ----------------------------------------------------------- dispatch
+
+Isa probe_host() noexcept {
+#if SCIBENCH_SIMD_AVX2
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+#endif
+  return Isa::kScalar;
+}
+
+/// Env + probe, resolved once. SCIBENCH_SIMD=scalar pins the portable
+/// table (the forced-fallback CI job runs the whole suite this way);
+/// =avx2 requests it and silently degrades on hosts without it.
+Isa default_isa() noexcept {
+  static const Isa resolved = [] {
+    const Isa host = probe_host();
+    if (const char* env = std::getenv("SCIBENCH_SIMD")) {
+      if (std::strcmp(env, "scalar") == 0) return Isa::kScalar;
+      if (std::strcmp(env, "avx2") == 0) return host;  // capped at host support
+    }
+    return host;
+  }();
+  return resolved;
+}
+
+// -1 = no override; otherwise the forced Isa.
+std::atomic<int> g_forced{-1};
+
+const Kernels& table_for(Isa isa) noexcept {
+#if SCIBENCH_SIMD_AVX2
+  if (isa == Isa::kAvx2) return kAvx2Kernels;
+#endif
+  (void)isa;
+  return kScalarKernels;
+}
+
+}  // namespace
+
+const char* to_string(Isa isa) noexcept {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+const Kernels& dispatch() noexcept { return table_for(active_isa()); }
+
+const Kernels& scalar_kernels() noexcept { return kScalarKernels; }
+
+Isa active_isa() noexcept {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Isa>(forced);
+  return default_isa();
+}
+
+Isa host_isa() noexcept { return probe_host(); }
+
+void force_isa(Isa isa) noexcept {
+  const Isa capped = (isa == Isa::kAvx2 && probe_host() != Isa::kAvx2) ? Isa::kScalar : isa;
+  g_forced.store(static_cast<int>(capped), std::memory_order_relaxed);
+}
+
+void reset_isa() noexcept { g_forced.store(-1, std::memory_order_relaxed); }
+
+}  // namespace sci::stats::simd

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <span>
 #include <vector>
@@ -28,8 +29,10 @@
 #include "stats/bootstrap_engine.hpp"
 #include "stats/confidence.hpp"
 #include "stats/descriptive.hpp"
+#include "stats/histogram_select.hpp"
 #include "stats/quantile_regression.hpp"
 #include "stats/selection.hpp"
+#include "stats/simd_dispatch.hpp"
 
 namespace {
 std::atomic<std::size_t> g_alloc_calls{0};
@@ -219,6 +222,180 @@ TEST(Selection, SelectionQuantileMatchesMaterializedResample) {
   }
 }
 
+// ------------------------------------- SIMD dispatch + histogram path
+
+/// Restores the dispatch override and the histogram crossover no matter
+/// how a test exits, so ISA/crossover state never leaks between tests.
+struct KernelStateGuard {
+  std::size_t saved_crossover = histogram_select_crossover();
+  ~KernelStateGuard() {
+    simd::reset_isa();
+    set_histogram_select_crossover(saved_crossover);
+  }
+};
+
+TEST(SimdDispatch, ForceIsaOverridesAndCapsAtHostSupport) {
+  KernelStateGuard guard;
+  simd::force_isa(simd::Isa::kScalar);
+  EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  EXPECT_EQ(simd::dispatch().isa, simd::Isa::kScalar);
+  simd::force_isa(simd::Isa::kAvx2);
+  // Requesting AVX2 on a host without it must degrade to scalar, never
+  // hand out a table the machine cannot execute.
+  EXPECT_EQ(simd::active_isa(), simd::host_isa());
+  EXPECT_EQ(simd::dispatch().isa, simd::host_isa());
+  simd::reset_isa();
+  EXPECT_EQ(simd::scalar_kernels().isa, simd::Isa::kScalar);
+}
+
+TEST(SimdDispatch, MeanRows4BitIdenticalAcrossIsaTablesAndToSingleRowKahan) {
+  // The determinism contract at kernel granularity: the dispatched
+  // 4-row kernel (AVX2 on hosts that have it) must emit bit-identical
+  // doubles to the scalar table AND to a plain single-row Kahan chain.
+  rng::Xoshiro256 gen(31);
+  for (const std::size_t n : {1u, 2u, 3u, 17u, 64u, 257u}) {
+    const auto xs = lognormal_sample(n, 700 + n);
+    std::vector<std::uint32_t> idx(4 * n);
+    for (auto& v : idx) v = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+    double scalar_out[4], dispatched_out[4];
+    simd::scalar_kernels().mean_rows4(xs.data(), idx.data(), n, n, scalar_out);
+    simd::dispatch().mean_rows4(xs.data(), idx.data(), n, n, dispatched_out);
+    for (std::size_t j = 0; j < 4; ++j) {
+      double sum = 0.0, comp = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double y = xs[idx[j * n + i]] - comp;
+        const double t = sum + y;
+        comp = (t - sum) - y;
+        sum = t;
+      }
+      const double want = sum / static_cast<double>(n);
+      ASSERT_EQ(scalar_out[j], want) << "row " << j << " n " << n;
+      ASSERT_EQ(dispatched_out[j], want)
+          << "row " << j << " n " << n << " isa " << to_string(simd::dispatch().isa);
+    }
+  }
+}
+
+TEST(SimdDispatch, RankSelectMatchesExpandedMultisetAcrossIsaTables) {
+  // Oracle: expand the histogram into the sorted multiset it encodes and
+  // index it directly. Bin counts include zeros and runs of zeros so the
+  // pair walk's next-nonzero scan is exercised.
+  rng::Xoshiro256 gen(47);
+  for (const std::size_t bins : {1u, 2u, 7u, 8u, 9u, 16u, 33u, 257u}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<std::uint32_t> counts(bins);
+      std::vector<std::uint32_t> expanded;
+      for (std::uint32_t b = 0; b < bins; ++b) {
+        counts[b] = static_cast<std::uint32_t>(rng::uniform_below(gen, 4));
+        for (std::uint32_t c = 0; c < counts[b]; ++c) expanded.push_back(b);
+      }
+      if (expanded.size() < 2) continue;
+      const std::size_t total = expanded.size();
+      for (const std::size_t k : {std::size_t{0}, total / 2, total - 2}) {
+        if (k + 1 >= total) continue;  // pair kernels require k + 1 < total
+        for (const simd::Kernels* kt : {&simd::scalar_kernels(), &simd::dispatch()}) {
+          ASSERT_EQ(kt->rank_select(counts.data(), bins, k), expanded[k])
+              << "bins " << bins << " k " << k << " isa " << to_string(kt->isa);
+          const auto pair = kt->rank_select_pair(counts.data(), bins, k);
+          ASSERT_EQ(pair.kth, expanded[k]) << "isa " << to_string(kt->isa);
+          ASSERT_EQ(pair.next, expanded[k + 1]) << "isa " << to_string(kt->isa);
+        }
+      }
+    }
+  }
+}
+
+TEST(HistogramSelect, MatchesPartitionSelectionAndMaterializedQuantile) {
+  // Three-way differential per (n, m, p, method): histogram select under
+  // both kernel tables == partition select == quantile() on the
+  // materialized resample. This is the crossover's byte-safety proof.
+  rng::Xoshiro256 gen(21);
+  for (const std::size_t n : {2u, 3u, 8u, 24u, 57u, 256u}) {
+    const auto sorted = sorted_copy(lognormal_sample(n, 500 + n));
+    std::vector<std::uint32_t> counts(n);
+    for (const std::size_t m : {1u, 2u, 7u, 64u}) {
+      std::vector<std::uint32_t> row(m);
+      std::vector<double> resample(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        row[i] = static_cast<std::uint32_t>(rng::uniform_below(gen, n));
+        resample[i] = sorted[row[i]];
+      }
+      for (const auto method :
+           {QuantileMethod::kR1InverseEcdf, QuantileMethod::kR6Weibull,
+            QuantileMethod::kR7Linear}) {
+        for (const double p : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+          const auto plan = make_quantile_plan(m, p, method);
+          const double want = quantile(resample, p, method);
+          for (const simd::Kernels* kt : {&simd::scalar_kernels(), &simd::dispatch()}) {
+            ASSERT_EQ(histogram_select_quantile(row, sorted, counts, plan, *kt), want)
+                << "n " << n << " m " << m << " p " << p
+                << " isa " << to_string(kt->isa);
+          }
+          auto picks = row;
+          ASSERT_EQ(selection_quantile(picks, sorted, plan), want)
+              << "n " << n << " m " << m << " p " << p;
+        }
+      }
+    }
+  }
+}
+
+TEST(BootstrapEngine, IsaForcedOffIsByteIdenticalAcrossLanesAndReplicates) {
+  // Engine-level half of the contract: a full distribution() run with
+  // the ISA forced to scalar equals the auto-dispatched run byte for
+  // byte, across n x R x lanes, for both SIMD-touched kinds.
+  KernelStateGuard guard;
+  const ResampleStat stats[] = {ResampleStat::mean(), ResampleStat::median()};
+  for (const std::size_t n : {2u, 23u, 100u}) {
+    const auto xs = lognormal_sample(n, 900 + n);
+    for (const ResampleStat& stat : stats) {
+      for (const std::size_t replicates : {7u, 250u}) {
+        for (const std::size_t lanes : {1u, 3u, 8u}) {
+          simd::reset_isa();
+          BootstrapEngine auto_engine(ExecPolicy{1, lanes});
+          std::vector<double> auto_out;
+          auto_engine.distribution(xs, stat, replicates, 17, auto_out);
+
+          simd::force_isa(simd::Isa::kScalar);
+          BootstrapEngine scalar_engine(ExecPolicy{1, lanes});
+          std::vector<double> scalar_out;
+          scalar_engine.distribution(xs, stat, replicates, 17, scalar_out);
+          ASSERT_EQ(scalar_out, auto_out)
+              << "n=" << n << " R=" << replicates << " lanes=" << lanes;
+        }
+      }
+    }
+  }
+}
+
+TEST(BootstrapEngine, HistogramCrossoverNeverChangesBytes) {
+  // The crossover is a speed knob only: force the histogram path off
+  // (0) and always-on (max) and require identical distributions,
+  // including the kMin/kMax plans the histogram path routes to min/max
+  // scans.
+  KernelStateGuard guard;
+  const ResampleStat stats[] = {
+      ResampleStat::median(), ResampleStat::quantile(0.9, QuantileMethod::kR6Weibull),
+      ResampleStat::quantile(0.25, QuantileMethod::kR1InverseEcdf),
+      ResampleStat::quantile(0.0, QuantileMethod::kR7Linear),
+      ResampleStat::quantile(1.0, QuantileMethod::kR7Linear)};
+  for (const std::size_t n : {2u, 23u, 300u}) {
+    const auto xs = lognormal_sample(n, 1100 + n);
+    for (const ResampleStat& stat : stats) {
+      set_histogram_select_crossover(0);
+      std::vector<double> partition_out;
+      BootstrapEngine off(ExecPolicy{1, 4});
+      off.distribution(xs, stat, 101, 23, partition_out);
+
+      set_histogram_select_crossover(std::numeric_limits<std::size_t>::max());
+      std::vector<double> histogram_out;
+      BootstrapEngine on(ExecPolicy{1, 4});
+      on.distribution(xs, stat, 101, 23, histogram_out);
+      ASSERT_EQ(histogram_out, partition_out) << "n=" << n;
+    }
+  }
+}
+
 // ------------------------------------------- engine bit-determinism
 
 TEST(BootstrapEngine, MatchesScalarReferenceAtEveryThreadAndLaneCount) {
@@ -266,6 +443,28 @@ TEST(BootstrapEngine, SingleLaneIsByteIdenticalToLegacyEntryPoints) {
       const auto bca = bootstrap_bca_ci(xs, sc.fast, 250, 0.95, 0xb00f, policy);
       EXPECT_EQ(bca.lower, legacy_bca.lower) << sc.name;
       EXPECT_EQ(bca.upper, legacy_bca.upper) << sc.name;
+    }
+  }
+}
+
+TEST(BootstrapEngine, BcaJackknifeIsThreadInvariant) {
+  // The jackknife shards leave-one-out indices across the team; every
+  // thread count must produce the single-thread bytes, for the O(n^2)
+  // mean kernel, the O(n) quantile kernel, and the materialized kCustom
+  // loop (whose callable runs concurrently and must be thread-safe).
+  const auto xs = lognormal_sample(47, 13);
+  for (const auto& sc : stat_cases()) {
+    for (const std::size_t lanes : {1u, 8u}) {
+      BootstrapEngine serial(ExecPolicy{1, lanes});
+      const Interval want = serial.bca_ci(xs, sc.fast, 251, 0.9, 0xabc);
+      for (const std::size_t threads : {2u, 8u}) {
+        BootstrapEngine threaded(ExecPolicy{threads, lanes});
+        const Interval got = threaded.bca_ci(xs, sc.fast, 251, 0.9, 0xabc);
+        EXPECT_EQ(got.lower, want.lower)
+            << sc.name << " lanes=" << lanes << " threads=" << threads;
+        EXPECT_EQ(got.upper, want.upper)
+            << sc.name << " lanes=" << lanes << " threads=" << threads;
+      }
     }
   }
 }
