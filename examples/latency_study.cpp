@@ -18,6 +18,7 @@
 #include "core/dataset.hpp"
 #include "core/plots.hpp"
 #include "core/report.hpp"
+#include "exec/interrupt.hpp"
 #include "exec/runner.hpp"
 #include "exec/sim_backend.hpp"
 #include "sim/machine.hpp"
@@ -118,6 +119,10 @@ int main(int argc, char** argv) {
   bopts.unit = "us";
   exec::SimBackend backend(bopts);
 
+  // ^C / SIGTERM drains the grid instead of tearing the process down
+  // mid-write; the metrics snapshot below still lands atomically.
+  exec::install_interrupt_handlers();
+
   // Progress telemetry: a stderr heartbeat while the grid executes and a
   // machine-readable snapshot on completion (the campaign-smoke CI job
   // asserts this file exists and parses).
@@ -125,6 +130,7 @@ int main(int argc, char** argv) {
   exec::CampaignRunnerOptions ropts;
   ropts.progress = &heartbeat;
   ropts.heartbeat_period_s = 2.0;
+  ropts.interrupt = exec::interrupt_flag();
   // Sequential runs write under their own stem so a fixed run's outputs
   // in the same directory survive a side-by-side comparison.
   const std::string stem = sequential ? "latency_study_seq" : "latency_study";
@@ -132,6 +138,15 @@ int main(int argc, char** argv) {
 
   exec::CampaignRunner runner(backend, exec::Campaign(spec), ropts);
   const exec::CampaignResult run = runner.run();
+
+  if (run.interrupted > 0) {
+    // Partial grid: the analysis below would index missing cells.
+    // Metrics already describe how far the run got; exit with the
+    // shared resume convention instead.
+    std::fprintf(stderr, "interrupted: %zu cell(s) not executed; rerun to complete\n",
+                 run.interrupted);
+    return exec::kInterruptedExitCode;
+  }
 
   if (sequential) {
     // Per-cell stop decisions: the sequential analogue of "samples per

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/interrupt.hpp"
 #include "exec/runner.hpp"
 #include "exec/sim_backend.hpp"
 
@@ -123,6 +124,11 @@ int main(int argc, char** argv) {
   bopts.unit = "us";
   exec::SimBackend backend(bopts);
 
+  // ^C / SIGTERM drains the campaign cooperatively: finished cells are
+  // already journaled, the metrics snapshot still lands, and the exit-3
+  // resume convention below covers signals exactly like --budget.
+  exec::install_interrupt_handlers();
+
   exec::StderrHeartbeat heartbeat;
   exec::CampaignRunnerOptions ropts;
   ropts.workers = workers;
@@ -130,6 +136,7 @@ int main(int argc, char** argv) {
   ropts.cell_budget = budget;
   ropts.max_attempts = 2;
   ropts.metrics_path = metrics_path;
+  ropts.interrupt = exec::interrupt_flag();
   if (heartbeat_s > 0.0) {
     ropts.progress = &heartbeat;
     ropts.heartbeat_period_s = heartbeat_s;
@@ -162,7 +169,7 @@ int main(int argc, char** argv) {
   }
   if (result.interrupted > 0) {
     std::printf("interrupted: rerun with the same --journal to resume\n");
-    return 3;
+    return exec::kInterruptedExitCode;
   }
   return result.failed > 0 ? 2 : 0;
 }

@@ -99,6 +99,7 @@ std::string render_markdown_dashboard(const std::vector<Finding>& findings,
     std::string flags;
     if (f.ci_disjoint) flags += "ci-disjoint ";
     if (f.changepoint) flags += "step ";
+    if (f.tail_step) flags += "tail-step ";
     if (f.trend) flags += "trend ";
     if (f.baseline_ci_degenerate) flags += "degenerate-baseline-ci ";
     if (flags.empty()) flags = "-";
@@ -120,6 +121,10 @@ std::string render_markdown_dashboard(const std::vector<Finding>& findings,
     if (f.changepoint) {
       out += " [step at point " + std::to_string(f.changepoint_index) + ", shift " +
              fmt_pct(f.changepoint_shift) + ", p=" + fmt(f.changepoint_p) + "]";
+    }
+    if (f.tail_step) {
+      out += " [tail step over last " + std::to_string(f.tail_k) + ", shift " +
+             fmt_pct(f.tail_shift) + ", p=" + fmt(f.tail_p) + "]";
     }
     out += "\n";
   }

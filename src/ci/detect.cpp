@@ -153,6 +153,51 @@ Finding analyze_series(const MetricSeries& series, const DetectionOptions& optio
     }
   }
 
+  // ---- Tail step: exact rank separation over the last k points. ----
+  // Closes the late-step blind spot (ROADMAP item 5): a step at n-2
+  // leaves the KW scan a 2-point suffix whose best possible p dies
+  // under Bonferroni, while the CI gate's baseline window has already
+  // absorbed the stepped points (a degenerate [min, max] baseline CI
+  // contains them outright). Under H0 -- the m baseline and k tail
+  // medians exchangeable -- the chance that every tail point lies
+  // strictly beyond every baseline point in the worse direction is
+  // exactly 1 / C(m+k, k). Strict inequality keeps ties conservative.
+  {
+    const bool lower_is_better = finding.improve == obs::Improve::kLower;
+    // k = 2 needs n >= 6 (m >= 4) to be testable, k = 3 needs n >= 7;
+    // the correction spans the tests actually run.
+    std::size_t tests = 0;
+    for (std::size_t k = 2; k <= 3; ++k) tests += (n >= k + 4) ? 1 : 0;
+    for (std::size_t k = 2; k <= 3 && n >= k + 4; ++k) {
+      const std::size_t m = std::min<std::size_t>(options.baseline_window, n - k);
+      const std::span<const double> tail(medians.data() + (n - k), k);
+      const std::span<const double> base(medians.data() + (n - k - m), m);
+      const auto tail_minmax = std::minmax_element(tail.begin(), tail.end());
+      const auto base_minmax = std::minmax_element(base.begin(), base.end());
+      const bool separated = lower_is_better
+                                 ? *tail_minmax.first > *base_minmax.second
+                                 : *tail_minmax.second < *base_minmax.first;
+      if (!separated) continue;
+      // C(m+k, k) = prod_{i=1..k} (m+i)/i; k <= 3 keeps this exact.
+      double comb = 1.0;
+      for (std::size_t i = 1; i <= k; ++i) {
+        comb *= static_cast<double>(m + i) / static_cast<double>(i);
+      }
+      const double p = std::min(1.0, static_cast<double>(tests) / comb);
+      if (p >= finding.tail_p) continue;
+      finding.tail_p = p;
+      finding.tail_k = k;
+      finding.tail_shift =
+          relative_change(stats::median(tail), stats::median(base));
+    }
+    finding.tail_step = finding.tail_k > 0 && finding.tail_p < options.alpha &&
+                        std::fabs(finding.tail_shift) >= options.min_effect;
+    if (!finding.tail_step) finding.tail_k = 0;
+    // Separation is in the worse direction by construction, so a firing
+    // tail test is always a regression.
+    if (finding.tail_step) finding.verdict = Verdict::kRegression;
+  }
+
   // ---- Trend (dashboard-only): tau=0.5 regression on (seq, median). -
   if (n >= 6) {
     std::vector<double> y(medians.begin(), medians.end());
@@ -176,11 +221,17 @@ Finding analyze_series(const MetricSeries& series, const DetectionOptions& optio
   }
 
   // ---- One-sentence summary. ---------------------------------------
-  char note[192];
-  std::snprintf(note, sizeof note, "latest %.6g vs baseline %.6g %s (%+.1f%%)%s%s%s",
+  char tail_note[64] = "";
+  if (finding.tail_step) {
+    std::snprintf(tail_note, sizeof tail_note,
+                  ", step in last %zu point%s (p=%.3g)", finding.tail_k,
+                  finding.tail_k == 1 ? "" : "s", finding.tail_p);
+  }
+  char note[256];
+  std::snprintf(note, sizeof note, "latest %.6g vs baseline %.6g %s (%+.1f%%)%s%s%s%s",
                 finding.latest_median, finding.baseline_median, finding.unit.c_str(),
                 finding.change_fraction * 100.0,
-                finding.changepoint ? ", step change in regime" : "",
+                finding.changepoint ? ", step change in regime" : "", tail_note,
                 finding.trend ? ", sustained trend" : "",
                 finding.baseline_ci_degenerate ? ", baseline CI degenerate [min, max]"
                                                : "");

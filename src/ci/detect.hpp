@@ -25,6 +25,23 @@
 //       slope; a slope whose CI excludes zero and whose drift over the
 //       window exceeds min_effect is reported (dashboard only -- slow
 //       drifts gate poorly, they alarm once per commit forever).
+//
+//   Tail step (exact rank separation)   A step in the last 2-3 points
+//       of a batch-ingested history used to hide from BOTH gating
+//       detectors: the KW scan's Bonferroni correction swamps the
+//       p-value a 2-point suffix can reach, and the CI gate's baseline
+//       window has already swallowed the stepped points (worse, a
+//       degenerate [min, max] baseline CI makes "intervals overlap"
+//       vacuous). The fourth detector closes the hole with a
+//       distribution-free exact test: under H0 (the m baseline and k
+//       tail medians exchangeable) the probability that ALL k tail
+//       points lie strictly beyond ALL m baseline points in the worse
+//       direction is 1 / C(m+k, k). k = 2 and 3 are tested (Bonferroni
+//       x2); with the default 8-point window that is p = 2/45 ~ 0.044
+//       for k = 2 -- significant at alpha = 0.05 where the KW scan is
+//       not. One-sided by construction: a tail step in the better
+//       direction never fires (improvements are the CI gate's job once
+//       the window catches up).
 #pragma once
 
 #include <cstddef>
@@ -94,6 +111,13 @@ struct Finding {
   // Trend fit.
   bool trend = false;
   double trend_slope = 0.0;  ///< metric units per recorded point
+
+  // Tail-window rank separation (the late-step blind spot).
+  bool tail_step = false;
+  std::size_t tail_k = 0;  ///< tail points forming the worse regime
+  double tail_p = 1.0;     ///< Bonferroni-corrected exact p
+  /// Relative level shift of the tail vs the pre-tail baseline.
+  double tail_shift = 0.0;
 
   std::string note;  ///< one human-readable sentence
 };

@@ -61,8 +61,21 @@ struct StoppingPolicy {
   double quantile = 0.5;
 
   /// Pooled effective-sample-size floor (autocorrelation-corrected);
-  /// 0 disables the check.
+  /// 0 disables the check. Default-constructed policies (and fixed())
+  /// leave it at 0; sequential_ci() arms it with kDefaultEssFloor so
+  /// an autocorrelated series cannot satisfy the CI criterion on what
+  /// is effectively a handful of independent observations. Set it back
+  /// to 0 after the factory call to opt out explicitly.
   double ess_floor = 0.0;
+
+  /// Default floor applied by sequential_ci(): a config must carry at
+  /// least this many effectively independent samples (n / integrated
+  /// autocorrelation time, stats::OnlineSeries::effective_sample_size)
+  /// before its rank CI is allowed to stop it. 32 keeps the rank-CI
+  /// normal approximation honest while staying far below the pooled
+  /// sample counts of even the smallest sequential campaigns shipped
+  /// here, so iid-noise studies stop on the same round as before.
+  static constexpr double kDefaultEssFloor = 32.0;
 
   /// Replications granted to each live config per round after the
   /// first; retired configs' quanta are reallocated to the live ones.
@@ -87,6 +100,7 @@ struct StoppingPolicy {
     p.min_reps = min_reps;
     p.max_reps = max_reps;
     p.target_rel_ci_half_width = target_rel_ci_half_width;
+    p.ess_floor = kDefaultEssFloor;
     return p;
   }
 

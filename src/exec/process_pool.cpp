@@ -1,0 +1,237 @@
+#include "exec/process_pool.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "exec/wire.hpp"
+
+extern char** environ;
+
+namespace sci::exec {
+
+namespace {
+
+/// write() the whole buffer, riding out EINTR and short writes.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one newline-terminated line; false on EOF/error (dead worker).
+bool read_line(std::FILE* stream, std::string& line) {
+  line.clear();
+  for (;;) {
+    const int c = std::fgetc(stream);
+    if (c == EOF) return false;
+    if (c == '\n') return true;
+    line.push_back(static_cast<char>(c));
+  }
+}
+
+}  // namespace
+
+ProcessPool::ProcessPool(ProcessPoolOptions options) : options_(std::move(options)) {
+  if (options_.worker_path.empty()) {
+    throw std::invalid_argument("ProcessPool: worker_path required");
+  }
+  if (options_.workers == 0) {
+    throw std::invalid_argument("ProcessPool: need at least one worker");
+  }
+  // A worker dying between our liveness check and the job write turns
+  // the write into SIGPIPE; we want the EPIPE errno path instead, so
+  // the crash is contained and retried rather than fatal.
+  ::signal(SIGPIPE, SIG_IGN);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    free_.push_back(spawn());
+  }
+}
+
+ProcessPool::~ProcessPool() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& worker : free_) destroy(*worker, /*wait_for_exit=*/true);
+  free_.clear();
+}
+
+std::unique_ptr<ProcessPool::Worker> ProcessPool::spawn() {
+  int to_child[2];    // parent writes jobs -> child stdin
+  int from_child[2];  // child stdout -> parent reads results
+  // O_CLOEXEC is load-bearing: without it every later-spawned worker
+  // inherits this worker's parent-side pipe ends, so closing ours would
+  // never deliver EOF while a sibling lives (shutdown deadlock). The
+  // adddup2 onto stdin/stdout clears the flag for the child's own ends.
+  if (::pipe2(to_child, O_CLOEXEC) != 0) {
+    throw std::runtime_error("ProcessPool: pipe: " + std::string(std::strerror(errno)));
+  }
+  if (::pipe2(from_child, O_CLOEXEC) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    throw std::runtime_error("ProcessPool: pipe: " + std::string(std::strerror(errno)));
+  }
+
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_adddup2(&actions, to_child[0], STDIN_FILENO);
+  posix_spawn_file_actions_adddup2(&actions, from_child[1], STDOUT_FILENO);
+  posix_spawn_file_actions_addclose(&actions, to_child[0]);
+  posix_spawn_file_actions_addclose(&actions, to_child[1]);
+  posix_spawn_file_actions_addclose(&actions, from_child[0]);
+  posix_spawn_file_actions_addclose(&actions, from_child[1]);
+
+  char* const argv[] = {const_cast<char*>(options_.worker_path.c_str()), nullptr};
+  pid_t pid = -1;
+  const int rc =
+      ::posix_spawn(&pid, options_.worker_path.c_str(), &actions, nullptr, argv, environ);
+  posix_spawn_file_actions_destroy(&actions);
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  if (rc != 0) {
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    throw std::runtime_error("ProcessPool: posix_spawn " + options_.worker_path + ": " +
+                             std::strerror(rc));
+  }
+
+  auto worker = std::make_unique<Worker>();
+  worker->pid = pid;
+  worker->to_child = to_child[1];
+  worker->from_child = ::fdopen(from_child[0], "r");
+  if (worker->from_child == nullptr) {
+    destroy(*worker, /*wait_for_exit=*/false);
+    ::close(from_child[0]);
+    throw std::runtime_error("ProcessPool: fdopen failed");
+  }
+  workers_spawned_.fetch_add(1, std::memory_order_relaxed);
+  return worker;
+}
+
+void ProcessPool::destroy(Worker& worker, bool wait_for_exit) {
+  if (worker.to_child >= 0) ::close(worker.to_child);  // EOF: worker exits
+  if (worker.from_child != nullptr) std::fclose(worker.from_child);
+  if (worker.pid > 0) {
+    if (!wait_for_exit) ::kill(worker.pid, SIGKILL);
+    int status = 0;
+    while (::waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+  }
+  worker.to_child = -1;
+  worker.from_child = nullptr;
+  worker.pid = -1;
+}
+
+CellResult ProcessPool::run(const SimBackendOptions& backend, const Config& config,
+                            std::uint64_t seed) {
+  std::string job = wire::job_to_json(backend, config, seed);
+  job += '\n';
+
+  for (std::size_t attempt = 0;; ++attempt) {
+    std::unique_ptr<Worker> worker;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      available_.wait(lock, [&] { return !free_.empty(); });
+      worker = std::move(free_.back());
+      free_.pop_back();
+    }
+
+    std::string reply;
+    const bool ok = write_all(worker->to_child, job.data(), job.size()) &&
+                    read_line(worker->from_child, reply);
+    if (ok) {
+      CellResult result;
+      bool parsed = true;
+      std::string parse_error;
+      try {
+        result = wire::parse_cell_result_json(reply);
+      } catch (const std::exception& e) {
+        // A worker that prints garbage is as broken as one that died.
+        parsed = false;
+        parse_error = e.what();
+      }
+      if (parsed) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          free_.push_back(std::move(worker));
+        }
+        available_.notify_one();
+        return result;
+      }
+      workers_crashed_.fetch_add(1, std::memory_order_relaxed);
+      destroy(*worker, /*wait_for_exit=*/false);
+      std::unique_ptr<Worker> replacement = spawn();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        free_.push_back(std::move(replacement));
+      }
+      available_.notify_one();
+      throw std::runtime_error("ProcessPool: unparseable worker reply: " + parse_error);
+    }
+
+    // Dead worker: reap it, restore pool capacity, and re-dispatch the
+    // SAME (config, seed) -- byte-identity for transient kills.
+    workers_crashed_.fetch_add(1, std::memory_order_relaxed);
+    destroy(*worker, /*wait_for_exit=*/true);
+    std::unique_ptr<Worker> replacement = spawn();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      free_.push_back(std::move(replacement));
+    }
+    available_.notify_one();
+    if (attempt >= options_.crash_retries) {
+      throw std::runtime_error("ProcessPool: cell " + config.to_string() +
+                               " crashed its worker " + std::to_string(attempt + 1) +
+                               " time(s); giving up on this seed");
+    }
+  }
+}
+
+PoolBackend::PoolBackend(ProcessPool& pool, SimBackendOptions options)
+    : pool_(pool), inner_(std::move(options)) {}
+
+std::string PoolBackend::name() const { return inner_.name(); }
+
+std::string PoolBackend::describe() const { return inner_.describe(); }
+
+CellResult PoolBackend::run(const Config& config, std::uint64_t seed) {
+  if (shared_cache_ != nullptr) {
+    const CellKey key = make_cell_key(name(), config, seed);
+    std::lock_guard<std::mutex> lock(*shared_mutex_);
+    const auto it = shared_cache_->find(key);
+    if (it != shared_cache_->end()) {
+      CellResult result = it->second;
+      result.from_cache = true;
+      deduped_.fetch_add(1, std::memory_order_relaxed);
+      if (observer_) observer_(config, seed, result, /*deduped=*/true);
+      return result;
+    }
+  }
+
+  CellResult result = pool_.run(inner_.options(), config, seed);
+  if (!result.error.empty()) {
+    // Same exception surface as an in-process backend that threw: the
+    // runner's retry/containment machinery must not be able to tell
+    // the difference.
+    throw std::runtime_error(result.error);
+  }
+  if (shared_cache_ != nullptr) {
+    std::lock_guard<std::mutex> lock(*shared_mutex_);
+    shared_cache_->emplace(make_cell_key(name(), config, seed), result);
+  }
+  if (observer_) observer_(config, seed, result, /*deduped=*/false);
+  return result;
+}
+
+}  // namespace sci::exec

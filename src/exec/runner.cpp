@@ -414,6 +414,19 @@ CampaignResult CampaignRunner::run() {
         continue;
       }
 
+      // Cooperative signal drain: once the interrupt flag is set (by a
+      // SIGINT/SIGTERM handler, exec/interrupt.hpp), remaining cells are
+      // marked interrupted -- the same not-failed / not-journaled drain
+      // as budget exhaustion, so a rerun with the journal resumes
+      // byte-identically from the finished cells.
+      if (options_.interrupt != nullptr &&
+          options_.interrupt->load(std::memory_order_relaxed)) {
+        cell.result = CellResult{};
+        cell.result.error = "interrupted: signal";
+        interrupted.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+
       // Deterministic stand-in for a mid-campaign kill: once the budget
       // is spent, remaining cells are marked interrupted (not failed,
       // not journaled) so a resume executes exactly them.

@@ -48,6 +48,7 @@
 // PR-1 tracing layer.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <mutex>
@@ -217,6 +218,12 @@ struct CampaignRunnerOptions {
   /// in-process stand-in for a mid-campaign kill in resume tests; 0 =
   /// unlimited.
   std::size_t cell_budget = 0;
+  /// Cooperative interrupt (not owned; may be null). Once it reads
+  /// true, every not-yet-claimed cell is marked interrupted -- exactly
+  /// the cell-budget drain -- so a SIGINT/SIGTERM handler that sets the
+  /// flag (exec/interrupt.hpp) leaves a journal + final metrics
+  /// snapshot a rerun resumes byte-identically from.
+  const std::atomic<bool>* interrupt = nullptr;
   /// Telemetry observer (not owned; must outlive run()). Receives
   /// heartbeats from a monitor thread every heartbeat_period_s (when
   /// > 0) and one final snapshot after the workers join. Telemetry is

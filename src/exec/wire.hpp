@@ -1,0 +1,85 @@
+// Wire format for the campaign service: line-delimited canonical JSON
+// over local transports (Unix-domain sockets, worker pipes).
+//
+// Three message families, all emitted through obs/json.hpp so
+// emit -> parse -> re-emit is byte-identical:
+//
+//   Campaign envelope   A complete, serializable campaign submission:
+//       CampaignSpec (name, base experiment, factors, replications,
+//       stopping policy, seed) plus the SimBackendOptions that
+//       reconstruct the backend. This is the daemon's admission unit --
+//       a client that can produce this line gets exactly the campaign
+//       an in-process CampaignRunner would run, because the parse
+//       rebuilds the identical Campaign object (same fingerprint, same
+//       derived seeds, same grid).
+//
+//   Job spec            One cell dispatch to a worker process: backend
+//       options + Config + seed. Stateless by design -- any worker can
+//       run any job, so a crashed worker's job re-dispatches to a fresh
+//       process with the SAME seed and produces the same bytes.
+//
+//   Cell result         The worker's reply: CellResult with every
+//       sample carried as the 16-hex-digit IEEE-754 bit pattern (the
+//       journal's convention) -- doubles cross the process boundary
+//       bit-exactly, which the byte-identity invariant requires. JSON
+//       numbers would round-trip via shortest-form decimal too, but hex
+//       also survives NaN payloads and is grep-able against journals.
+//
+// u64 seeds travel as 16-digit hex strings: a JSON number is a double
+// and cannot represent every 64-bit seed.
+//
+// Deliberately NOT serialized: CampaignSpec::seed_override (an
+// arbitrary std::function). campaign_to_json throws on it -- historical
+// reproductions with hand-picked seeds stay in-process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "exec/backend.hpp"
+#include "exec/campaign.hpp"
+#include "exec/sim_backend.hpp"
+
+namespace sci::exec::wire {
+
+inline constexpr int kVersion = 1;
+
+/// 16-digit lowercase hex of a u64 (zero-padded, no prefix).
+[[nodiscard]] std::string hex_u64(std::uint64_t value);
+/// Inverse of hex_u64; throws std::runtime_error on malformed input.
+[[nodiscard]] std::uint64_t parse_hex_u64(std::string_view text);
+/// IEEE-754 bit pattern round trip for samples.
+[[nodiscard]] std::string hex_double(double value);
+[[nodiscard]] double parse_hex_double(std::string_view text);
+
+/// A parsed campaign submission: everything needed to reconstruct the
+/// exact in-process campaign.
+struct CampaignEnvelope {
+  CampaignSpec spec;
+  SimBackendOptions backend;
+};
+
+/// One line of canonical JSON (schema "scibench.campaign", version 1).
+/// Throws std::invalid_argument when spec.seed_override is set.
+[[nodiscard]] std::string campaign_to_json(const CampaignSpec& spec,
+                                           const SimBackendOptions& backend);
+/// Inverse; throws std::runtime_error on schema mismatch.
+[[nodiscard]] CampaignEnvelope parse_campaign_json(std::string_view text);
+
+/// One cell dispatch (schema "scibench.job", version 1).
+[[nodiscard]] std::string job_to_json(const SimBackendOptions& backend,
+                                      const Config& config, std::uint64_t seed);
+struct JobSpec {
+  SimBackendOptions backend;
+  Config config;
+  std::uint64_t seed = 0;
+};
+[[nodiscard]] JobSpec parse_job_json(std::string_view text);
+
+/// One worker reply (schema "scibench.cell", version 1). Samples are
+/// hex bit patterns; error text passes through quoted.
+[[nodiscard]] std::string cell_result_to_json(const CellResult& result);
+[[nodiscard]] CellResult parse_cell_result_json(std::string_view text);
+
+}  // namespace sci::exec::wire

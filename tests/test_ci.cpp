@@ -315,6 +315,100 @@ TEST(Detect, DegenerateBaselineCiIsFlaggedAsBlindSpot) {
   EXPECT_FALSE(flat_findings[0].baseline_ci_degenerate);
 }
 
+TEST(Detect, StepInLastTwoPointsIsCaughtByTailTest) {
+  // ROADMAP item 5 blind spot, pinned: a step at n-2 of a batch-ingested
+  // history. The KW scan's 2-point suffix cannot survive Bonferroni, and
+  // the 8-point baseline window already contains the stepped point (its
+  // degenerate [min, max] CI overlaps the latest CI). Only the exact
+  // tail rank-separation test fires: p = 2 / C(10, 2) ~ 0.044 < 0.05.
+  const std::string path = temp_path("hist_tail_step.jsonl");
+  std::vector<double> medians;
+  for (int i = 0; i < 10; ++i) medians.push_back(1.0 + 0.001 * (i % 3));
+  medians.push_back(1.5);  // the step lands at n-2...
+  medians.push_back(1.5);  // ...and the latest point confirms the regime
+  const HistoryStore store = store_with(path, medians);
+  const auto findings = analyze_all(store.series());
+  ASSERT_EQ(findings.size(), 1u);
+  // The two legacy gating detectors are blind here -- the reason this
+  // test exists. If either starts firing, the scenario no longer pins
+  // the tail test and needs rebuilding.
+  EXPECT_FALSE(findings[0].ci_disjoint);
+  EXPECT_FALSE(findings[0].changepoint);
+  EXPECT_TRUE(findings[0].tail_step);
+  EXPECT_EQ(findings[0].tail_k, 2u);
+  EXPECT_LT(findings[0].tail_p, 0.05);
+  EXPECT_GT(findings[0].tail_shift, 0.4);
+  EXPECT_EQ(findings[0].verdict, Verdict::kRegression);
+  EXPECT_TRUE(any_regression(findings));
+  EXPECT_NE(findings[0].note.find("step in last 2"), std::string::npos)
+      << findings[0].note;
+  const std::string markdown = render_markdown_dashboard(findings, store.series());
+  EXPECT_NE(markdown.find("tail-step"), std::string::npos);
+}
+
+TEST(Detect, StepInLastThreePointsIsCaughtByTailTest) {
+  const std::string path = temp_path("hist_tail3.jsonl");
+  std::vector<double> medians;
+  for (int i = 0; i < 10; ++i) medians.push_back(1.0 + 0.001 * (i % 3));
+  for (int i = 0; i < 3; ++i) medians.push_back(1.4 + 0.001 * i);
+  const auto findings = analyze_all(store_with(path, medians).series());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].tail_step);
+  EXPECT_EQ(findings[0].tail_k, 3u);  // k=3 gives the smaller exact p
+  EXPECT_EQ(findings[0].verdict, Verdict::kRegression);
+}
+
+TEST(Detect, TailTestIsOneSidedAndRespectsImproveDirection) {
+  // A tail step in the BETTER direction never fires (one-sided by
+  // construction)...
+  const std::string better = temp_path("hist_tail_better.jsonl");
+  std::vector<double> faster;
+  for (int i = 0; i < 10; ++i) faster.push_back(1.0 + 0.001 * (i % 3));
+  faster.push_back(0.5);
+  faster.push_back(0.5);
+  const auto better_findings = analyze_all(store_with(better, faster).series());
+  EXPECT_FALSE(better_findings[0].tail_step);
+  EXPECT_FALSE(any_regression(better_findings));
+
+  // ...and for a higher-is-better metric "worse" means a drop.
+  const std::string drop = temp_path("hist_tail_drop.jsonl");
+  std::vector<double> throughput;
+  for (int i = 0; i < 10; ++i) throughput.push_back(1000.0 + (i % 3));
+  throughput.push_back(600.0);
+  throughput.push_back(600.0);
+  const auto drop_findings =
+      analyze_all(store_with(drop, throughput, obs::Improve::kHigher).series());
+  EXPECT_TRUE(drop_findings[0].tail_step);
+  EXPECT_EQ(drop_findings[0].verdict, Verdict::kRegression);
+}
+
+TEST(Detect, TailTestStaysQuietBelowMinEffectAndOnTies) {
+  // Full separation but a 2% shift: below min_effect, stays stable.
+  const std::string small = temp_path("hist_tail_small.jsonl");
+  std::vector<double> medians;
+  for (int i = 0; i < 10; ++i) medians.push_back(1.0 + 0.0001 * (i % 3));
+  medians.push_back(1.02);
+  medians.push_back(1.02);
+  const auto findings = analyze_all(store_with(small, medians).series());
+  EXPECT_FALSE(findings[0].tail_step);
+  EXPECT_EQ(findings[0].verdict, Verdict::kStable);
+
+  // A tie between tail and baseline max breaks strict separation: the
+  // exact p is only valid under full separation, so no flag.
+  const std::string tied = temp_path("hist_tail_tied.jsonl");
+  std::vector<double> tie;
+  for (int i = 0; i < 9; ++i) tie.push_back(1.0);
+  tie.push_back(1.5);  // baseline already contains the level
+  tie.push_back(1.5);
+  tie.push_back(1.5);
+  // tail k=2 = {1.5, 1.5} vs baseline containing 1.5: not separated;
+  // k=3 = last three 1.5s vs all-1.0 baseline IS separated -- the step
+  // at n-3 is caught by k=3 exactly as designed.
+  const auto tie_findings = analyze_all(store_with(tied, tie).series());
+  EXPECT_TRUE(tie_findings[0].tail_step);
+  EXPECT_EQ(tie_findings[0].tail_k, 3u);
+}
+
 TEST(Detect, WideBaselineWindowEscapesDegeneracy) {
   // With 20 baseline points the rank CI's clamped indices pull inside
   // the observed range and the flag clears.

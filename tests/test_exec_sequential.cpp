@@ -435,6 +435,106 @@ TEST(SequentialStopping, PolicyChangesJournalFingerprint) {
             CampaignJournal::fingerprint(sim_campaign(StoppingPolicy::fixed(2)), "sim"));
 }
 
+// --------------------------------------------- ESS floor (ROADMAP 2)
+
+/// Backend whose samples are a slow AR(1) walk around 100: the values
+/// are tightly clustered (tiny relative rank CI) but heavily
+/// autocorrelated, so the pooled effective sample size stays a small
+/// fraction of the raw count. Exactly the series the ESS floor exists
+/// for -- the CI criterion alone would stop at min_reps on what is
+/// effectively a handful of independent observations.
+class AutocorrelatedBackend : public Backend {
+ public:
+  std::string name() const override { return "ar1"; }
+  CellResult run(const Config&, std::uint64_t seed) override {
+    CellResult r;
+    r.unit = "u";
+    std::uint64_t state = seed;
+    double x = 0.0;
+    for (int i = 0; i < 16; ++i) {
+      const double u =
+          static_cast<double>(rng::splitmix64_next(state) >> 11) * 0x1.0p-53;
+      x = 0.95 * x + 0.4 * (u - 0.5);
+      r.samples.push_back(100.0 + x);
+    }
+    return r;
+  }
+};
+
+Campaign ar1_campaign(StoppingPolicy stopping) {
+  CampaignSpec spec;
+  spec.name = "ar1_study";
+  spec.factors.push_back({"unit", {"only"}});
+  spec.seed = 9041;
+  spec.stopping = stopping;
+  return Campaign(spec);
+}
+
+TEST(SequentialStopping, SequentialCiArmsTheEssFloorByDefault) {
+  // ROADMAP item 2: the factory used to ship ess_floor = 0.0, leaving
+  // the implemented autocorrelation check permanently dead.
+  EXPECT_EQ(StoppingPolicy::sequential_ci(0.05).ess_floor,
+            StoppingPolicy::kDefaultEssFloor);
+  EXPECT_GT(StoppingPolicy::kDefaultEssFloor, 0.0);
+  // fixed() and the default-constructed policy stay floor-less, so
+  // fixed-mode behavior and fingerprints are untouched.
+  EXPECT_EQ(StoppingPolicy::fixed(3).ess_floor, 0.0);
+  EXPECT_EQ(StoppingPolicy{}.ess_floor, 0.0);
+}
+
+TEST(SequentialStopping, EssFloorBlocksStoppingOnAutocorrelatedSeries) {
+  // With the default floor the AR(1) config may NOT retire on its tiny
+  // rank CI: its pooled ESS never reaches the floor within max_reps.
+  StoppingPolicy armed = StoppingPolicy::sequential_ci(0.02, 3, 8);
+  {
+    AutocorrelatedBackend backend;
+    CampaignRunnerOptions opts;
+    opts.workers = 2;
+    CampaignRunner runner(backend, ar1_campaign(armed), opts);
+    const CampaignResult result = runner.run();
+    ASSERT_EQ(result.stopping.size(), 1u);
+    EXPECT_FALSE(result.stopping[0].converged);
+    EXPECT_EQ(result.stopping[0].stop_reason, "max_reps");
+    EXPECT_EQ(result.stopping[0].reps, 8u);
+    // The CI criterion alone was satisfied -- the floor is what held.
+    EXPECT_LE(result.stopping[0].rel_ci_half_width, 0.02);
+    EXPECT_LT(result.stopping[0].ess, StoppingPolicy::kDefaultEssFloor);
+  }
+  // Explicit opt-out (ess_floor = 0 after the factory call) restores
+  // the old CI-only behavior: immediate convergence at min_reps.
+  StoppingPolicy disarmed = armed;
+  disarmed.ess_floor = 0.0;
+  {
+    AutocorrelatedBackend backend;
+    CampaignRunnerOptions opts;
+    opts.workers = 2;
+    CampaignRunner runner(backend, ar1_campaign(disarmed), opts);
+    const CampaignResult result = runner.run();
+    ASSERT_EQ(result.stopping.size(), 1u);
+    EXPECT_TRUE(result.stopping[0].converged);
+    EXPECT_EQ(result.stopping[0].stop_reason, "converged");
+    EXPECT_EQ(result.stopping[0].reps, 3u);
+  }
+  // The floor is part of the policy identity: journals recorded under
+  // one floor must not resume under another.
+  EXPECT_NE(CampaignJournal::fingerprint(ar1_campaign(armed), "ar1"),
+            CampaignJournal::fingerprint(ar1_campaign(disarmed), "ar1"));
+}
+
+TEST(SequentialStopping, EssFloorPassesIndependentSeriesUnchanged) {
+  // The ladder backend's cells are iid uniforms: pooled ESS tracks the
+  // raw count, so arming the floor must not delay any stop decision --
+  // the quiet config still retires at min_reps with the same bytes.
+  NoiseLadderBackend backend;
+  CampaignRunnerOptions opts;
+  opts.workers = 2;
+  CampaignRunner runner(backend, ladder_campaign(ladder_policy()), opts);
+  const CampaignResult result = runner.run();
+  EXPECT_TRUE(result.stopping[0].converged);
+  EXPECT_EQ(result.stopping[0].reps, 3u);
+  EXPECT_GE(result.stopping[0].ess, StoppingPolicy::kDefaultEssFloor);
+}
+
 // --------------------------------------------- export and ingest
 
 TEST(SequentialStopping, ExportRoundTripsStopMetadataThroughIngest) {

@@ -1,0 +1,79 @@
+// scibench_worker: one sandboxed cell executor behind the process pool.
+//
+// Protocol (exec/wire.hpp): read one "scibench.job" line from stdin,
+// run the cell, write one "scibench.cell" line to stdout, repeat until
+// stdin closes. Stateless on purpose -- every job line carries the full
+// backend options, so any worker can run any job and a crashed worker's
+// job re-dispatches elsewhere with the same seed and the same bytes.
+//
+// A backend exception becomes an error reply (the parent re-throws it,
+// so the runner's retry/containment path is identical to an in-process
+// throwing backend). A crash -- abort(), segfault, SIGKILL -- kills
+// only this process; the parent observes EOF on the pipe and respawns.
+//
+// Fault drill: a campaign factor named "worker_fault" lets the tests
+// and the CI smoke job exercise crash containment deterministically:
+//   abort      call abort() (SIGABRT, core-dump class crash)
+//   exit       _exit(9) without a reply (silent death)
+//   kill_once  if the file named by $SCIBENCH_WORKER_KILL_FILE exists,
+//              unlink it and _exit(9) -- exactly one worker dies
+//              mid-campaign, emulating an external SIGKILL; the retry
+//              then runs the same cell to completion.
+// SimBackend ignores unknown factors, so the same campaign run
+// in-process produces identical samples -- which is what lets the tests
+// compare daemon CSVs against in-process CSVs even in the drill.
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "exec/sim_backend.hpp"
+#include "exec/wire.hpp"
+
+namespace exec = sci::exec;
+
+namespace {
+
+void maybe_inject_fault(const exec::Config& config) {
+  const std::string* fault = config.find_level("worker_fault");
+  if (fault == nullptr || *fault == "none") return;
+  if (*fault == "abort") std::abort();
+  if (*fault == "exit") _exit(9);
+  if (*fault == "kill_once") {
+    const char* sentinel = std::getenv("SCIBENCH_WORKER_KILL_FILE");
+    if (sentinel != nullptr && ::unlink(sentinel) == 0) _exit(9);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::string line;
+  for (;;) {
+    line.clear();
+    int c = 0;
+    while ((c = std::fgetc(stdin)) != EOF && c != '\n') {
+      line.push_back(static_cast<char>(c));
+    }
+    if (line.empty() && c == EOF) return 0;  // parent closed the pipe
+
+    exec::CellResult reply;
+    try {
+      const exec::wire::JobSpec job = exec::wire::parse_job_json(line);
+      maybe_inject_fault(job.config);
+      exec::SimBackend backend(job.backend);
+      reply = backend.run(job.config, job.seed);
+    } catch (const std::exception& e) {
+      reply = exec::CellResult{};
+      reply.samples.clear();
+      reply.error = e.what();
+    }
+
+    const std::string out = exec::wire::cell_result_to_json(reply);
+    if (std::fputs(out.c_str(), stdout) == EOF) return 1;
+    if (std::fputc('\n', stdout) == EOF) return 1;
+    if (std::fflush(stdout) != 0) return 1;
+  }
+}
